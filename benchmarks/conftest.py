@@ -1,0 +1,13 @@
+"""Benchmark-suite configuration.
+
+Each module regenerates one table or figure from the paper's evaluation.
+Run with ``pytest benchmarks/ --benchmark-only``; regenerated artifacts
+are also written to ``benchmarks/results/`` and the shape assertions run
+as part of the benchmark bodies.
+"""
+
+import sys
+from pathlib import Path
+
+# Make `import paper` work regardless of invocation directory.
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,144 @@
+"""Shared harness for the paper-reproduction benchmarks.
+
+One module per table/figure lives next to this file; each regenerates
+its artifact through the public API and checks the paper's *shape*
+claims (who wins, by roughly what factor, where the crossovers and
+infeasibility boundaries fall).  Published numbers from the paper are
+recorded here verbatim for side-by-side reporting.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core import Framework, OperatorGraph, PlanError
+from repro.gpusim import (
+    CORE2_DESKTOP,
+    GEFORCE_8800_GTX,
+    TESLA_C870,
+    XEON_WORKSTATION,
+    GpuDevice,
+    HostSystem,
+)
+from repro.runtime import SimulatedRun
+from repro.templates import LARGE_CNN, SMALL_CNN, cnn_graph, find_edges_graph
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: The two evaluation systems of Section 4.
+SYSTEMS: list[tuple[GpuDevice, HostSystem]] = [
+    (TESLA_C870, XEON_WORKSTATION),
+    (GEFORCE_8800_GTX, CORE2_DESKTOP),
+]
+
+
+# ---------------------------------------------------------------------------
+# Template configurations of Tables 1 and 2
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Config:
+    label: str
+    input_label: str
+    build: Callable[[], OperatorGraph]
+
+
+def _edge(size: int) -> Callable[[], OperatorGraph]:
+    return lambda: find_edges_graph(size, size, 16, 4)
+
+
+def _cnn(arch, h: int, w: int) -> Callable[[], OperatorGraph]:
+    return lambda: cnn_graph(arch, h, w)
+
+
+#: Rows of Tables 1 and 2 (input sizes are width x height in the paper).
+CONFIGS: list[Config] = [
+    Config("Edge detection", "1000x1000", _edge(1000)),
+    Config("Edge detection", "10000x10000", _edge(10_000)),
+    Config("Small CNN", "640x480", _cnn(SMALL_CNN, 480, 640)),
+    Config("Small CNN", "6400x480", _cnn(SMALL_CNN, 480, 6400)),
+    Config("Small CNN", "6400x4800", _cnn(SMALL_CNN, 4800, 6400)),
+    Config("Large CNN", "640x480", _cnn(LARGE_CNN, 480, 640)),
+    Config("Large CNN", "6400x480", _cnn(LARGE_CNN, 480, 6400)),
+    Config("Large CNN", "6400x4800", _cnn(LARGE_CNN, 4800, 6400)),
+]
+
+#: Table 1 as published (floats): total temp, lower bound, baseline,
+#: optimized on C870, optimized on 8800 GTX.  None = N/A.
+PAPER_TABLE1: dict[tuple[str, str], tuple[int, int, int | None, int, int]] = {
+    ("Edge detection", "1000x1000"): (6_000_512, 2_000_512, 13_000_512, 2_000_512, 2_000_512),
+    ("Edge detection", "10000x10000"): (600_000_512, 200_000_512, None, 400_000_512, 400_000_512),
+    ("Small CNN", "640x480"): (59_308_709, 4_870_082, 157_022_568, 4_870_082, 4_870_082),
+    ("Small CNN", "6400x480"): (606_855_749, 49_230_722, 1_596_371_688, 49_230_722, 49_230_722),
+    ("Small CNN", "6400x4800"): (6_261_866_429, 501_282_002, 16_326_219_528, 501_282_002, 2_536_173_770),
+    ("Large CNN", "640x480"): (163_093_609, 6_649_882, 313_105_568, 6_649_882, 6_649_882),
+    ("Large CNN", "6400x480"): (1_686_960_649, 67_282_522, 3_212_182_688, 67_282_522, 67_282_522),
+    ("Large CNN", "6400x4800"): (17_664_611_329, 691_377_802, 33_262_586_528, 760_262_830, 7_877_915_800),
+}
+
+#: Table 2 as published (seconds): baseline/optimized per system.
+#: None = N/A or inconsistent.
+PAPER_TABLE2: dict[tuple[str, str], tuple[float | None, float | None, float | None, float | None]] = {
+    ("Edge detection", "1000x1000"): (0.28, 0.036, 0.19, 0.034),
+    ("Edge detection", "10000x10000"): (None, 4.12, None, 3.92),
+    ("Small CNN", "640x480"): (1.70, 0.62, 1.21, 0.41),
+    ("Small CNN", "6400x480"): (6.96, 2.06, 5.95, 1.76),
+    ("Small CNN", "6400x4800"): (54.00, 16.66, 47.76, 20.95),
+    ("Large CNN", "640x480"): (4.29, 2.57, 2.94, 1.60),
+    ("Large CNN", "6400x480"): (15.71, 6.62, 13.96, 5.48),
+    ("Large CNN", "6400x4800"): (262.45, 112.99, None, None),
+}
+
+
+# ---------------------------------------------------------------------------
+# Pipeline wrappers
+# ---------------------------------------------------------------------------
+@dataclass
+class RunRow:
+    """One (template, device) evaluation."""
+
+    compiled_transfers: int
+    lower_bound: int
+    baseline_transfers: int | None  # None = N/A (infeasible)
+    optimized: SimulatedRun
+    baseline: SimulatedRun | None
+
+
+def evaluate(graph: OperatorGraph, device: GpuDevice, host: HostSystem) -> RunRow:
+    """Compile + simulate both the optimized plan and the baseline."""
+    fw = Framework(device, host)
+    compiled = fw.compile(graph)
+    optimized = fw.simulate(compiled)
+    baseline = baseline_transfers = None
+    try:
+        base = fw.compile_baseline(graph)
+    except PlanError:
+        base = None
+    if base is not None:
+        baseline = fw.simulate(base)
+        baseline_transfers = base.transfer_floats()
+    return RunRow(
+        compiled_transfers=compiled.transfer_floats(),
+        lower_bound=compiled.graph.io_size(),
+        baseline_transfers=baseline_transfers,
+        optimized=optimized,
+        baseline=baseline,
+    )
+
+
+def write_report(name: str, lines: list[str]) -> str:
+    """Persist a regenerated table/figure next to the benchmarks."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, name)
+    with open(path, "w") as fh:
+        fh.write("\n".join(lines) + "\n")
+    return path
+
+
+def fmt_int(v: int | None) -> str:
+    return "N/A" if v is None else f"{v:,}"
+
+
+def fmt_time(v: float | None) -> str:
+    return "N/A" if v is None else f"{v:8.3f}"

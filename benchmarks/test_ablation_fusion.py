@@ -1,0 +1,84 @@
+"""Ablation — offload-unit granularity (Section 3.1's discussion).
+
+The paper uses one operator per offload unit; coarser units reduce
+host-GPU synchronisation (kernel launches) at the cost of footprint.
+This ablation fuses producer/consumer chains on an elementwise pipeline
+and measures launches, transfer volume and simulated time.
+"""
+
+import pytest
+
+from paper import write_report
+from repro.core import CompileOptions, Framework, OperatorGraph
+from repro.gpusim import GpuDevice, MB, XEON_WORKSTATION
+
+
+def pipeline(n_stages: int, side: int) -> OperatorGraph:
+    g = OperatorGraph(f"pipe{n_stages}")
+    g.add_data("d0", (side, side), is_input=True)
+    kinds = ["tanh", "remap", "scale"]
+    for i in range(n_stages):
+        g.add_data(f"d{i + 1}", (side, side), is_output=(i == n_stages - 1))
+        g.add_operator(
+            f"o{i}", kinds[i % 3], [f"d{i}"], [f"d{i + 1}"], factor=1.5
+        )
+    return g
+
+
+def regenerate():
+    dev = GpuDevice(name="fusion-dev", memory_bytes=64 * MB)
+    rows = []
+    for fuse in (False, True):
+        fw = Framework(
+            dev, XEON_WORKSTATION, CompileOptions(fuse_offload_units=fuse)
+        )
+        g = pipeline(12, 1000)
+        compiled = fw.compile(g)
+        sim = fw.simulate(compiled)
+        rows.append(
+            {
+                "fusion": fuse,
+                "units": len(compiled.graph.ops),
+                "launches": sim.launches,
+                "transfers": compiled.transfer_floats(),
+                "time_s": sim.total_time,
+                "fused": compiled.fused_units,
+            }
+        )
+    return rows
+
+
+def check_shape(rows):
+    off, on = rows
+    assert not off["fusion"] and on["fusion"]
+    assert on["fused"] > 0
+    assert on["launches"] < off["launches"]
+    assert on["transfers"] <= off["transfers"]
+    assert on["time_s"] <= off["time_s"]
+    # Fully fused pipeline: one offload unit, I/O-only transfers.
+    assert on["units"] == 1
+    assert on["transfers"] == 2 * 1000 * 1000
+
+
+def render(rows):
+    lines = [
+        "Ablation: offload-unit fusion (12-stage elementwise pipeline, 1000^2)",
+        f"{'fusion':>7s} {'units':>6s} {'launches':>9s} "
+        f"{'transfer floats':>16s} {'time s':>8s}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{str(r['fusion']):>7s} {r['units']:>6d} {r['launches']:>9d} "
+            f"{r['transfers']:>16,} {r['time_s']:>8.4f}"
+        )
+    return lines
+
+
+def test_ablation_fusion(benchmark):
+    rows = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    check_shape(rows)
+    lines = render(rows)
+    path = write_report("ablation_fusion.txt", lines)
+    print()
+    print("\n".join(lines))
+    print(f"[written to {path}]")

@@ -1,0 +1,93 @@
+"""Calibration — fitting the simulator to the paper's published times.
+
+Fits the two dominant cost-model unknowns (effective PCIe bandwidth and
+sustained compute efficiency) to Table 2's published C870 numbers, and
+reports the per-row residuals.  This quantifies the reproduction's
+absolute-time fidelity honestly:
+
+* the *baseline* rows fit well with one setting (they are dominated by
+  transfer volumes we reproduce analytically);
+* the *optimized* rows cannot be fit simultaneously, because our
+  optimized plans transfer less than the paper's did (Table 1) — the
+  residual gap IS the plan-quality difference, not a cost-model error.
+
+The fitted bandwidth landing inside the paper's stated "1-2 GB/s" PCIe
+range is itself a consistency check.
+"""
+
+import pytest
+
+from paper import write_report
+from repro.core import Framework
+from repro.gpusim import Observation, TESLA_C870, XEON_WORKSTATION, calibrate
+from repro.templates import SMALL_CNN, LARGE_CNN, cnn_graph, find_edges_graph
+
+#: (label, template builder, paper seconds, which plan)
+PAPER_C870_ROWS = [
+    ("edge 1000 base", lambda: find_edges_graph(1000, 1000, 16, 4), 0.28, "base"),
+    ("small CNN 640x480 base", lambda: cnn_graph(SMALL_CNN, 480, 640), 1.70, "base"),
+    ("small CNN 6400x480 base", lambda: cnn_graph(SMALL_CNN, 480, 6400), 6.96, "base"),
+    ("large CNN 640x480 base", lambda: cnn_graph(LARGE_CNN, 480, 640), 4.29, "base"),
+    ("edge 1000 opt", lambda: find_edges_graph(1000, 1000, 16, 4), 0.036, "opt"),
+    ("small CNN 640x480 opt", lambda: cnn_graph(SMALL_CNN, 480, 640), 0.62, "opt"),
+]
+
+
+def regenerate():
+    fw = Framework(TESLA_C870, XEON_WORKSTATION)
+    base_obs, opt_obs = [], []
+    for label, build, secs, kind in PAPER_C870_ROWS:
+        graph = build()
+        compiled = (
+            fw.compile(graph) if kind == "opt" else fw.compile_baseline(graph)
+        )
+        o = Observation(compiled.plan, compiled.graph, secs, label)
+        (opt_obs if kind == "opt" else base_obs).append(o)
+    fit_base = calibrate(TESLA_C870, base_obs, XEON_WORKSTATION)
+    fit_all = calibrate(TESLA_C870, base_obs + opt_obs, XEON_WORKSTATION)
+    return fit_base, fit_all
+
+
+def check_shape(fit_base, fit_all):
+    # Baseline rows alone: tight fit with a plausible PCIe bandwidth.
+    assert fit_base.max_ratio_error() < 2.0
+    assert 0.3e9 <= fit_base.pcie_bandwidth <= 3e9
+    # Adding optimized rows degrades the joint fit: our optimized plans
+    # move fewer bytes than the paper's, so no single cost model can
+    # reproduce both sets of published times.
+    assert fit_all.mean_log_ratio_error >= fit_base.mean_log_ratio_error
+
+
+def render(fit_base, fit_all):
+    lines = [
+        "Calibration against the paper's Table 2 (Tesla C870 rows)",
+        "",
+        "fit to baseline rows only:",
+        f"  PCIe bandwidth {fit_base.pcie_bandwidth / 1e9:.2f} GB/s "
+        f"(paper states 1-2 GB/s effective range), "
+        f"compute efficiency {fit_base.compute_efficiency:.3f}",
+        f"  mean log-ratio error {fit_base.mean_log_ratio_error:.4f}, "
+        f"worst ratio {fit_base.max_ratio_error():.2f}x",
+    ]
+    for label, sim, obs in fit_base.per_observation:
+        lines.append(f"    {label:28s} sim {sim:7.3f}s  paper {obs:7.3f}s")
+    lines += [
+        "",
+        "joint fit including optimized rows:",
+        f"  mean log-ratio error {fit_all.mean_log_ratio_error:.4f} "
+        f"(worse: our optimized plans transfer less than the paper's, "
+        "see Table 1)",
+    ]
+    for label, sim, obs in fit_all.per_observation:
+        lines.append(f"    {label:28s} sim {sim:7.3f}s  paper {obs:7.3f}s")
+    return lines
+
+
+def test_calibration(benchmark):
+    fit_base, fit_all = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    check_shape(fit_base, fit_all)
+    lines = render(fit_base, fit_all)
+    path = write_report("calibration.txt", lines)
+    print()
+    print("\n".join(lines))
+    print(f"[written to {path}]")

@@ -1,0 +1,94 @@
+"""Figure 2 — execution-time breakdown for image convolution.
+
+Regenerates the stacked-bar data: for an 8000x8000 image convolved with
+kernel matrices of size 2..20 on the Tesla C870, the fraction of
+execution time spent in CPU-GPU data transfer vs GPU computation, under
+the baseline offload pattern the figure describes (transfer in, compute,
+transfer out).
+
+Shape claims checked (Section 2.2):
+* transfer share *decreases* monotonically-in-trend as the kernel grows
+  (more computation per transferred byte);
+* small kernels spend most of their time in transfers (paper: ~75%),
+  large kernels substantially less (paper: ~30%);
+* the paper's summary statement "operations executed on the GPU
+  generally spend up to 50% of the total runtime in data transfers"
+  holds somewhere in the sweep.
+"""
+
+import pytest
+
+from paper import write_report
+from repro.core import Framework
+from repro.gpusim import TESLA_C870, XEON_WORKSTATION
+from repro.core.graph import OperatorGraph
+
+SIDE = 8000
+KERNELS = list(range(2, 21, 2))
+
+
+def conv_template(side: int, k: int) -> OperatorGraph:
+    g = OperatorGraph(f"conv_{side}_{k}")
+    g.add_data("Img", (side, side), is_input=True)
+    g.add_data("K", (k, k), is_input=True)
+    g.add_data("Out", (side, side), is_output=True)
+    g.add_operator("C", "conv2d", ["Img", "K"], ["Out"], mode="same")
+    return g
+
+
+def regenerate():
+    fw = Framework(TESLA_C870, XEON_WORKSTATION)
+    rows = []
+    for k in KERNELS:
+        compiled = fw.compile_baseline(conv_template(SIDE, k))
+        sim = fw.simulate(compiled)
+        bd = sim.breakdown()
+        rows.append(
+            {
+                "kernel": k,
+                "transfer_pct": 100 * bd["transfer"],
+                "compute_pct": 100 * bd["compute"],
+                "total_s": sim.total_time,
+            }
+        )
+    return rows
+
+
+def check_shape(rows):
+    pcts = [r["transfer_pct"] for r in rows]
+    # Transfer share shrinks as the kernel (compute per byte) grows.
+    assert pcts[0] > pcts[-1]
+    assert all(a >= b - 1e-9 for a, b in zip(pcts, pcts[1:]))
+    # Small kernels are transfer-dominated; large ones compute-dominated.
+    assert pcts[0] > 50.0
+    assert pcts[-1] < 50.0
+    # The paper's "up to 50%" summary is crossed inside the sweep.
+    assert min(pcts) < 50.0 < max(pcts)
+
+
+def render(rows):
+    lines = [
+        f"Figure 2 - execution time breakdown, {SIDE}x{SIDE} convolution on "
+        "Tesla C870 (baseline offload)",
+        f"{'kernel':>7s} {'transfer %':>11s} {'compute %':>10s} {'total s':>9s}",
+    ]
+    for r in rows:
+        bar = "#" * int(r["transfer_pct"] / 2)
+        lines.append(
+            f"{r['kernel']:7d} {r['transfer_pct']:11.1f} "
+            f"{r['compute_pct']:10.1f} {r['total_s']:9.3f}  |{bar}"
+        )
+    lines.append(
+        "(paper: ~75% transfer at kernel 2 falling to ~30% at kernel 20)"
+    )
+    return lines
+
+
+def test_fig2(benchmark):
+    rows = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    check_shape(rows)
+    lines = render(rows)
+    path = write_report("fig2.txt", lines)
+    print()
+    print("\n".join(lines))
+    print(f"[written to {path}]")

@@ -1,0 +1,112 @@
+"""Figure 8 — performance of the edge-detection template with scaling
+input data size (Tesla C870, 16x16 kernels).
+
+Three curves:
+* baseline GPU execution (per-operator copy-in/copy-out) — stops working
+  when an unsplit operator no longer fits device memory (the paper notes
+  it dies before side 8000);
+* the framework's optimized execution — scales to arbitrary sizes;
+* the "best possible" configuration (Section 4.3): infinite memory, all
+  operators merged into a single kernel, transfers = template I/O only.
+
+Shape claims checked:
+* baseline infeasibility starts exactly where the largest operator
+  exceeds device memory (side ~8300 analytically; the paper observed it
+  just below 8000 with its allocator overheads);
+* optimized execution works at every size, including inputs larger than
+  device memory;
+* optimized stays within ~20% of best-possible at large sizes (the
+  paper's headline scalability claim) and beats baseline wherever the
+  baseline is feasible.
+"""
+
+import pytest
+
+from paper import write_report
+from repro.analysis import best_possible
+from repro.core import Framework, PlanError
+from repro.gpusim import TESLA_C870, XEON_WORKSTATION
+from repro.templates import find_edges_graph
+
+SIDES = [1000, 2000, 3000, 4000, 6000, 8000, 9000, 10000, 12000, 16000]
+
+
+def regenerate():
+    fw = Framework(TESLA_C870, XEON_WORKSTATION)
+    rows = []
+    for side in SIDES:
+        g = find_edges_graph(side, side, 16, 4)
+        compiled = fw.compile(g)
+        opt = fw.simulate(compiled)
+        try:
+            base = fw.simulate(fw.compile_baseline(g))
+            base_t = base.total_time
+        except PlanError:
+            base_t = None
+        bp = best_possible(g, TESLA_C870, XEON_WORKSTATION)
+        rows.append(
+            {
+                "side": side,
+                "baseline_s": base_t,
+                "optimized_s": opt.total_time,
+                "best_s": bp.time,
+                "opt_transfers": opt.transfer_floats,
+                "io": g.io_size(),
+            }
+        )
+    return rows
+
+
+def check_shape(rows):
+    first_na = None
+    for r in rows:
+        if r["baseline_s"] is None and first_na is None:
+            first_na = r["side"]
+        # Optimized always runs, and never loses to the baseline.
+        assert r["optimized_s"] > 0
+        if r["baseline_s"] is not None:
+            assert r["optimized_s"] <= r["baseline_s"]
+        # Never better than best-possible.
+        assert r["optimized_s"] >= r["best_s"] * 0.999
+    # Baseline dies at the max-operator boundary (5x image > capacity,
+    # analytically side ~8300 for the 4-orientation template; the paper,
+    # with its own allocator overheads, observed the death just below
+    # side 8000 — same boundary mechanism).
+    assert first_na is not None and first_na <= 9000
+    cap = TESLA_C870.usable_memory_floats
+    for r in rows:
+        g_max = 5 * r["side"] * r["side"]  # Combine footprint, 4 orientations
+        assert (r["baseline_s"] is None) == (g_max > cap)
+    # Within ~20% of best possible at scale (paper's claim).
+    large = [r for r in rows if r["side"] >= 4000]
+    for r in large:
+        assert r["optimized_s"] <= 1.25 * r["best_s"], r["side"]
+
+
+def render(rows):
+    lines = [
+        "Figure 8 - edge detection scaling on Tesla C870 (16x16 kernels)",
+        f"{'side':>6s} {'baseline s':>11s} {'optimized s':>12s} "
+        f"{'best possible s':>16s} {'opt/best':>9s}",
+    ]
+    for r in rows:
+        base = "N/A" if r["baseline_s"] is None else f"{r['baseline_s']:.3f}"
+        lines.append(
+            f"{r['side']:6d} {base:>11s} {r['optimized_s']:12.3f} "
+            f"{r['best_s']:16.3f} {r['optimized_s'] / r['best_s']:9.2f}"
+        )
+    lines.append(
+        "(paper: baseline stops before side 8000; optimized within 20% of "
+        "best possible)"
+    )
+    return lines
+
+
+def test_fig8(benchmark):
+    rows = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    check_shape(rows)
+    lines = render(rows)
+    path = write_report("fig8.txt", lines)
+    print()
+    print("\n".join(lines))
+    print(f"[written to {path}]")

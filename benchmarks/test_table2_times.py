@@ -1,0 +1,122 @@
+"""Table 2 — improvements in execution time.
+
+Regenerates baseline and optimized execution times for every (template,
+input size) on both evaluation systems (Tesla C870 + Xeon workstation,
+GeForce 8800 GTX + Core 2 Duo desktop), using the simulator's calibrated
+cost model.
+
+Shape claims checked (the paper's, not its absolute seconds — our
+substrate is an analytic simulator, not the authors' testbed):
+* optimized beats baseline on every feasible configuration, with
+  speedups in the paper's low-single-digit band (the paper reports
+  1.7x - 7.8x overall);
+* edge detection at 10000x10000 is baseline-N/A on both systems but
+  runs fine optimized (the headline scalability result);
+* runs whose host working set exceeds 8 GB RAM would be flagged
+  inconsistent, as the paper's erratic large-CNN-on-8800 entries were
+  (they verified the cause with the CUDA profiler).  Our plans keep the
+  host working set small at every Table-2 configuration, so no cell
+  trips the flag here; the thrashing model itself is exercised by
+  test_ablation_thrashing.py, which shrinks host RAM;
+* the GeForce system is never faster than the Tesla system on
+  out-of-core workloads.
+"""
+
+import pytest
+
+from paper import (
+    CONFIGS,
+    PAPER_TABLE2,
+    SYSTEMS,
+    evaluate,
+    fmt_time,
+    write_report,
+)
+
+
+def regenerate():
+    rows = []
+    for cfg in CONFIGS:
+        graph = cfg.build()
+        per_device = [evaluate(graph, dev, host) for dev, host in SYSTEMS]
+        rows.append((cfg, graph, per_device))
+    return rows
+
+
+def _times(row):
+    base = None
+    if row.baseline is not None:
+        base = None if row.baseline.inconsistent else row.baseline.total_time
+    opt = None if row.optimized.inconsistent else row.optimized.total_time
+    return base, opt
+
+
+def check_shape(rows):
+    speedups = []
+    for cfg, graph, (c870, gtx) in rows:
+        key = (cfg.label, cfg.input_label)
+        for row in (c870, gtx):
+            base, opt = _times(row)
+            if base is not None and opt is not None:
+                assert opt < base, key
+                speedups.append(base / opt)
+        # Edge 10000x10000: baseline N/A on both, optimized fine.
+        if key == ("Edge detection", "10000x10000"):
+            assert c870.baseline is None and gtx.baseline is None
+            assert _times(c870)[1] is not None
+            assert _times(gtx)[1] is not None
+        # More device memory never hurts out-of-core runtime.
+        if graph.total_data_size() > SYSTEMS[0][0].usable_memory_floats:
+            b_c870, o_c870 = _times(c870)
+            b_gtx, o_gtx = _times(gtx)
+            if o_c870 is not None and o_gtx is not None:
+                assert o_c870 <= o_gtx * 1.001, key
+    # Speedup band: overlaps the paper's 1.7-7.8x range.
+    assert speedups, "no feasible baseline/optimized pairs"
+    assert max(speedups) >= 1.7
+    assert min(speedups) > 1.0
+
+
+def render(rows):
+    lines = [
+        "Table 2 - execution times (simulated seconds)",
+        f"{'Template':16s} {'Input':12s} "
+        f"{'C870 base':>10s} {'C870 opt':>10s} "
+        f"{'8800 base':>10s} {'8800 opt':>10s} {'speedups':>14s}",
+    ]
+    for cfg, graph, (c870, gtx) in rows:
+        b1, o1 = _times(c870)
+        b2, o2 = _times(gtx)
+        sp = []
+        for b, o in ((b1, o1), (b2, o2)):
+            sp.append(f"{b / o:.1f}x" if b and o else "-")
+        host_gib = max(
+            c870.optimized.peak_host_bytes, gtx.optimized.peak_host_bytes
+        ) / (1 << 30)
+        lines.append(
+            f"{cfg.label:16s} {cfg.input_label:12s} "
+            f"{fmt_time(b1):>10s} {fmt_time(o1):>10s} "
+            f"{fmt_time(b2):>10s} {fmt_time(o2):>10s} "
+            f"{'/'.join(sp):>14s}  host {host_gib:5.2f} GiB"
+        )
+        p = PAPER_TABLE2[(cfg.label, cfg.input_label)]
+        lines.append(
+            f"{'  (paper)':29s} "
+            f"{fmt_time(p[0]):>10s} {fmt_time(p[1]):>10s} "
+            f"{fmt_time(p[2]):>10s} {fmt_time(p[3]):>10s}"
+        )
+    lines.append(
+        "(N/A = baseline infeasible or run flagged inconsistent by the "
+        "host-thrashing model; paper speedups: 1.7x-7.8x)"
+    )
+    return lines
+
+
+def test_table2(benchmark):
+    rows = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    check_shape(rows)
+    lines = render(rows)
+    path = write_report("table2.txt", lines)
+    print()
+    print("\n".join(lines))
+    print(f"[written to {path}]")

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Out-of-core edge detection on a histological-micrograph-sized image.
+
+The paper's motivating application (Section 2.1): extracting edges from
+cancer-diagnosis micrographs whose size far exceeds GPU memory.  This
+example compiles the 8-orientation template of Figure 1(b) for a
+6000x6000 synthetic micrograph (137 MB image, ~1.4 GB template footprint)
+against the 768 MB GeForce 8800 GTX, walks through what the compiler did
+(which operators were split, how data was chunked), executes the plan
+end-to-end, and reports the transfer economics vs the baseline and the
+I/O lower bound.
+
+Run:  python examples/edge_detection_micrograph.py [side]
+(defaults to a scaled-down 1536 so the numeric run finishes quickly;
+pass e.g. 6000 for the full analytic treatment)
+"""
+
+import sys
+
+import numpy as np
+
+from repro.analysis import io_lower_bound_floats, memory_profile
+from repro.core import Framework, PlanError
+from repro.gpusim import FLOAT_BYTES, GEFORCE_8800_GTX, MB, CORE2_DESKTOP
+from repro.runtime import reference_execute
+from repro.templates import find_edges_graph, find_edges_inputs
+
+# Scale the device with the example so splitting behaviour matches the
+# full-size scenario while the numeric run stays fast.
+def main() -> None:
+    side = int(sys.argv[1]) if len(sys.argv) > 1 else 1536
+    numeric = side <= 2048
+
+    device = GEFORCE_8800_GTX
+    if numeric:
+        # Shrink the card proportionally so a 1536^2 image exercises the
+        # same out-of-core machinery as 6000^2 on the real 768 MB part.
+        device = device.with_memory(
+            int(device.memory_bytes * (side / 6000) ** 2)
+        )
+    print(f"device: {device.name}, {device.memory_bytes // MB} MB")
+
+    template = find_edges_graph(side, side, kernel_size=16, num_orientations=8)
+    prof = memory_profile(template)
+    print(
+        f"micrograph {side}x{side}: image "
+        f"{side * side * FLOAT_BYTES // MB} MB, template footprint "
+        f"{prof.total_floats * FLOAT_BYTES // MB} MB, largest operator "
+        f"{prof.max_op_footprint * FLOAT_BYTES // MB} MB"
+    )
+
+    fw = Framework(device, CORE2_DESKTOP)
+
+    # The baseline (copy-in / execute / copy-out per operator) cannot run:
+    try:
+        fw.compile_baseline(template)
+        print("baseline: feasible (image small enough for this card)")
+    except PlanError as e:
+        print(f"baseline: N/A ({e})")
+
+    compiled = fw.compile(template)
+    rep = compiled.split_report
+    print(
+        f"compiled: {len(compiled.graph.ops)} operators after splitting "
+        f"{len(rep.split_ops)} ({dict(list(rep.split_ops.items())[:4])} ...), "
+        f"{len(rep.partitioned_roots)} arrays chunked"
+    )
+    print(
+        f"plan: {len(compiled.plan)} steps, peak device use "
+        f"{compiled.peak_device_floats * FLOAT_BYTES // MB} MB"
+    )
+
+    lower = io_lower_bound_floats(template)
+    print(
+        f"transfers: {compiled.transfer_floats():,} floats "
+        f"(I/O lower bound {lower:,}, "
+        f"{compiled.transfer_floats() / lower:.2f}x)"
+    )
+
+    sim = fw.simulate(compiled)
+    print(
+        f"simulated time: {sim.total_time:.3f}s "
+        f"({100 * sim.breakdown()['transfer']:.0f}% in transfers)"
+    )
+
+    if numeric:
+        inputs = find_edges_inputs(side, side, 16, 8, seed=7)
+        result = fw.execute(compiled, inputs)
+        reference = reference_execute(template, inputs)["Edg"]
+        assert np.allclose(result.outputs["Edg"], reference, atol=1e-4)
+        print("numeric execution on the bounded-memory device: matches reference")
+    else:
+        print("(numeric execution skipped at this size; analytic plan only)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Automatic re-targeting across GPU platforms (Section 2's portability
+claim, demonstrated in Section 4).
+
+The same application code — a template built once — is compiled for the
+paper's two evaluation GPUs (Tesla C870, 1.5 GB; GeForce 8800 GTX,
+768 MB) plus hypothetical product variants with less and more memory.
+The framework adapts the split granularity and transfer schedule to each
+capacity automatically; results stay bit-identical everywhere.
+
+Also generates the hybrid CPU/GPU program for one target in both Python
+(runnable against the simulator) and CUDA C.
+
+Run:  python examples/retargeting.py
+"""
+
+import numpy as np
+
+from repro.codegen import generate_cuda, generate_python
+from repro.core import Framework
+from repro.gpusim import GEFORCE_8800_GTX, MB, TESLA_C870
+from repro.runtime import reference_execute
+from repro.templates import find_edges_graph, find_edges_inputs
+
+
+def main() -> None:
+    side = 1024
+    template = find_edges_graph(side, side, kernel_size=16, num_orientations=8)
+    inputs = find_edges_inputs(side, side, 16, 8, seed=3)
+    reference = reference_execute(template, inputs)["Edg"]
+
+    targets = [
+        GEFORCE_8800_GTX.with_memory(24 * MB),  # low-end variant
+        GEFORCE_8800_GTX.with_memory(64 * MB),
+        GEFORCE_8800_GTX,
+        TESLA_C870,
+    ]
+    print(f"template: {template.name} ({template.total_data_size() * 4 // MB} MB)")
+    print(
+        f"{'device':24s} {'memory':>8s} {'split ops':>10s} "
+        f"{'transfers':>14s} {'x I/O':>7s} {'result':>8s}"
+    )
+    for dev in targets:
+        fw = Framework(dev)
+        compiled = fw.compile(template)
+        result = fw.execute(compiled, inputs)
+        ok = np.allclose(result.outputs["Edg"], reference, atol=1e-4)
+        print(
+            f"{dev.name:24s} {dev.memory_bytes // MB:>6d}MB "
+            f"{len(compiled.split_report.split_ops):>10d} "
+            f"{compiled.transfer_floats():>14,} "
+            f"{compiled.transfer_floats() / template.io_size():>7.2f} "
+            f"{'OK' if ok else 'FAIL':>8s}"
+        )
+        assert ok
+
+    # Generate the hybrid program for the smallest target.
+    fw = Framework(targets[0])
+    compiled = fw.compile(template)
+    py_src = generate_python(compiled.plan, compiled.graph, targets[0])
+    cu_src = generate_cuda(compiled.plan, compiled.graph, targets[0])
+    print(
+        f"\ngenerated programs for {targets[0].name} "
+        f"({targets[0].memory_bytes // MB} MB):"
+    )
+    print(f"  python: {len(py_src.splitlines())} lines")
+    print(f"  cuda c: {len(cu_src.splitlines())} lines")
+
+    # The generated Python program is directly executable:
+    ns: dict = {}
+    exec(compile(py_src, "<generated>", "exec"), ns)
+    out = ns["run"](inputs)
+    assert np.allclose(out["Edg"], reference, atol=1e-4)
+    print("  generated python program re-verified against the reference")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Streaming video edge detection through a small GPU.
+
+The pure-scheduling counterpart of the out-of-core image case: a clip of
+frames whose combined footprint dwarfs device memory, where every single
+operator is small.  No splitting happens — the transfer scheduler alone
+streams frame bands through the card at the I/O lower bound, exactly the
+behaviour that makes the paper's recognition pipelines viable on
+fixed-memory GPUs.
+
+Run:  python examples/video_stream.py
+"""
+
+import numpy as np
+
+from repro.core import Framework
+from repro.gpusim import GEFORCE_8800_GTX, MB
+from repro.runtime import reference_execute
+from repro.templates import video_edge_graph, video_edge_inputs
+
+
+def main() -> None:
+    n_frames, h, w = 48, 480, 640
+    template = video_edge_graph(n_frames, h, w, kernel_size=9)
+    footprint_mb = template.total_data_size() * 4 // MB
+    print(
+        f"clip: {n_frames} frames of {w}x{h} "
+        f"({footprint_mb} MB template footprint)"
+    )
+
+    # A card an order of magnitude smaller than the clip.
+    device = GEFORCE_8800_GTX.with_memory(32 * MB)
+    fw = Framework(device)
+    compiled = fw.compile(template)
+    io = template.io_size()
+    print(
+        f"compiled for {device.memory_bytes // MB} MB: "
+        f"{len(compiled.split_report.split_ops)} splits, "
+        f"{compiled.transfer_floats():,} floats moved "
+        f"({compiled.transfer_floats() / io:.2f}x the I/O bound)"
+    )
+    sim = fw.simulate(compiled)
+    print(
+        f"simulated: {sim.total_time:.3f}s for the clip "
+        f"({1000 * sim.total_time / n_frames:.1f} ms/frame, "
+        f"{100 * sim.breakdown()['transfer']:.0f}% transfer)"
+    )
+
+    # Numeric spot check on a short clip.
+    short = video_edge_graph(6, 120, 160, kernel_size=9)
+    inputs = video_edge_inputs(6, 120, 160, kernel_size=9, seed=3)
+    res = Framework(device).execute(Framework(device).compile(short), inputs)
+    ref = reference_execute(short, inputs)
+    for k in ref:
+        np.testing.assert_allclose(res.outputs[k], ref[k], rtol=1e-3, atol=1e-4)
+    print(f"short-clip numeric check: {len(ref)} frames match the reference")
+
+
+if __name__ == "__main__":
+    main()

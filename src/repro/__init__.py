@@ -1,0 +1,39 @@
+"""repro — reproduction of "A framework for efficient and scalable
+execution of domain-specific templates on GPUs" (IPDPS 2009).
+
+Public API highlights
+---------------------
+* :class:`repro.core.OperatorGraph` — the parallel operator graph IR
+* :class:`repro.core.Framework` / :func:`repro.core.run_template` —
+  compile + execute templates against a target GPU
+* :mod:`repro.templates` — ``find_edges_graph`` and the CNN factories
+* :mod:`repro.gpusim` — the simulated GPU platforms (Tesla C870,
+  GeForce 8800 GTX)
+* :mod:`repro.pb` — the from-scratch SAT/PB optimiser behind the exact
+  Figure-5 scheduling
+"""
+
+from . import analysis, codegen, core, gpusim, ops, pb, runtime, templates
+from .core import CompileOptions, Framework, OperatorGraph, run_template
+from .gpusim import GEFORCE_8800_GTX, TESLA_C870, GpuDevice, HostSystem
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompileOptions",
+    "Framework",
+    "GEFORCE_8800_GTX",
+    "GpuDevice",
+    "HostSystem",
+    "OperatorGraph",
+    "TESLA_C870",
+    "analysis",
+    "codegen",
+    "core",
+    "gpusim",
+    "ops",
+    "pb",
+    "run_template",
+    "runtime",
+    "templates",
+]

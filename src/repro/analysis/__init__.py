@@ -1,0 +1,40 @@
+"""Analyses backing the evaluation figures/tables.
+
+Memory-requirement curves and strategy regions (Figure 1(c)), transfer
+lower bounds and comparisons (Table 1), and the "best possible"
+reference configuration (Figure 8).
+"""
+
+from .dot import graph_to_dot
+from .memory import (
+    MemoryProfile,
+    StrategyRegions,
+    edge_strategy_regions,
+    memory_profile,
+    sweep_memory,
+)
+from .timeline import TimelineRow, plan_timeline, render_timeline
+from .transfers import (
+    BestPossible,
+    TransferComparison,
+    best_possible,
+    compare_transfers,
+    io_lower_bound_floats,
+)
+
+__all__ = [
+    "BestPossible",
+    "MemoryProfile",
+    "StrategyRegions",
+    "TimelineRow",
+    "TransferComparison",
+    "best_possible",
+    "compare_transfers",
+    "edge_strategy_regions",
+    "graph_to_dot",
+    "io_lower_bound_floats",
+    "memory_profile",
+    "plan_timeline",
+    "render_timeline",
+    "sweep_memory",
+]

@@ -1,0 +1,89 @@
+"""Graphviz DOT export of operator graphs.
+
+Renders templates the way the paper draws them (Figure 1(b), Figure 7):
+ellipses for operators, boxes for data structures, with sizes annotated
+and split chunks grouped under their logical parent.  Output is plain
+DOT text; render with ``dot -Tpng``/``-Tsvg`` where Graphviz exists.
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.core.graph import OperatorGraph
+
+
+def _esc(name: str) -> str:
+    return '"' + name.replace('"', r"\"") + '"'
+
+
+def _human(size: int) -> str:
+    if size >= 1 << 20:
+        return f"{size / (1 << 20):.1f}M"
+    if size >= 1 << 10:
+        return f"{size / (1 << 10):.1f}k"
+    return str(size)
+
+
+def graph_to_dot(
+    graph: OperatorGraph,
+    *,
+    cluster_chunks: bool = True,
+    max_nodes: int = 2000,
+) -> str:
+    """Emit DOT text for an operator graph.
+
+    Raises on graphs beyond ``max_nodes`` total nodes — render a
+    sub-template instead (a 7500-operator CNN is not a useful picture).
+    """
+    n_nodes = len(graph.ops) + sum(
+        1 for ds in graph.data.values() if not ds.virtual
+    )
+    if n_nodes > max_nodes:
+        raise ValueError(
+            f"graph has {n_nodes} nodes (> {max_nodes}); too large to render"
+        )
+    w = io.StringIO()
+    w.write(f"digraph {_esc(graph.name)} {{\n")
+    w.write("  rankdir=TB;\n")
+    w.write('  node [fontname="Helvetica", fontsize=10];\n')
+    # Data structures, grouped by logical parent where split.
+    by_parent: dict[str, list[str]] = {}
+    for name, ds in graph.data.items():
+        if ds.virtual:
+            continue
+        key = ds.parent if (cluster_chunks and ds.parent) else ""
+        by_parent.setdefault(key, []).append(name)
+    for parent, names in sorted(by_parent.items()):
+        indent = "  "
+        if parent:
+            w.write(f"  subgraph {_esc('cluster_' + parent)} {{\n")
+            w.write(f'    label="{parent} (split)"; style=dashed;\n')
+            indent = "    "
+        for name in names:
+            ds = graph.data[name]
+            style = "bold" if (ds.is_input or ds.is_output) else "solid"
+            role = "in" if ds.is_input else ("out" if ds.is_output else "")
+            label = f"{name}\\n{_human(ds.size)}f"
+            if role:
+                label += f" [{role}]"
+            w.write(
+                f"{indent}{_esc(name)} [shape=box, style={style}, "
+                f'label="{label}"];\n'
+            )
+        if parent:
+            w.write("  }\n")
+    # Operators.
+    for name, op in graph.ops.items():
+        w.write(
+            f"  {_esc('op:' + name)} [shape=ellipse, style=filled, "
+            f'fillcolor=lightgray, label="{name}\\n({op.kind})"];\n'
+        )
+    # Edges.
+    for name, op in graph.ops.items():
+        for d in dict.fromkeys(op.inputs):
+            w.write(f"  {_esc(d)} -> {_esc('op:' + name)};\n")
+        for d in dict.fromkeys(op.outputs):
+            w.write(f"  {_esc('op:' + name)} -> {_esc(d)};\n")
+    w.write("}\n")
+    return w.getvalue()

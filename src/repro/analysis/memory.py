@@ -1,0 +1,96 @@
+"""Memory-requirement analysis (Figure 1(c)).
+
+For a template family parameterised by input size, compute each
+operator's memory footprint and derive the *execution-strategy regions*
+the paper annotates over Figure 1(c):
+
+1. everything fits in GPU memory;
+2. the template footprint exceeds GPU memory but every operator fits
+   (operators must be phased / intermediates staged);
+3. the largest operator no longer fits and must be split;
+4. further operator classes need splitting;
+5. the input itself exceeds GPU memory (process in chunks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.graph import OperatorGraph
+
+
+@dataclass(frozen=True)
+class MemoryProfile:
+    """Footprints (floats) of one template instance."""
+
+    total_floats: int
+    io_floats: int
+    max_op_footprint: int
+    input_floats: int
+    per_op: dict[str, int]
+
+    def op_classes(self) -> dict[str, int]:
+        """Max footprint per operator-name prefix (C1..C4 -> 'C')."""
+        out: dict[str, int] = {}
+        for name, fp in self.per_op.items():
+            key = name.rstrip("0123456789")
+            out[key] = max(out.get(key, 0), fp)
+        return out
+
+
+def memory_profile(graph: OperatorGraph) -> MemoryProfile:
+    per_op = {o: graph.op_footprint(o) for o in graph.ops}
+    input_floats = sum(
+        ds.size
+        for ds in graph.data.values()
+        if ds.is_input and not ds.virtual
+    )
+    return MemoryProfile(
+        total_floats=graph.total_data_size(),
+        io_floats=graph.io_size(),
+        max_op_footprint=max(per_op.values(), default=0),
+        input_floats=input_floats,
+        per_op=per_op,
+    )
+
+
+@dataclass(frozen=True)
+class StrategyRegions:
+    """Input-size boundaries (in floats of input) between strategies.
+
+    For the 8-orientation edge template on a C870 these land at the
+    paper's 150 / 166.67 / 750 / 1500 MB marks.
+    """
+
+    all_fits_below: float  # total footprint == capacity
+    largest_op_fits_below: float  # max op footprint == capacity
+    conv_fits_below: float  # 2x-class operators == capacity
+    input_fits_below: float  # input == capacity
+
+
+def edge_strategy_regions(
+    capacity_floats: int,
+    num_orientations: int = 8,
+) -> StrategyRegions:
+    """Analytic region boundaries for the edge template (Figure 1(c)).
+
+    With n orientations the template holds the image, n responses and
+    the edge map (n+2 image-sized arrays, kernels negligible); the
+    combine operator touches n+1 of them; convolutions/remaps touch 2.
+    """
+    n = num_orientations
+    return StrategyRegions(
+        all_fits_below=capacity_floats / (n + 2),
+        largest_op_fits_below=capacity_floats / (n + 1),
+        conv_fits_below=capacity_floats / 2,
+        input_fits_below=float(capacity_floats),
+    )
+
+
+def sweep_memory(
+    builder: Callable[[int], OperatorGraph],
+    sizes: Sequence[int],
+) -> list[tuple[int, MemoryProfile]]:
+    """Evaluate :func:`memory_profile` over a family of template instances."""
+    return [(s, memory_profile(builder(s))) for s in sizes]

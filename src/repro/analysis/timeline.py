@@ -1,0 +1,87 @@
+"""Figure-6-style plan timelines.
+
+Renders an execution plan as the paper's Figure 6: one row per step,
+showing the action, the data structures alive in GPU memory (with their
+sizes), the running device occupancy, and which host copies exist.
+Useful for eyeballing why a plan transfers what it transfers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.graph import OperatorGraph
+from repro.core.plan import CopyToCPU, CopyToGPU, ExecutionPlan, Free, Launch
+
+
+@dataclass
+class TimelineRow:
+    step: str
+    gpu_resident: list[str]
+    gpu_floats: int
+    host_copies: list[str]
+
+
+def plan_timeline(
+    plan: ExecutionPlan, graph: OperatorGraph
+) -> list[TimelineRow]:
+    """Symbolically replay a plan into per-step memory snapshots."""
+    on_gpu: dict[str, int] = {}
+    on_host = {
+        d for d, ds in graph.data.items() if ds.is_input and not ds.virtual
+    }
+    rows: list[TimelineRow] = []
+    for step in plan.steps:
+        if isinstance(step, CopyToGPU):
+            on_gpu[step.data] = graph.data[step.data].size
+            label = f"h2d  {step.data}"
+        elif isinstance(step, CopyToCPU):
+            on_host.add(step.data)
+            label = f"d2h  {step.data}"
+        elif isinstance(step, Free):
+            on_gpu.pop(step.data, None)
+            label = f"free {step.data}"
+        elif isinstance(step, Launch):
+            for d in graph.ops[step.op].outputs:
+                on_gpu[d] = graph.data[d].size
+                on_host.discard(d)  # device result supersedes host copy
+            label = f"exec {step.op}"
+        else:  # pragma: no cover - defensive
+            label = str(step)
+        rows.append(
+            TimelineRow(
+                step=label,
+                gpu_resident=sorted(on_gpu),
+                gpu_floats=sum(on_gpu.values()),
+                host_copies=sorted(
+                    d for d in on_host if not graph.data[d].is_input
+                ),
+            )
+        )
+    return rows
+
+
+def render_timeline(
+    plan: ExecutionPlan,
+    graph: OperatorGraph,
+    capacity_floats: int | None = None,
+    width: int = 24,
+) -> str:
+    """ASCII rendering (cf. Figure 6's host/GPU memory columns)."""
+    cap = capacity_floats or plan.capacity_floats or 1
+    rows = plan_timeline(plan, graph)
+    lines = [
+        f"{'step':28s} {'GPU memory':>{width}s} {'use':>9s}  host copies",
+        "-" * (28 + width + 9 + 14),
+    ]
+    for row in rows:
+        gpu = ",".join(row.gpu_resident)
+        if len(gpu) > width:
+            gpu = gpu[: width - 2] + ".."
+        bar_len = min(int(10 * row.gpu_floats / cap), 10)
+        bar = "#" * bar_len + "." * (10 - bar_len)
+        host = ",".join(row.host_copies)
+        lines.append(
+            f"{row.step:28s} {gpu:>{width}s} [{bar}]  {host}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,270 @@
+"""Command-line interface.
+
+The adoption surface for people who do not want to write Python: build
+one of the paper's templates, compile it for a GPU preset, inspect the
+plan, run it on the simulated device, or emit the generated program.
+
+    repro info    --template edge --size 4096x4096
+    repro compile --template edge --size 10000x10000 --device geforce_8800_gtx
+    repro run     --template small-cnn --size 640x480 --verify
+    repro codegen --template edge --size 1024x1024 --lang cuda -o out.cu
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+import numpy as np
+
+from repro.analysis import memory_profile
+from repro.analysis.timeline import render_timeline
+from repro.codegen import generate_cuda, generate_python
+from repro.core import CompileOptions, Framework, PlanError
+from repro.core.serialize import save_plan
+from repro.gpusim import FLOAT_BYTES, MB, PRESETS, XEON_WORKSTATION, device_by_name
+from repro.runtime import reference_execute
+from repro.templates import (
+    LARGE_CNN,
+    SMALL_CNN,
+    cnn_graph,
+    cnn_inputs,
+    dog_pyramid_graph,
+    dog_pyramid_inputs,
+    find_edges_graph,
+    find_edges_inputs,
+)
+
+
+def _parse_size(text: str) -> tuple[int, int]:
+    try:
+        w, h = text.lower().split("x")
+        return int(h), int(w)
+    except Exception:
+        raise argparse.ArgumentTypeError(
+            f"size must look like 1024x768 (width x height), got {text!r}"
+        ) from None
+
+
+def _build(args) -> tuple:
+    h, w = args.size
+    if args.template == "edge":
+        graph = find_edges_graph(h, w, args.kernel, args.orientations)
+        inputs: Callable = lambda: find_edges_inputs(
+            h, w, args.kernel, args.orientations, seed=args.seed
+        )
+    elif args.template == "small-cnn":
+        graph = cnn_graph(SMALL_CNN, h, w)
+        inputs = lambda: cnn_inputs(SMALL_CNN, h, w, seed=args.seed)
+    elif args.template == "large-cnn":
+        graph = cnn_graph(LARGE_CNN, h, w)
+        inputs = lambda: cnn_inputs(LARGE_CNN, h, w, seed=args.seed)
+    elif args.template == "pyramid":
+        graph = dog_pyramid_graph(h, w, octaves=args.octaves)
+        inputs = lambda: dog_pyramid_inputs(h, w, seed=args.seed)
+    else:  # pragma: no cover - argparse restricts choices
+        raise SystemExit(f"unknown template {args.template!r}")
+    return graph, inputs
+
+
+def _framework(args) -> Framework:
+    device = device_by_name(args.device)
+    options = CompileOptions(
+        scheduler=args.scheduler,
+        eviction_policy=args.eviction,
+        split_headroom=(
+            "auto" if args.headroom == "auto" else float(args.headroom)
+        ),
+    )
+    return Framework(device, XEON_WORKSTATION, options)
+
+
+def cmd_info(args) -> int:
+    graph, _ = _build(args)
+    prof = memory_profile(graph)
+    print(f"template       : {graph.name}")
+    print(f"operators      : {len(graph.ops)}")
+    print(f"data structures: {len(graph.data)}")
+    print(f"footprint      : {prof.total_floats * FLOAT_BYTES // MB} MB "
+          f"({prof.total_floats:,} floats)")
+    print(f"largest op     : {prof.max_op_footprint * FLOAT_BYTES // MB} MB")
+    print(f"I/O lower bound: {prof.io_floats:,} floats")
+    for name, fp in sorted(
+        prof.op_classes().items(), key=lambda kv: -kv[1]
+    )[:6]:
+        print(f"  op class {name:12s} {fp * FLOAT_BYTES // MB:6d} MB")
+    return 0
+
+
+def cmd_compile(args) -> int:
+    graph, _ = _build(args)
+    fw = _framework(args)
+    compiled = fw.compile(graph)
+    for key, value in compiled.summary().items():
+        print(f"{key:20s}: {value}")
+    sim = fw.simulate(compiled)
+    print(f"{'simulated time':20s}: {sim.total_time:.3f} s "
+          f"({100 * sim.breakdown()['transfer']:.0f}% transfer)")
+    try:
+        base = fw.compile_baseline(graph)
+        bsim = fw.simulate(base)
+        print(f"{'baseline time':20s}: {bsim.total_time:.3f} s "
+              f"({bsim.total_time / sim.total_time:.1f}x slower)")
+    except PlanError:
+        print(f"{'baseline time':20s}: N/A (operator exceeds device memory)")
+    if args.timeline:
+        print()
+        print(render_timeline(compiled.plan, compiled.graph))
+    if args.save:
+        save_plan(compiled, args.save)
+        print(f"plan written to {args.save}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    graph, make_inputs = _build(args)
+    fw = _framework(args)
+    compiled = fw.compile(graph)
+    inputs = make_inputs()
+    result = fw.execute(compiled, inputs)
+    print(f"executed {len(compiled.plan.launches())} offload units in "
+          f"{result.elapsed * 1e3:.2f} simulated ms")
+    print(f"transferred {result.transfer_floats:,} floats "
+          f"(h2d {result.h2d_floats:,}, d2h {result.d2h_floats:,})")
+    for name, arr in sorted(result.outputs.items()):
+        print(f"  output {name}: shape {arr.shape}, "
+              f"mean {float(np.mean(arr)):.6f}")
+    if args.verify:
+        reference = reference_execute(graph, inputs)
+        for name in reference:
+            if not np.allclose(
+                result.outputs[name], reference[name], atol=1e-4
+            ):
+                print(f"VERIFY FAILED for {name}")
+                return 1
+        print(f"verified {len(reference)} outputs against host reference: OK")
+    return 0
+
+
+def _emit(text: str, output: str) -> None:
+    if output == "-":
+        print(text)
+    else:
+        with open(output, "w") as fh:
+            fh.write(text)
+        print(f"{len(text.splitlines())} lines written to {output}")
+
+
+def cmd_dot(args) -> int:
+    from repro.analysis import graph_to_dot
+
+    graph, _ = _build(args)
+    _emit(graph_to_dot(graph), args.output)
+    return 0
+
+
+def cmd_opb(args) -> int:
+    from repro.core.pbopt import export_opb
+
+    graph, _ = _build(args)
+    device = device_by_name(args.device)
+    _emit(export_opb(graph, device.usable_memory_floats), args.output)
+    return 0
+
+
+def cmd_codegen(args) -> int:
+    graph, _ = _build(args)
+    fw = _framework(args)
+    compiled = fw.compile(graph)
+    if args.lang == "python":
+        src = generate_python(compiled.plan, compiled.graph, fw.device)
+    else:
+        src = generate_cuda(compiled.plan, compiled.graph, fw.device)
+    if args.output == "-":
+        print(src)
+    else:
+        with open(args.output, "w") as fh:
+            fh.write(src)
+        print(f"{len(src.splitlines())} lines written to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GPU template execution framework (IPDPS 2009 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--template",
+            choices=["edge", "small-cnn", "large-cnn", "pyramid"],
+            default="edge",
+        )
+        p.add_argument(
+            "--size", type=_parse_size, default=(1024, 1024),
+            help="input size as WIDTHxHEIGHT (default 1024x1024)",
+        )
+        p.add_argument("--kernel", type=int, default=16,
+                       help="edge filter size (edge template)")
+        p.add_argument("--orientations", type=int, default=4)
+        p.add_argument("--octaves", type=int, default=3,
+                       help="pyramid octaves (pyramid template)")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument(
+            "--device", default="tesla_c870",
+            help=f"GPU preset: {', '.join(sorted(PRESETS))}",
+        )
+        p.add_argument("--scheduler", default="dfs",
+                       choices=["dfs", "dfs_naive", "bfs", "topo"])
+        p.add_argument("--eviction", default="belady",
+                       choices=["belady", "cost", "ltu", "lru", "fifo"])
+        p.add_argument("--headroom", default="auto",
+                       help="split headroom factor or 'auto'")
+
+    p = sub.add_parser("info", help="template statistics")
+    common(p)
+    p.set_defaults(func=cmd_info)
+
+    p = sub.add_parser("compile", help="compile and inspect the plan")
+    common(p)
+    p.add_argument("--timeline", action="store_true",
+                   help="print the Figure-6-style plan timeline")
+    p.add_argument("--save", metavar="PLAN.json",
+                   help="serialize the compiled plan")
+    p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser("run", help="execute on the simulated device")
+    common(p)
+    p.add_argument("--verify", action="store_true",
+                   help="check results against the host reference")
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("dot", help="emit a Graphviz rendering of the template")
+    common(p)
+    p.add_argument("-o", "--output", default="-")
+    p.set_defaults(func=cmd_dot)
+
+    p = sub.add_parser("opb", help="export the Figure-5 PB instance (OPB)")
+    common(p)
+    p.add_argument("-o", "--output", default="-")
+    p.set_defaults(func=cmd_opb)
+
+    p = sub.add_parser("codegen", help="emit the generated program")
+    common(p)
+    p.add_argument("--lang", choices=["python", "cuda"], default="python")
+    p.add_argument("-o", "--output", default="-",
+                   help="output file ('-' for stdout)")
+    p.set_defaults(func=cmd_codegen)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

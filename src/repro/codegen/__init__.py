@@ -1,0 +1,12 @@
+"""Code generation (the final stage of Figure 4).
+
+Emits hybrid CPU/GPU programs realising an execution plan: Python
+targeting the simulated runtime (directly executable and tested) and
+CUDA C (the paper's actual target; structurally checked here since no
+NVIDIA toolchain is available offline).
+"""
+
+from .cuda_c import generate_cuda
+from .python_src import generate_python
+
+__all__ = ["generate_cuda", "generate_python"]

@@ -1,0 +1,111 @@
+"""Runtime support for generated Python programs.
+
+The paper's code generator emits a hybrid CPU/GPU program that is
+"compiled together with ... the operator library" (Section 3.1).  Our
+generated Python programs likewise link against :mod:`repro.ops` through
+this shim: each emitted step is a flat call with only literal arguments
+(names, shapes, row ranges), so the generated source is self-describing
+and independent of the compiler's in-memory graph.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.graph import Operator
+from repro.gpusim import FLOAT_BYTES, SimRuntime
+from repro.ops import get_impl
+
+# (chunk_name, row0, row1) triples describing where a logical region lives
+ChunkRef = tuple[str, int, int]
+
+
+def gather_region(
+    rt: SimRuntime,
+    chunks: Sequence[ChunkRef],
+    rows: tuple[int, int] | None,
+) -> np.ndarray:
+    """Assemble a logical input region from device-resident chunks."""
+    ordered = sorted(chunks, key=lambda c: c[1])
+    arrays = [rt.read_device(name) for name, _, _ in ordered]
+    block = arrays[0] if len(arrays) == 1 else np.vstack(arrays)
+    start = ordered[0][1]
+    if rows is None:
+        return block
+    a, b = rows
+    return block[a - start : b - start]
+
+
+def exec_op(
+    rt: SimRuntime,
+    name: str,
+    kind: str,
+    params: Mapping[str, object],
+    in_specs: Sequence[tuple[tuple[int, int] | None, Sequence[ChunkRef]]],
+    out_specs: Sequence[tuple[int, int, Sequence[ChunkRef]]],
+    flops: float,
+    bytes_accessed: float,
+) -> None:
+    """Execute one offload unit on the simulated device.
+
+    ``in_specs``: per logical input, (rows-or-None, chunk locations).
+    ``out_specs``: per logical output, (r0, r1, chunk destinations).
+    """
+    impl = get_impl(kind)
+    op = Operator(name, kind, (), ("<out>",), dict(params))
+    inputs = [gather_region(rt, chunks, rows) for rows, chunks in in_specs]
+    results = impl.execute(op, inputs)
+    if len(results) != len(out_specs):
+        raise RuntimeError(
+            f"{name}: kernel produced {len(results)} outputs, "
+            f"expected {len(out_specs)}"
+        )
+    for (r0, r1, chunks), arr in zip(out_specs, results):
+        if arr.shape[0] != r1 - r0:
+            raise RuntimeError(
+                f"{name}: output rows {arr.shape[0]} != [{r0},{r1})"
+            )
+        for cname, c0, c1 in chunks:
+            piece = np.ascontiguousarray(arr[c0 - r0 : c1 - r0])
+            rt.malloc(cname, piece.size * FLOAT_BYTES)
+            rt.write_device(cname, piece)
+    rt.launch(name, flops, bytes_accessed)
+
+
+def h2d(
+    rt: SimRuntime,
+    host: dict[str, np.ndarray],
+    name: str,
+    nfloats: int,
+) -> None:
+    rt.malloc(name, nfloats * FLOAT_BYTES)
+    rt.memcpy_h2d(name, host[name])
+
+
+def d2h(rt: SimRuntime, host: dict[str, np.ndarray], name: str) -> None:
+    host[name] = rt.memcpy_d2h(name)
+
+
+def slice_input(
+    host: dict[str, np.ndarray],
+    chunk: str,
+    root: str,
+    r0: int,
+    r1: int,
+) -> None:
+    """Materialise a template-input chunk from its root array."""
+    host[chunk] = np.ascontiguousarray(
+        np.asarray(host[root], dtype=np.float32)[r0:r1]
+    )
+
+
+def stitch_output(
+    host: dict[str, np.ndarray],
+    root: str,
+    chunks: Sequence[ChunkRef],
+) -> None:
+    """Reassemble a chunked template output under its root name."""
+    ordered = sorted(chunks, key=lambda c: c[1])
+    host[root] = np.vstack([host[name] for name, _, _ in ordered])

@@ -1,0 +1,133 @@
+"""The framework's core compilation pipeline (the paper's contribution).
+
+Operator-graph IR, operator splitting, offload-unit identification,
+operator scheduling, data-transfer scheduling, the exact Pseudo-Boolean
+formulation, and the end-to-end Framework driver.
+"""
+
+from .baseline import baseline_plan, baseline_transfer_floats
+from .framework import CompiledTemplate, CompileOptions, Framework, run_template
+from .graph import (
+    DataStructure,
+    GraphError,
+    Operator,
+    OperatorGraph,
+    OutSpec,
+    Slot,
+    op_out_specs,
+    op_slots,
+    output_size,
+    slot_size,
+)
+from .offload import identify_offload_units
+from .pbopt import (
+    PBInfeasibleError,
+    PBScheduleResult,
+    PBScheduler,
+    linear_extensions,
+    pb_joint_optimum,
+    pb_optimal_plan,
+)
+from .planopt import hoist_uploads
+from .plan import (
+    CopyToCPU,
+    CopyToGPU,
+    ExecutionPlan,
+    Free,
+    Launch,
+    PlanError,
+    Step,
+    validate_plan,
+)
+from .scheduling import (
+    SCHEDULERS,
+    bfs_schedule,
+    dfs_naive_schedule,
+    dfs_schedule,
+    get_scheduler,
+    greedy_schedule,
+    topo_schedule,
+)
+from .serialize import (
+    compiled_to_dict,
+    graph_from_dict,
+    graph_to_dict,
+    load_plan,
+    plan_from_dict,
+    plan_to_dict,
+    save_plan,
+)
+from .splitting import (
+    InfeasibleTemplateError,
+    SplitReport,
+    chunk_range,
+    chunks_of,
+    estimate_split,
+    make_feasible,
+    partition_data,
+    select_chunks,
+    split_combine,
+    split_operator,
+)
+from .transfers import TransferScheduler, schedule_transfers
+
+__all__ = [
+    "CompileOptions",
+    "CompiledTemplate",
+    "CopyToCPU",
+    "CopyToGPU",
+    "DataStructure",
+    "ExecutionPlan",
+    "Framework",
+    "Free",
+    "GraphError",
+    "InfeasibleTemplateError",
+    "Launch",
+    "Operator",
+    "OperatorGraph",
+    "OutSpec",
+    "PBInfeasibleError",
+    "PBScheduleResult",
+    "PBScheduler",
+    "PlanError",
+    "SCHEDULERS",
+    "Slot",
+    "SplitReport",
+    "Step",
+    "TransferScheduler",
+    "baseline_plan",
+    "baseline_transfer_floats",
+    "bfs_schedule",
+    "chunk_range",
+    "chunks_of",
+    "compiled_to_dict",
+    "dfs_naive_schedule",
+    "dfs_schedule",
+    "graph_from_dict",
+    "graph_to_dict",
+    "hoist_uploads",
+    "estimate_split",
+    "get_scheduler",
+    "greedy_schedule",
+    "identify_offload_units",
+    "linear_extensions",
+    "load_plan",
+    "make_feasible",
+    "op_out_specs",
+    "op_slots",
+    "output_size",
+    "partition_data",
+    "pb_joint_optimum",
+    "pb_optimal_plan",
+    "plan_from_dict",
+    "plan_to_dict",
+    "run_template",
+    "save_plan",
+    "schedule_transfers",
+    "select_chunks",
+    "slot_size",
+    "split_combine",
+    "split_operator",
+    "topo_schedule",
+    "validate_plan",
+]

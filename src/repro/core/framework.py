@@ -1,0 +1,226 @@
+"""End-to-end GPU execution framework (Figure 4).
+
+Ties the compilation steps together exactly as the paper's flow diagram:
+
+    domain-specific template (operator graph)
+      -> operator splitting             (satisfy GPU memory constraints)
+      -> offload-unit identification    (one operator per unit by default)
+      -> offload + data transfer scheduling
+      -> execution plan
+      -> code generation / plan execution
+
+Re-targeting to a different device or data size is just re-compiling the
+template against different :class:`~repro.gpusim.GpuDevice` parameters —
+the application code does not change (the paper's "performance
+portability" claim).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.gpusim import GpuDevice, HostSystem, SimRuntime
+from repro.runtime.executor import (
+    ExecutionResult,
+    SimulatedRun,
+    execute_plan,
+    simulate_plan,
+)
+
+from .baseline import baseline_plan
+from .graph import OperatorGraph
+from .offload import identify_offload_units
+from .plan import ExecutionPlan, validate_plan
+from .scheduling import get_scheduler
+from .splitting import SplitReport, make_feasible
+from .transfers import schedule_transfers
+
+
+@dataclass(frozen=True)
+class CompileOptions:
+    """Knobs of the compilation pipeline (ablation surface)."""
+
+    scheduler: str = "dfs"  # dfs | dfs_naive | bfs | topo
+    eviction_policy: str = "belady"  # belady | cost | ltu | lru | fifo
+    eager_free: bool = True
+    split: bool = True
+    #: in the out-of-core regime (template footprint > device memory),
+    #: split operators to 1/headroom of capacity instead of just-fitting,
+    #: so a whole row band of the pipeline stays resident and streams.
+    #: 1.0 reproduces the paper's minimal splitting; "auto" compiles a
+    #: small candidate set and keeps the plan with the least transfer
+    #: volume (streaming pipelines prefer finer splits, reuse-heavy
+    #: graphs like CNNs prefer minimal ones).
+    split_headroom: float | str = "auto"
+    #: fuse chains of operators into coarser offload units (Section 3.1
+    #: discusses the trade-off; the paper itself uses one op per unit)
+    fuse_offload_units: bool = False
+
+    def headroom_candidates(self) -> tuple[float, ...]:
+        if self.split_headroom == "auto":
+            return (1.0, 2.0, 4.0)
+        return (float(self.split_headroom),)
+
+
+@dataclass
+class CompiledTemplate:
+    """Result of compiling one template for one device."""
+
+    graph: OperatorGraph  # the (possibly split) working graph
+    plan: ExecutionPlan
+    op_order: list[str]
+    split_report: SplitReport
+    device: GpuDevice
+    host: HostSystem | None
+    options: CompileOptions
+    peak_device_floats: int = 0
+    fused_units: int = 0
+
+    def transfer_floats(self) -> int:
+        return self.plan.transfer_floats(self.graph)
+
+    def summary(self) -> dict[str, object]:
+        s: dict[str, object] = dict(self.plan.summary(self.graph))
+        s.update(
+            device=self.device.name,
+            operators=len(self.graph.ops),
+            split_ops=len(self.split_report.split_ops),
+            peak_device_floats=self.peak_device_floats,
+        )
+        return s
+
+
+class Framework:
+    """The proposed GPU execution framework, bound to one target platform."""
+
+    def __init__(
+        self,
+        device: GpuDevice,
+        host: HostSystem | None = None,
+        options: CompileOptions | None = None,
+    ) -> None:
+        self.device = device
+        self.host = host
+        self.options = options or CompileOptions()
+
+    # -- compilation -----------------------------------------------------------
+    def compile(self, template: OperatorGraph) -> CompiledTemplate:
+        """Produce an optimized, validated execution plan for the template.
+
+        With ``split_headroom="auto"`` (the default) several split
+        granularities are compiled and the plan with the least transfer
+        volume wins — transfer volume is a static property of the plan,
+        so the selection costs only compile time, never execution time.
+        """
+        capacity = self.device.usable_memory_floats
+        out_of_core = (
+            self.options.split
+            and template.total_data_size() > capacity
+        )
+        candidates = (
+            self.options.headroom_candidates() if out_of_core else (1.0,)
+        )
+        best: CompiledTemplate | None = None
+        for headroom in candidates:
+            compiled = self._compile_once(template, capacity, headroom)
+            if best is None or (
+                compiled.transfer_floats(),
+                len(compiled.plan.launches()),
+            ) < (best.transfer_floats(), len(best.plan.launches())):
+                best = compiled
+        assert best is not None
+        return best
+
+    def _compile_once(
+        self,
+        template: OperatorGraph,
+        capacity: int,
+        headroom: float,
+    ) -> CompiledTemplate:
+        opts = self.options
+        graph = template.copy()
+        if opts.split:
+            split_cap = capacity
+            if headroom > 1.0 and graph.total_data_size() > capacity:
+                split_cap = max(1, int(capacity / headroom))
+            report = make_feasible(graph, split_cap)
+        else:
+            report = SplitReport()
+        fused = 0
+        if opts.fuse_offload_units:
+            fused = identify_offload_units(graph, capacity)
+        scheduler = get_scheduler(opts.scheduler)
+        op_order = scheduler(graph)
+        plan = schedule_transfers(
+            graph,
+            op_order,
+            capacity,
+            policy=opts.eviction_policy,
+            eager_free=opts.eager_free,
+        )
+        peak = validate_plan(plan, graph, capacity)
+        return CompiledTemplate(
+            graph=graph,
+            plan=plan,
+            op_order=op_order,
+            split_report=report,
+            device=self.device,
+            host=self.host,
+            options=opts,
+            peak_device_floats=peak,
+            fused_units=fused,
+        )
+
+    def compile_baseline(self, template: OperatorGraph) -> CompiledTemplate:
+        """The paper's baseline plan for the same template (unsplit)."""
+        graph = template.copy()
+        capacity = self.device.usable_memory_floats
+        plan = baseline_plan(graph, capacity)
+        op_order = plan.launches()
+        peak = validate_plan(plan, graph, capacity)
+        return CompiledTemplate(
+            graph=graph,
+            plan=plan,
+            op_order=op_order,
+            split_report=SplitReport(),
+            device=self.device,
+            host=self.host,
+            options=CompileOptions(split=False),
+            peak_device_floats=peak,
+        )
+
+    # -- execution --------------------------------------------------------------
+    def execute(
+        self,
+        compiled: CompiledTemplate,
+        template_inputs: Mapping[str, np.ndarray],
+    ) -> ExecutionResult:
+        """Numerically run a compiled template on the simulated device."""
+        runtime = SimRuntime(self.device, self.host)
+        return execute_plan(compiled.plan, compiled.graph, runtime, template_inputs)
+
+    def simulate(self, compiled: CompiledTemplate) -> SimulatedRun:
+        """Analytically time a compiled template (paper-scale workloads)."""
+        return simulate_plan(
+            compiled.plan, compiled.graph, self.device, self.host
+        )
+
+
+def run_template(
+    template: OperatorGraph,
+    template_inputs: Mapping[str, np.ndarray],
+    device: GpuDevice,
+    host: HostSystem | None = None,
+    options: CompileOptions | None = None,
+) -> ExecutionResult:
+    """One-call convenience API: compile + execute a template.
+
+    This is the "parametrized API" face of the framework that the paper
+    argues domain experts should program against.
+    """
+    fw = Framework(device, host, options)
+    compiled = fw.compile(template)
+    return fw.execute(compiled, template_inputs)

@@ -1,0 +1,407 @@
+"""Parallel operator graph IR.
+
+The framework's input representation (Section 3.1): a template is a
+directed bipartite graph of *operators* (parallel computations, the
+ellipses in Figure 1(b)) and *data structures* (rectangles).  Memory
+footprints are statically defined — every data structure carries its
+shape, and an operator's footprint is the total size of the data
+structures it touches — which is the property the whole compilation
+pipeline (splitting, offload scheduling, transfer scheduling) relies on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+
+@dataclass
+class DataStructure:
+    """One array-valued vertex.
+
+    ``parent``/``row_range`` mark chunks created by operator splitting:
+    a chunk covers rows ``[row_range[0], row_range[1])`` of the logical
+    parent array (splitting is along the leading axis, Section 3.2).
+    A ``virtual`` data structure has been fully replaced by its chunks:
+    it is kept for metadata but is never transferred or resident.
+    """
+
+    name: str
+    shape: tuple[int, ...]
+    is_input: bool = False
+    is_output: bool = False
+    parent: str | None = None
+    row_range: tuple[int, int] | None = None
+    virtual: bool = False
+
+    def __post_init__(self) -> None:
+        self.shape = tuple(int(s) for s in self.shape)
+        if any(s < 0 for s in self.shape):
+            raise ValueError(f"{self.name}: negative dimension in {self.shape}")
+
+    @property
+    def size(self) -> int:
+        """Number of floats."""
+        return math.prod(self.shape) if self.shape else 1
+
+    @property
+    def rows(self) -> int:
+        return self.shape[0] if self.shape else 1
+
+
+@dataclass
+class Operator:
+    """One parallel computation vertex.
+
+    ``kind`` selects the implementation from the operator library
+    (:mod:`repro.ops`); ``params`` carries kind-specific attributes
+    (e.g. the region of the logical input a split part must read).
+    """
+
+    name: str
+    kind: str
+    inputs: tuple[str, ...]
+    outputs: tuple[str, ...]
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.inputs = tuple(self.inputs)
+        self.outputs = tuple(self.outputs)
+        if not self.outputs:
+            raise ValueError(f"operator {self.name} has no outputs")
+
+    def touched(self) -> tuple[str, ...]:
+        """All data structures read or written, without duplicates."""
+        seen: dict[str, None] = {}
+        for n in self.inputs + self.outputs:
+            seen.setdefault(n)
+        return tuple(seen)
+
+
+@dataclass
+class Slot:
+    """Normalised view of one *logical* input of an operator.
+
+    ``root`` names the logical array, ``rows`` the row range of it this
+    operator reads (``None`` = all of it, e.g. a convolution kernel), and
+    ``chunks`` the concrete data structures currently holding those rows.
+    Unsplit operators have the identity structure (one chunk = the root).
+    """
+
+    root: str
+    rows: tuple[int, int] | None
+    chunks: list[str]
+
+
+@dataclass
+class OutSpec:
+    """Normalised view of one *logical* output of an operator.
+
+    The operator computes rows ``rng`` of the logical array ``root`` and
+    scatters them into the listed ``(chunk_name, (r0, r1))`` pieces.
+    """
+
+    root: str
+    rng: tuple[int, int]
+    chunks: list[tuple[str, tuple[int, int]]]
+
+
+def op_slots(op: "Operator", graph: "OperatorGraph") -> list[Slot]:
+    """The operator's slot structure, defaulting to the identity."""
+    slots = op.params.get("slots")
+    if slots is not None:
+        return slots
+    return [Slot(root=d, rows=None, chunks=[d]) for d in op.inputs]
+
+
+def op_out_specs(op: "Operator", graph: "OperatorGraph") -> list[OutSpec]:
+    """The operator's output structure, defaulting to the identity."""
+    specs = op.params.get("out_specs")
+    if specs is not None:
+        return specs
+    out = []
+    for d in op.outputs:
+        rows = graph.data[d].rows
+        out.append(OutSpec(root=d, rng=(0, rows), chunks=[(d, (0, rows))]))
+    return out
+
+
+def slot_size(op: "Operator", graph: "OperatorGraph", idx: int) -> int:
+    """Floats in the logical region read through slot ``idx``."""
+    slot = op_slots(op, graph)[idx]
+    root = graph.data[slot.root]
+    if slot.rows is None:
+        return root.size
+    r0, r1 = slot.rows
+    per_row = root.size // max(root.rows, 1)
+    return (r1 - r0) * per_row
+
+
+def output_size(op: "Operator", graph: "OperatorGraph") -> int:
+    """Total floats written by the operator (sum over output chunks)."""
+    return sum(graph.data[d].size for d in op.outputs)
+
+
+class GraphError(ValueError):
+    """Structural error in an operator graph."""
+
+
+class OperatorGraph:
+    """A mutable parallel-operator-graph with dependency indexes.
+
+    Insertion order is preserved and used as the deterministic tiebreak
+    in every traversal, so compilation is reproducible.
+    """
+
+    def __init__(self, name: str = "template") -> None:
+        self.name = name
+        self.data: dict[str, DataStructure] = {}
+        self.ops: dict[str, Operator] = {}
+        self.producer: dict[str, str] = {}  # data -> producing op
+        self.consumers: dict[str, list[str]] = {}  # data -> consuming ops
+        self.children: dict[str, list[str]] = {}  # root -> chunk names
+
+    # -- construction -----------------------------------------------------
+    def add_data(
+        self,
+        name: str,
+        shape: Iterable[int],
+        *,
+        is_input: bool = False,
+        is_output: bool = False,
+        parent: str | None = None,
+        row_range: tuple[int, int] | None = None,
+        virtual: bool = False,
+    ) -> DataStructure:
+        if name in self.data:
+            raise GraphError(f"duplicate data structure {name!r}")
+        ds = DataStructure(
+            name=name,
+            shape=tuple(shape),
+            is_input=is_input,
+            is_output=is_output,
+            parent=parent,
+            row_range=row_range,
+            virtual=virtual,
+        )
+        self.data[name] = ds
+        self.consumers.setdefault(name, [])
+        if parent is not None:
+            self.children.setdefault(parent, []).append(name)
+        return ds
+
+    def add_operator(
+        self,
+        name: str,
+        kind: str,
+        inputs: Iterable[str],
+        outputs: Iterable[str],
+        **params: Any,
+    ) -> Operator:
+        if name in self.ops:
+            raise GraphError(f"duplicate operator {name!r}")
+        op = Operator(name, kind, tuple(inputs), tuple(outputs), params)
+        for d in op.inputs:
+            if d not in self.data:
+                raise GraphError(f"operator {name}: unknown input {d!r}")
+        for d in op.outputs:
+            if d not in self.data:
+                raise GraphError(f"operator {name}: unknown output {d!r}")
+            if d in self.producer:
+                raise GraphError(
+                    f"data {d!r} already produced by {self.producer[d]!r}"
+                )
+            if self.data[d].is_input:
+                raise GraphError(f"template input {d!r} cannot be an output")
+        self.ops[name] = op
+        for d in op.outputs:
+            self.producer[d] = name
+        for d in op.inputs:
+            self.consumers[d].append(name)
+        return op
+
+    def remove_operator(self, name: str) -> Operator:
+        op = self.ops.pop(name)
+        for d in op.outputs:
+            del self.producer[d]
+        for d in op.inputs:
+            self.consumers[d].remove(name)
+        return op
+
+    def set_op_io(
+        self,
+        op_name: str,
+        inputs: Iterable[str],
+        outputs: Iterable[str],
+    ) -> None:
+        """Rewire an operator's inputs/outputs, keeping indexes consistent."""
+        op = self.ops[op_name]
+        for d in op.outputs:
+            del self.producer[d]
+        for d in op.inputs:
+            self.consumers[d].remove(op_name)
+        new_in = tuple(dict.fromkeys(inputs))
+        new_out = tuple(dict.fromkeys(outputs))
+        for d in new_in:
+            if d not in self.data:
+                raise GraphError(f"set_op_io({op_name}): unknown input {d!r}")
+        for d in new_out:
+            if d not in self.data:
+                raise GraphError(f"set_op_io({op_name}): unknown output {d!r}")
+            if d in self.producer:
+                raise GraphError(
+                    f"set_op_io({op_name}): {d!r} already produced by "
+                    f"{self.producer[d]!r}"
+                )
+        op.inputs = new_in
+        op.outputs = new_out
+        for d in new_out:
+            self.producer[d] = op_name
+        for d in new_in:
+            self.consumers[d].append(op_name)
+
+    def remove_data(self, name: str) -> DataStructure:
+        if name in self.producer:
+            raise GraphError(f"cannot remove {name!r}: produced by an operator")
+        if self.consumers.get(name):
+            raise GraphError(f"cannot remove {name!r}: still consumed")
+        self.consumers.pop(name, None)
+        ds = self.data.pop(name)
+        if ds.parent is not None:
+            self.children[ds.parent].remove(name)
+        return ds
+
+    # -- dependency structure -----------------------------------------------
+    def op_predecessors(self, op_name: str) -> list[str]:
+        """Operators producing any input of ``op_name`` (deduplicated)."""
+        out: dict[str, None] = {}
+        for d in self.ops[op_name].inputs:
+            p = self.producer.get(d)
+            if p is not None:
+                out.setdefault(p)
+        return list(out)
+
+    def op_successors(self, op_name: str) -> list[str]:
+        """Operators consuming any output of ``op_name`` (deduplicated)."""
+        out: dict[str, None] = {}
+        for d in self.ops[op_name].outputs:
+            for c in self.consumers.get(d, ()):
+                out.setdefault(c)
+        return list(out)
+
+    def roots(self) -> list[str]:
+        """Operators with no operator predecessors."""
+        return [o for o in self.ops if not self.op_predecessors(o)]
+
+    def leaves(self) -> list[str]:
+        return [o for o in self.ops if not self.op_successors(o)]
+
+    def template_inputs(self) -> list[str]:
+        return [d for d, ds in self.data.items() if ds.is_input]
+
+    def template_outputs(self) -> list[str]:
+        return [d for d, ds in self.data.items() if ds.is_output]
+
+    # -- traversal -------------------------------------------------------------
+    def topological_order(self) -> list[str]:
+        """Kahn's algorithm; raises on cycles; insertion-order tiebreak."""
+        indeg = {o: len(self.op_predecessors(o)) for o in self.ops}
+        ready = [o for o in self.ops if indeg[o] == 0]
+        order: list[str] = []
+        while ready:
+            op = ready.pop(0)
+            order.append(op)
+            for s in self.op_successors(op):
+                indeg[s] -= 1
+                if indeg[s] == 0:
+                    ready.append(s)
+        if len(order) != len(self.ops):
+            raise GraphError(f"cycle detected in graph {self.name!r}")
+        return order
+
+    def validate(self) -> None:
+        """Check the invariants the compilation pipeline relies on."""
+        for d, ds in self.data.items():
+            if ds.virtual:
+                if d in self.producer or self.consumers.get(d):
+                    raise GraphError(f"virtual data {d!r} still wired to operators")
+                continue
+            if not ds.is_input and d not in self.producer:
+                if not self.consumers.get(d):
+                    raise GraphError(f"orphan data structure {d!r}")
+                raise GraphError(
+                    f"data {d!r} consumed but never produced and not an input"
+                )
+            if ds.is_input and d in self.producer:
+                raise GraphError(f"template input {d!r} has a producer")
+            if ds.parent is not None and ds.row_range is None:
+                raise GraphError(f"chunk {d!r} lacks a row_range")
+            if ds.row_range is not None:
+                r0, r1 = ds.row_range
+                if not 0 <= r0 < r1:
+                    raise GraphError(f"chunk {d!r}: bad row_range {ds.row_range}")
+        self.topological_order()  # raises on cycles
+
+    # -- analysis ---------------------------------------------------------------
+    def op_footprint(self, op_name: str) -> int:
+        """Memory footprint of one operator in floats (Section 3.2 step 1)."""
+        return sum(self.data[d].size for d in self.ops[op_name].touched())
+
+    def max_footprint(self) -> int:
+        return max((self.op_footprint(o) for o in self.ops), default=0)
+
+    def total_data_size(self) -> int:
+        """Total size of all concrete data structures (template footprint)."""
+        return sum(ds.size for ds in self.data.values() if not ds.virtual)
+
+    def io_size(self) -> int:
+        """Template inputs + outputs: the transfer lower bound of Table 1."""
+        return sum(
+            ds.size
+            for ds in self.data.values()
+            if not ds.virtual and (ds.is_input or ds.is_output)
+        )
+
+    def copy(self, name: str | None = None) -> "OperatorGraph":
+        """Deep copy (compilation passes mutate graphs; templates stay pristine)."""
+        import copy as _copy
+
+        g = OperatorGraph(name or self.name)
+        for d, ds in self.data.items():
+            g.data[d] = _copy.deepcopy(ds)
+            g.consumers[d] = list(self.consumers.get(d, ()))
+        for o, op in self.ops.items():
+            g.ops[o] = Operator(
+                op.name, op.kind, op.inputs, op.outputs, _copy.deepcopy(op.params)
+            )
+        g.producer = dict(self.producer)
+        g.children = {k: list(v) for k, v in self.children.items()}
+        return g
+
+    # -- misc -----------------------------------------------------------------
+    def fresh_name(self, base: str) -> str:
+        """A data/operator name not yet used, derived from ``base``."""
+        if base not in self.data and base not in self.ops:
+            return base
+        i = 1
+        while True:
+            cand = f"{base}#{i}"
+            if cand not in self.data and cand not in self.ops:
+                return cand
+            i += 1
+
+    def __iter__(self) -> Iterator[Operator]:
+        return iter(self.ops.values())
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "operators": len(self.ops),
+            "data_structures": len(self.data),
+            "total_floats": self.total_data_size(),
+            "max_op_footprint": self.max_footprint(),
+            "io_floats": self.io_size(),
+        }

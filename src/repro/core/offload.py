@@ -1,0 +1,142 @@
+"""Offload-unit identification (Section 3.1, step 3).
+
+"The next step is to partition the operator graph into offload units, or
+sub-graphs that are atomically offloaded onto the GPU. ... In our
+implementation, the individual operators are taken to be the offload
+units."  The default therefore does nothing; :func:`identify_offload_units`
+implements the coarsening the paper discusses: greedily fuse
+producer/consumer chains into single offload units while the fused
+footprint (including the now-internal intermediates) still fits device
+memory.
+
+Fusion is restricted to *unsplit* operators (identity slot structure):
+split parts already carry chunked region metadata that must stay visible
+to the transfer scheduler.
+"""
+
+from __future__ import annotations
+
+from repro.ops import get_impl
+
+from .graph import GraphError, OperatorGraph
+
+
+def _fusable(graph: OperatorGraph, name: str) -> bool:
+    op = graph.ops[name]
+    if "slots" in op.params or "out_specs" in op.params:
+        return False
+    impl = get_impl(op.kind)
+    return impl is not None
+
+
+def _chain_candidate(graph: OperatorGraph, a: str) -> str | None:
+    """Return b when (a -> b) is a fusable producer/consumer chain."""
+    op_a = graph.ops[a]
+    succs = graph.op_successors(a)
+    if len(succs) != 1:
+        return None
+    b = succs[0]
+    # Every output of a must be consumed only by b and not needed outside.
+    for d in op_a.outputs:
+        if graph.data[d].is_output:
+            return None
+        if set(graph.consumers.get(d, ())) != {b}:
+            return None
+    if not (_fusable(graph, a) and _fusable(graph, b)):
+        return None
+    return b
+
+
+def _fuse_pair(graph: OperatorGraph, a: str, b: str) -> str:
+    """Replace operators a and b with one fused offload unit."""
+    op_a, op_b = graph.ops[a], graph.ops[b]
+    internal = list(op_a.outputs)
+    ext_inputs = list(
+        dict.fromkeys(
+            list(op_a.inputs)
+            + [d for d in op_b.inputs if d not in internal]
+        )
+    )
+    outputs = list(op_b.outputs)
+    # Private sub-graph: internal data plus boundary data marked as its
+    # template inputs/outputs.
+    sub = OperatorGraph(f"fused({a},{b})")
+    for d in ext_inputs:
+        sub.add_data(d, graph.data[d].shape, is_input=True)
+    for d in internal:
+        sub.add_data(d, graph.data[d].shape)
+    for d in outputs:
+        sub.add_data(d, graph.data[d].shape, is_output=True)
+    if op_a.kind == "fused":
+        _inline(sub, op_a)
+    else:
+        sub.add_operator(a, op_a.kind, op_a.inputs, op_a.outputs, **op_a.params)
+    if op_b.kind == "fused":
+        _inline(sub, op_b)
+    else:
+        sub.add_operator(b, op_b.kind, op_b.inputs, op_b.outputs, **op_b.params)
+    internal_floats = sum(graph.data[d].size for d in internal)
+    if op_a.kind == "fused":
+        internal_floats += op_a.params.get("internal_floats", 0)
+    if op_b.kind == "fused":
+        internal_floats += op_b.params.get("internal_floats", 0)
+    graph.remove_operator(a)
+    graph.remove_operator(b)
+    for d in internal:
+        graph.remove_data(d)
+    name = graph.fresh_name(f"fuse({a}+{b})")
+    graph.add_operator(
+        name,
+        "fused",
+        ext_inputs,
+        outputs,
+        subgraph=sub,
+        input_names=ext_inputs,
+        output_names=outputs,
+        internal_floats=internal_floats,
+    )
+    return name
+
+
+def _inline(sub: OperatorGraph, fused_op) -> None:
+    """Copy a fused operator's sub-graph into another sub-graph."""
+    inner: OperatorGraph = fused_op.params["subgraph"]
+    for d, ds in inner.data.items():
+        if d not in sub.data:
+            sub.add_data(d, ds.shape)
+    for o, op in inner.ops.items():
+        sub.add_operator(o, op.kind, op.inputs, op.outputs, **op.params)
+
+
+def identify_offload_units(graph: OperatorGraph, capacity_floats: int) -> int:
+    """Greedy chain fusion under the device memory cap; returns #fusions.
+
+    The fused unit's footprint counts external inputs/outputs *and* the
+    internal intermediates: the whole unit must execute atomically within
+    device memory.
+    """
+    fused = 0
+    changed = True
+    while changed:
+        changed = False
+        for a in list(graph.ops):
+            if a not in graph.ops:
+                continue
+            b = _chain_candidate(graph, a)
+            if b is None:
+                continue
+            op_a, op_b = graph.ops[a], graph.ops[b]
+            internal = sum(graph.data[d].size for d in op_a.outputs)
+            ext = set(op_a.inputs) | set(op_b.inputs) | set(op_b.outputs)
+            ext -= set(op_a.outputs)
+            footprint = sum(graph.data[d].size for d in ext) + internal
+            footprint += op_a.params.get("internal_floats", 0)
+            footprint += op_b.params.get("internal_floats", 0)
+            if footprint > capacity_floats:
+                continue
+            _fuse_pair(graph, a, b)
+            fused += 1
+            changed = True
+    if fused:
+        graph.validate()
+    return fused

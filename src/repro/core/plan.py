@@ -1,0 +1,192 @@
+"""Execution plans.
+
+"The execution sequence of operators on the GPU, and data transfers to
+and from the GPU memory, is referred to as an execution plan" (Section
+3.3.2, example).  A plan is a flat list of typed steps:
+
+* ``CopyToGPU(data)`` — host-to-device transfer (allocates on device)
+* ``CopyToCPU(data)`` — device-to-host transfer (device copy remains)
+* ``Launch(op)``      — execute one offload unit; allocates its outputs
+* ``Free(data)``      — release the device copy without transferring
+
+Plans are validated symbolically (:func:`validate_plan`) before they are
+handed to the code generator or the simulator-backed executor: memory
+stays within capacity at every step, every launch has its inputs
+resident and its dependencies executed, and every template output ends
+up in host memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .graph import OperatorGraph
+
+
+class PlanError(RuntimeError):
+    """An execution plan violates feasibility or correctness invariants."""
+
+
+@dataclass(frozen=True)
+class Step:
+    """Base class for plan steps."""
+
+
+@dataclass(frozen=True)
+class CopyToGPU(Step):
+    data: str
+
+    def __str__(self) -> str:
+        return f"h2d  {self.data}"
+
+
+@dataclass(frozen=True)
+class CopyToCPU(Step):
+    data: str
+
+    def __str__(self) -> str:
+        return f"d2h  {self.data}"
+
+
+@dataclass(frozen=True)
+class Launch(Step):
+    op: str
+
+    def __str__(self) -> str:
+        return f"exec {self.op}"
+
+
+@dataclass(frozen=True)
+class Free(Step):
+    data: str
+
+    def __str__(self) -> str:
+        return f"free {self.data}"
+
+
+@dataclass
+class ExecutionPlan:
+    """An ordered offload/transfer schedule for one template + device."""
+
+    steps: list[Step] = field(default_factory=list)
+    capacity_floats: int = 0
+    label: str = ""
+
+    def __iter__(self) -> Iterator[Step]:
+        return iter(self.steps)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    # -- accounting -----------------------------------------------------------
+    def h2d_floats(self, graph: OperatorGraph) -> int:
+        return sum(
+            graph.data[s.data].size for s in self.steps if isinstance(s, CopyToGPU)
+        )
+
+    def d2h_floats(self, graph: OperatorGraph) -> int:
+        return sum(
+            graph.data[s.data].size for s in self.steps if isinstance(s, CopyToCPU)
+        )
+
+    def transfer_floats(self, graph: OperatorGraph) -> int:
+        """Total floats moved either way: the paper's Table 1 metric."""
+        return self.h2d_floats(graph) + self.d2h_floats(graph)
+
+    def launches(self) -> list[str]:
+        return [s.op for s in self.steps if isinstance(s, Launch)]
+
+    def summary(self, graph: OperatorGraph) -> dict[str, int]:
+        return {
+            "steps": len(self.steps),
+            "launches": len(self.launches()),
+            "h2d_floats": self.h2d_floats(graph),
+            "d2h_floats": self.d2h_floats(graph),
+            "transfer_floats": self.transfer_floats(graph),
+        }
+
+    def pretty(self) -> str:
+        return "\n".join(str(s) for s in self.steps)
+
+
+def validate_plan(
+    plan: ExecutionPlan,
+    graph: OperatorGraph,
+    capacity_floats: int | None = None,
+) -> int:
+    """Check a plan against the graph; returns peak device usage in floats.
+
+    Raises :class:`PlanError` on: device over-capacity, launching with a
+    missing input or unexecuted dependency, copying data that is not
+    where the step claims, double-launching, or finishing with a template
+    output not in host memory.
+    """
+    cap = capacity_floats if capacity_floats is not None else plan.capacity_floats
+    on_gpu: dict[str, int] = {}
+    on_cpu: set[str] = {
+        d for d, ds in graph.data.items() if ds.is_input and not ds.virtual
+    }
+    executed: set[str] = set()
+    peak = 0
+    used = 0
+    for i, step in enumerate(plan.steps):
+        if isinstance(step, CopyToGPU):
+            d = step.data
+            if d in on_gpu:
+                raise PlanError(f"step {i}: h2d of {d!r} already on device")
+            if d not in on_cpu:
+                raise PlanError(f"step {i}: h2d of {d!r} not in host memory")
+            size = graph.data[d].size
+            on_gpu[d] = size
+            used += size
+        elif isinstance(step, CopyToCPU):
+            d = step.data
+            if d not in on_gpu:
+                raise PlanError(f"step {i}: d2h of {d!r} not on device")
+            on_cpu.add(d)
+        elif isinstance(step, Free):
+            d = step.data
+            if d not in on_gpu:
+                raise PlanError(f"step {i}: free of {d!r} not on device")
+            used -= on_gpu.pop(d)
+        elif isinstance(step, Launch):
+            op = graph.ops.get(step.op)
+            if op is None:
+                raise PlanError(f"step {i}: unknown operator {step.op!r}")
+            if step.op in executed:
+                raise PlanError(f"step {i}: operator {step.op!r} launched twice")
+            for p in graph.op_predecessors(step.op):
+                if p not in executed:
+                    raise PlanError(
+                        f"step {i}: {step.op!r} launched before dependency {p!r}"
+                    )
+            for d in op.inputs:
+                if d not in on_gpu:
+                    raise PlanError(
+                        f"step {i}: {step.op!r} input {d!r} not resident"
+                    )
+            for d in op.outputs:
+                if d in on_gpu:
+                    raise PlanError(
+                        f"step {i}: {step.op!r} output {d!r} already resident"
+                    )
+                size = graph.data[d].size
+                on_gpu[d] = size
+                used += size
+                on_cpu.discard(d)  # device result supersedes any host copy
+            executed.add(step.op)
+        else:  # pragma: no cover - defensive
+            raise PlanError(f"step {i}: unknown step type {type(step).__name__}")
+        if cap and used > cap:
+            raise PlanError(
+                f"step {i}: device memory {used} floats exceeds capacity {cap}"
+            )
+        peak = max(peak, used)
+    missing_ops = set(graph.ops) - executed
+    if missing_ops:
+        raise PlanError(f"plan never executes {sorted(missing_ops)[:5]} ...")
+    for d, ds in graph.data.items():
+        if ds.is_output and not ds.virtual and d not in on_cpu:
+            raise PlanError(f"template output {d!r} not in host memory at end")
+    return peak

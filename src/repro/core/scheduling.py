@@ -1,0 +1,182 @@
+"""Operator scheduling heuristics (Section 3.3.1).
+
+The paper adopts a depth-first schedule "to maximize data reuse so that
+we need not transfer things back and forth between the CPU and GPU": the
+entire sub-tree of a child is scheduled before its sibling, backtracking
+when precedence constraints are unmet.  BFS and plain topological
+schedules are provided as ablation baselines (the DFS-vs-BFS transfer
+gap is one of the design choices DESIGN.md benchmarks).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .graph import GraphError, OperatorGraph
+
+
+def _row_band_key(graph: OperatorGraph, op_name: str) -> tuple[int, int]:
+    """Sort key grouping split parts by the row band they produce.
+
+    Visiting roots band-by-band (all operators covering rows [0,k) before
+    any operator of the next band) lets depth-first exploration complete a
+    whole band of the pipeline — producing, consuming and retiring its
+    chunks — before starting the next, which is what keeps out-of-core
+    transfer volume near the I/O bound.  Unsplit operators all map to
+    band 0, so the order degenerates to insertion order on unsplit graphs.
+    """
+    op = graph.ops[op_name]
+    rng = op.params.get("out_range")
+    start = rng[0] if rng else 0
+    return (start, list(graph.ops).index(op_name))
+
+
+def _dfs(graph: OperatorGraph, roots: list[str]) -> list[str]:
+    scheduled: set[str] = set()
+    order: list[str] = []
+    preds = {o: graph.op_predecessors(o) for o in graph.ops}
+    stack = list(reversed(roots))
+    while stack:
+        op = stack.pop()
+        if op in scheduled:
+            continue
+        if any(p not in scheduled for p in preds[op]):
+            continue  # precedence not met: backtrack
+        scheduled.add(op)
+        order.append(op)
+        stack.extend(reversed(graph.op_successors(op)))
+    if len(order) != len(graph.ops):
+        raise GraphError(
+            f"dfs_schedule covered {len(order)}/{len(graph.ops)} operators "
+            "(graph not reachable from roots?)"
+        )
+    return order
+
+
+def dfs_schedule(graph: OperatorGraph) -> list[str]:
+    """The paper's depth-first operator schedule, band-ordered roots.
+
+    Iterative pre-order DFS from the root operators: an operator is
+    scheduled the first time it is visited with all its predecessors
+    already scheduled; otherwise the visit "backtracks" (the operator
+    will be revisited as a successor of its last-scheduled predecessor,
+    which guarantees completion on DAGs).  Root operators are visited in
+    row-band order (see :func:`_row_band_key`); use
+    :func:`dfs_naive_schedule` for plain insertion-order roots.
+    """
+    idx = {o: i for i, o in enumerate(graph.ops)}
+    roots = sorted(
+        graph.roots(),
+        key=lambda o: (
+            (graph.ops[o].params.get("out_range") or (0, 0))[0],
+            idx[o],
+        ),
+    )
+    return _dfs(graph, roots)
+
+
+def dfs_naive_schedule(graph: OperatorGraph) -> list[str]:
+    """Depth-first schedule with insertion-order roots (ablation)."""
+    return _dfs(graph, graph.roots())
+
+
+def greedy_schedule(graph: OperatorGraph) -> list[str]:
+    """Transfer-aware greedy schedule — the improvement the paper notes.
+
+    Section 3.3.1 on the DFS heuristic: "The drawback of the approach is
+    that the operator schedule does not take into account the GPU memory
+    limitations at all ... there is scope for improvement by using
+    information about the available GPU memory."  This scheduler uses
+    that information's proxy: it maintains the set of values that would
+    be live on the device and, among ready operators, runs the one that
+    (a) needs the least non-live input volume fetched, then (b) retires
+    the most live bytes (inputs whose last use it is), then (c) follows
+    DFS order — locality-first with explicit transfer awareness.
+    """
+    preds = {o: set(graph.op_predecessors(o)) for o in graph.ops}
+    remaining_reads = {d: len(cons) for d, cons in graph.consumers.items()}
+    dfs_pos = {o: i for i, o in enumerate(dfs_schedule(graph))}
+    live: set[str] = set()
+    scheduled: set[str] = set()
+    ready = {o for o, p in preds.items() if not p}
+    order: list[str] = []
+    while ready:
+        def cost(o: str):
+            op = graph.ops[o]
+            fetch = sum(
+                graph.data[d].size for d in set(op.inputs) if d not in live
+            )
+            freed = sum(
+                graph.data[d].size
+                for d in set(op.inputs)
+                if d in live and remaining_reads[d] == 1
+            )
+            return (fetch, -freed, dfs_pos[o])
+
+        chosen = min(ready, key=cost)
+        ready.discard(chosen)
+        scheduled.add(chosen)
+        order.append(chosen)
+        op = graph.ops[chosen]
+        for d in set(op.inputs):
+            remaining_reads[d] -= 1
+            if remaining_reads[d] == 0 and not graph.data[d].is_output:
+                live.discard(d)
+        for d in op.outputs:
+            if graph.consumers.get(d) or graph.data[d].is_output:
+                live.add(d)
+        for s in graph.op_successors(chosen):
+            if s not in scheduled and preds[s] <= scheduled:
+                ready.add(s)
+    if len(order) != len(graph.ops):
+        raise GraphError("greedy_schedule did not cover all operators")
+    return order
+
+
+def bfs_schedule(graph: OperatorGraph) -> list[str]:
+    """Breadth-first (level-order) schedule — ablation baseline.
+
+    Schedules all operators of one dependency level before the next,
+    which maximises the set of simultaneously-live intermediates (the
+    worst case for transfer volume under tight memory).
+    """
+    scheduled: set[str] = set()
+    order: list[str] = []
+    preds = {o: graph.op_predecessors(o) for o in graph.ops}
+    queue = deque(graph.roots())
+    while queue:
+        op = queue.popleft()
+        if op in scheduled:
+            continue
+        if any(p not in scheduled for p in preds[op]):
+            queue.append(op)  # rotate until its predecessors ran
+            continue
+        scheduled.add(op)
+        order.append(op)
+        queue.extend(graph.op_successors(op))
+    if len(order) != len(graph.ops):
+        raise GraphError("bfs_schedule did not cover all operators")
+    return order
+
+
+def topo_schedule(graph: OperatorGraph) -> list[str]:
+    """Kahn topological order with insertion-order tiebreak (ablation)."""
+    return graph.topological_order()
+
+
+SCHEDULERS = {
+    "dfs": dfs_schedule,
+    "dfs_naive": dfs_naive_schedule,
+    "greedy": greedy_schedule,
+    "bfs": bfs_schedule,
+    "topo": topo_schedule,
+}
+
+
+def get_scheduler(name: str):
+    try:
+        return SCHEDULERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown operator scheduler {name!r}; known: {sorted(SCHEDULERS)}"
+        ) from None

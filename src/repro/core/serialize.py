@@ -1,0 +1,207 @@
+"""Serialization of graphs and execution plans (JSON).
+
+An execution plan is the compiler's product; persisting it decouples
+compilation from execution ("compile once, deploy to the runtime
+library"), enables inspection/diffing of plans, and gives the generated
+programs a stable sidecar format.  Everything the executor needs — the
+split graph (including slot/out-spec region metadata) and the step
+sequence — round-trips losslessly.
+
+Fused offload units carry a private sub-graph in their params; it is
+serialized recursively.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .framework import CompiledTemplate, CompileOptions
+from .graph import DataStructure, OperatorGraph, OutSpec, Slot
+from .plan import CopyToCPU, CopyToGPU, ExecutionPlan, Free, Launch, Step
+
+FORMAT_VERSION = 1
+
+_STEP_TYPES = {
+    "h2d": CopyToGPU,
+    "d2h": CopyToCPU,
+    "exec": Launch,
+    "free": Free,
+}
+
+
+# ---------------------------------------------------------------------------
+# Graph <-> dict
+# ---------------------------------------------------------------------------
+def _params_to_dict(params: dict[str, Any]) -> dict[str, Any]:
+    out: dict[str, Any] = {}
+    for key, value in params.items():
+        if key == "slots":
+            out[key] = [
+                {"root": s.root, "rows": s.rows, "chunks": list(s.chunks)}
+                for s in value
+            ]
+        elif key == "out_specs":
+            out[key] = [
+                {
+                    "root": s.root,
+                    "rng": list(s.rng),
+                    "chunks": [[n, list(r)] for n, r in s.chunks],
+                }
+                for s in value
+            ]
+        elif key == "subgraph":
+            out[key] = graph_to_dict(value)
+        else:
+            out[key] = value
+    return out
+
+
+def _params_from_dict(raw: dict[str, Any]) -> dict[str, Any]:
+    out: dict[str, Any] = {}
+    for key, value in raw.items():
+        if key == "slots":
+            out[key] = [
+                Slot(
+                    root=s["root"],
+                    rows=tuple(s["rows"]) if s["rows"] is not None else None,
+                    chunks=list(s["chunks"]),
+                )
+                for s in value
+            ]
+        elif key == "out_specs":
+            out[key] = [
+                OutSpec(
+                    root=s["root"],
+                    rng=tuple(s["rng"]),
+                    chunks=[(n, tuple(r)) for n, r in s["chunks"]],
+                )
+                for s in value
+            ]
+        elif key == "subgraph":
+            out[key] = graph_from_dict(value)
+        elif key in ("out_range",) and value is not None:
+            out[key] = tuple(value)
+        else:
+            out[key] = value
+    return out
+
+
+def graph_to_dict(graph: OperatorGraph) -> dict[str, Any]:
+    return {
+        "name": graph.name,
+        "data": [
+            {
+                "name": ds.name,
+                "shape": list(ds.shape),
+                "is_input": ds.is_input,
+                "is_output": ds.is_output,
+                "parent": ds.parent,
+                "row_range": list(ds.row_range) if ds.row_range else None,
+                "virtual": ds.virtual,
+            }
+            for ds in graph.data.values()
+        ],
+        "ops": [
+            {
+                "name": op.name,
+                "kind": op.kind,
+                "inputs": list(op.inputs),
+                "outputs": list(op.outputs),
+                "params": _params_to_dict(op.params),
+            }
+            for op in graph.ops.values()
+        ],
+    }
+
+
+def graph_from_dict(raw: dict[str, Any]) -> OperatorGraph:
+    g = OperatorGraph(raw["name"])
+    for d in raw["data"]:
+        g.add_data(
+            d["name"],
+            tuple(d["shape"]),
+            is_input=d["is_input"],
+            is_output=d["is_output"],
+            parent=d["parent"],
+            row_range=tuple(d["row_range"]) if d["row_range"] else None,
+            virtual=d["virtual"],
+        )
+    for o in raw["ops"]:
+        g.add_operator(
+            o["name"],
+            o["kind"],
+            o["inputs"],
+            o["outputs"],
+            **_params_from_dict(o["params"]),
+        )
+    return g
+
+
+# ---------------------------------------------------------------------------
+# Plan <-> dict
+# ---------------------------------------------------------------------------
+def plan_to_dict(plan: ExecutionPlan) -> dict[str, Any]:
+    steps = []
+    for step in plan.steps:
+        if isinstance(step, Launch):
+            steps.append(["exec", step.op])
+        elif isinstance(step, CopyToGPU):
+            steps.append(["h2d", step.data])
+        elif isinstance(step, CopyToCPU):
+            steps.append(["d2h", step.data])
+        elif isinstance(step, Free):
+            steps.append(["free", step.data])
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown step type {type(step).__name__}")
+    return {
+        "capacity_floats": plan.capacity_floats,
+        "label": plan.label,
+        "steps": steps,
+    }
+
+
+def plan_from_dict(raw: dict[str, Any]) -> ExecutionPlan:
+    steps: list[Step] = []
+    for kind, arg in raw["steps"]:
+        cls = _STEP_TYPES[kind]
+        steps.append(cls(arg))
+    return ExecutionPlan(
+        steps=steps,
+        capacity_floats=raw["capacity_floats"],
+        label=raw.get("label", ""),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Compiled template <-> file
+# ---------------------------------------------------------------------------
+def compiled_to_dict(compiled: CompiledTemplate) -> dict[str, Any]:
+    return {
+        "format_version": FORMAT_VERSION,
+        "device": {
+            "name": compiled.device.name,
+            "memory_bytes": compiled.device.memory_bytes,
+        },
+        "graph": graph_to_dict(compiled.graph),
+        "plan": plan_to_dict(compiled.plan),
+        "op_order": list(compiled.op_order),
+        "peak_device_floats": compiled.peak_device_floats,
+    }
+
+
+def save_plan(compiled: CompiledTemplate, path: str) -> None:
+    """Write a compiled template (graph + plan) as JSON."""
+    with open(path, "w") as fh:
+        json.dump(compiled_to_dict(compiled), fh, indent=1)
+
+
+def load_plan(path: str) -> tuple[OperatorGraph, ExecutionPlan]:
+    """Read a compiled template back; returns (graph, plan)."""
+    with open(path) as fh:
+        raw = json.load(fh)
+    if raw.get("format_version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported plan format {raw.get('format_version')!r}"
+        )
+    return graph_from_dict(raw["graph"]), plan_from_dict(raw["plan"])

@@ -1,0 +1,640 @@
+"""Operator splitting (Section 3.2).
+
+Makes every operator's memory footprint fit the device by splitting
+operators along the leading (row) axis and partitioning the data
+structures they touch, following the paper's fixpoint algorithm:
+
+1. compute every operator's footprint (sum of the sizes of the data
+   structures it touches);
+2. split operators whose footprint exceeds device memory, modifying the
+   producers/consumers of the split data as needed;
+3. repeat until every operator is individually executable.
+
+Mechanics
+---------
+Splitting an operator into *P* parts cuts its logical output rows into
+*P* ranges.  Each part reads, per input slot, the rows given by the
+operator kind's splitting rule (:meth:`repro.ops.base.OpImpl.input_rows`
+— identity for data-parallel kinds, halo-extended for convolution,
+``None`` for unsplittable inputs like kernel matrices).  The touched
+logical arrays are *partitioned* into chunk data structures at the part
+boundaries; producers are rewritten to scatter into chunks and consumers
+to gather from them, so transfers happen at chunk granularity exactly as
+in the paper's Figures 3 and 6.
+
+Reductions (splittable but with a single-row output) use partial-result
+splitting: parts produce partials and a generated ``combine_partials``
+operator merges them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.ops import get_impl
+
+from .graph import (
+    GraphError,
+    OperatorGraph,
+    OutSpec,
+    Slot,
+    op_out_specs,
+    op_slots,
+)
+
+
+class InfeasibleTemplateError(RuntimeError):
+    """The template cannot be made to fit device memory by splitting."""
+
+
+@dataclass
+class SplitReport:
+    """What :func:`make_feasible` did to the graph."""
+
+    rounds: int = 0
+    split_ops: dict[str, int] = field(default_factory=dict)  # op -> nparts
+    partitioned_roots: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def any_split(self) -> bool:
+        return bool(self.split_ops)
+
+
+# ---------------------------------------------------------------------------
+# Chunk bookkeeping
+# ---------------------------------------------------------------------------
+def chunk_range(graph: OperatorGraph, name: str) -> tuple[int, int]:
+    ds = graph.data[name]
+    if ds.row_range is not None:
+        return ds.row_range
+    return (0, ds.rows)
+
+
+def chunks_of(graph: OperatorGraph, root: str) -> list[str]:
+    """Concrete data structures currently tiling ``root`` (sorted by row)."""
+    ds = graph.data[root]
+    if not ds.virtual:
+        return [root]
+    out = [
+        d
+        for d in graph.children.get(root, ())
+        if not graph.data[d].virtual
+    ]
+    out.sort(key=lambda d: chunk_range(graph, d))
+    return out
+
+
+def select_chunks(
+    graph: OperatorGraph, root: str, rows: tuple[int, int] | None
+) -> list[str]:
+    """Chunks of ``root`` overlapping the row range (all when ``rows=None``)."""
+    names = chunks_of(graph, root)
+    if rows is None:
+        return names
+    a, b = rows
+    return [
+        n
+        for n in names
+        if chunk_range(graph, n)[0] < b and chunk_range(graph, n)[1] > a
+    ]
+
+
+def _per_row(graph: OperatorGraph, root: str) -> int:
+    ds = graph.data[root]
+    return ds.size // max(ds.rows, 1)
+
+
+def _chunk_name(graph: OperatorGraph, root: str, a: int, b: int) -> str:
+    return graph.fresh_name(f"{root}[{a}:{b}]")
+
+
+# ---------------------------------------------------------------------------
+# Data partitioning
+# ---------------------------------------------------------------------------
+def partition_data(
+    graph: OperatorGraph, root: str, boundaries: list[int]
+) -> None:
+    """Refine the chunk structure of ``root`` with additional row cuts.
+
+    Producers are rewritten to scatter into the refined chunks, consumers
+    to gather from the chunks overlapping their slot rows.  Existing cuts
+    are kept (refinement only), and chunks whose range is unchanged are
+    reused, so repeated partitioning is stable.
+    """
+    ds = graph.data[root]
+    if ds.parent is not None:
+        raise GraphError(f"partition_data target {root!r} is itself a chunk")
+    rows = ds.rows
+    cuts = {c for c in boundaries if 0 < c < rows}
+    if not cuts and not ds.virtual:
+        return
+    old_chunks = chunks_of(graph, root)
+    all_bounds = {0, rows} | cuts
+    for n in old_chunks:
+        if n != root:
+            a, b = chunk_range(graph, n)
+            all_bounds.update((a, b))
+    bounds = sorted(all_bounds)
+    new_ranges = list(zip(bounds[:-1], bounds[1:]))
+    # Map each old chunk to its (possibly refined) replacement chunks.
+    replaced: dict[str, list[str]] = {}
+    for oc in old_chunks:
+        c0, c1 = chunk_range(graph, oc)
+        sub = [(a, b) for a, b in new_ranges if a >= c0 and b <= c1]
+        if sub == [(c0, c1)] and oc != root:
+            continue  # unchanged chunk, keep as-is
+        names = []
+        for a, b in sub:
+            name = _chunk_name(graph, root, a, b)
+            graph.add_data(
+                name,
+                (b - a, *ds.shape[1:]),
+                is_input=ds.is_input,
+                is_output=ds.is_output,
+                parent=root,
+                row_range=(a, b),
+            )
+            names.append(name)
+        replaced[oc] = names
+    if not replaced:
+        return
+    # Rewrite producers to scatter into the refined chunks.
+    for oc, news in replaced.items():
+        prod = graph.producer.get(oc)
+        if prod is None:
+            continue
+        pop = graph.ops[prod]
+        specs = [
+            OutSpec(s.root, s.rng, list(s.chunks))
+            for s in op_out_specs(pop, graph)
+        ]
+        for spec in specs:
+            if spec.root != root:
+                continue
+            new_chunks: list[tuple[str, tuple[int, int]]] = []
+            for name, rng in spec.chunks:
+                if name == oc:
+                    new_chunks.extend(
+                        (n, chunk_range(graph, n)) for n in news
+                    )
+                else:
+                    new_chunks.append((name, rng))
+            spec.chunks = new_chunks
+        pop.params["out_specs"] = specs
+        outputs = [n for s in specs for n, _ in s.chunks]
+        graph.set_op_io(prod, pop.inputs, outputs)
+    # Rewrite consumers to gather from overlapping refined chunks.
+    for oc, news in replaced.items():
+        for cons in list(graph.consumers.get(oc, ())):
+            cop = graph.ops[cons]
+            slots = [
+                Slot(s.root, s.rows, list(s.chunks))
+                for s in op_slots(cop, graph)
+            ]
+            for slot in slots:
+                if oc in slot.chunks:
+                    rebuilt: list[str] = []
+                    for name in slot.chunks:
+                        if name == oc:
+                            a, b = (
+                                slot.rows
+                                if slot.rows is not None
+                                else (0, rows)
+                            )
+                            rebuilt.extend(
+                                n
+                                for n in news
+                                if chunk_range(graph, n)[0] < b
+                                and chunk_range(graph, n)[1] > a
+                            )
+                        else:
+                            rebuilt.append(name)
+                    slot.chunks = rebuilt
+            cop.params["slots"] = slots
+            inputs = [n for s in slots for n in s.chunks]
+            graph.set_op_io(cons, inputs, cop.outputs)
+    # Retire the replaced chunks.
+    for oc in replaced:
+        if oc == root:
+            ds.virtual = True
+        else:
+            graph.remove_data(oc)
+
+
+# ---------------------------------------------------------------------------
+# Operator splitting
+# ---------------------------------------------------------------------------
+def _clamp(rng: tuple[int, int], rows: int) -> tuple[int, int]:
+    a, b = rng
+    return (max(0, a), min(rows, b))
+
+
+def split_operator(
+    graph: OperatorGraph, op_name: str, nparts: int
+) -> list[str]:
+    """Split one operator into ``nparts`` row-parts (graph surgery).
+
+    Returns the names of the part operators (or ``[op_name]`` when no
+    split was possible/needed).
+    """
+    op = graph.ops[op_name]
+    impl = get_impl(op.kind)
+    if not impl.splittable:
+        raise InfeasibleTemplateError(
+            f"operator {op_name!r} (kind {op.kind!r}) is not splittable"
+        )
+    if getattr(impl, "partial_split", False):
+        return _split_reduction(graph, op_name, nparts)
+    out_specs = op_out_specs(op, graph)
+    slots = op_slots(op, graph)
+    lo, hi = out_specs[0].rng
+    rows_out = hi - lo
+    nparts = min(nparts, rows_out)
+    min_rows = impl.min_part_rows(op, graph)
+    nparts = min(nparts, max(1, rows_out // max(min_rows, 1)))
+    if nparts <= 1:
+        return [op_name]
+    for spec in out_specs[1:]:
+        if spec.rng[1] - spec.rng[0] != rows_out:
+            raise GraphError(
+                f"{op_name}: outputs have differing logical row counts"
+            )
+    cuts = [lo + (rows_out * i) // nparts for i in range(nparts + 1)]
+    part_ranges = list(zip(cuts[:-1], cuts[1:]))
+    # Per-part, per-slot required input rows (None = whole input).
+    reqs = [impl.input_rows(op, graph, rng) for rng in part_ranges]
+    in_rows0 = graph.data[slots[0].root].rows
+    # The original operator goes away first so rewiring skips it.
+    original_params = dict(op.params)
+    graph.remove_operator(op_name)
+    # Partition every split input root at the parts' required-start rows.
+    for i, slot in enumerate(slots):
+        starts = []
+        for p in range(nparts):
+            req = reqs[p][i]
+            if req is None:
+                continue
+            root_rows = graph.data[slot.root].rows
+            starts.append(_clamp(req, root_rows)[0])
+        if starts:
+            partition_data(graph, slot.root, starts)
+    # Partition every output root at the part boundaries.
+    for spec in out_specs:
+        off = spec.rng[0] - lo
+        partition_data(graph, spec.root, [c + off for c in cuts[1:-1]])
+    part_names: list[str] = []
+    for p, (a, b) in enumerate(part_ranges):
+        part_slots: list[Slot] = []
+        for i, slot in enumerate(slots):
+            req = reqs[p][i]
+            if req is None:
+                part_slots.append(
+                    Slot(
+                        slot.root,
+                        slot.rows,
+                        select_chunks(graph, slot.root, slot.rows),
+                    )
+                )
+            else:
+                root_rows = graph.data[slot.root].rows
+                creq = _clamp(req, root_rows)
+                part_slots.append(
+                    Slot(slot.root, creq, select_chunks(graph, slot.root, creq))
+                )
+        part_specs: list[OutSpec] = []
+        outputs: list[str] = []
+        for spec in out_specs:
+            off = spec.rng[0] - lo
+            ra, rb = a + off, b + off
+            chs = [
+                (n, chunk_range(graph, n))
+                for n in select_chunks(graph, spec.root, (ra, rb))
+            ]
+            part_specs.append(OutSpec(spec.root, (ra, rb), chs))
+            outputs.extend(n for n, _ in chs)
+        params = dict(original_params)
+        params["slots"] = part_slots
+        params["out_specs"] = part_specs
+        params["out_range"] = part_specs[0].rng
+        params["in_rows"] = in_rows0
+        params["part_of"] = original_params.get("part_of", op_name)
+        inputs = [n for s in part_slots for n in s.chunks]
+        name = graph.fresh_name(f"{op_name}.p{p}")
+        graph.add_operator(name, op.kind, inputs, outputs, **params)
+        part_names.append(name)
+    return part_names
+
+
+def _combine_tree(
+    graph: OperatorGraph,
+    op_base: str,
+    partials: list[str],
+    out_chunks: list[tuple[str, tuple[int, int]]],
+    out_root: str,
+    fn: str,
+    weights: list[int] | None,
+    fan_in: int,
+) -> list[str]:
+    """Merge partials with a tree of ``combine_partials`` operators.
+
+    A flat combine over P partials has footprint (P+1) x row-size; when P
+    is large that can itself exceed device memory, so partials are merged
+    ``fan_in`` at a time (weighted means carry their row counts up the
+    tree).
+    """
+    created: list[str] = []
+    level = list(partials)
+    level_weights = list(weights) if weights is not None else None
+    cols = graph.data[partials[0]].shape[1]
+    round_no = 0
+    while len(level) > fan_in:
+        nxt: list[str] = []
+        nxt_weights: list[int] | None = [] if level_weights is not None else None
+        for i in range(0, len(level), fan_in):
+            group = level[i : i + fan_in]
+            if len(group) == 1:
+                nxt.append(group[0])
+                if level_weights is not None:
+                    nxt_weights.append(level_weights[i])
+                continue
+            partial = graph.fresh_name(f"{out_root}.merge{round_no}_{i}")
+            graph.add_data(partial, (1, cols))
+            params: dict = {"fn": fn}
+            if level_weights is not None:
+                params["weights"] = level_weights[i : i + fan_in]
+            params["slots"] = [Slot(d, None, [d]) for d in group]
+            params["out_specs"] = [
+                OutSpec(partial, (0, 1), [(partial, (0, 1))])
+            ]
+            name = graph.fresh_name(f"{op_base}.merge{round_no}_{i}")
+            graph.add_operator(name, "combine_partials", group, [partial], **params)
+            created.append(name)
+            nxt.append(partial)
+            if level_weights is not None:
+                nxt_weights.append(sum(level_weights[i : i + fan_in]))
+        level = nxt
+        level_weights = nxt_weights
+        round_no += 1
+    final = graph.fresh_name(f"{op_base}.combine")
+    params = {"fn": fn}
+    if level_weights is not None:
+        params["weights"] = list(level_weights)
+    params["slots"] = [Slot(d, None, [d]) for d in level]
+    params["out_specs"] = [OutSpec(out_root, (0, 1), list(out_chunks))]
+    graph.add_operator(
+        final, "combine_partials", level, [n for n, _ in out_chunks], **params
+    )
+    created.append(final)
+    return created
+
+
+def _split_reduction(
+    graph: OperatorGraph, op_name: str, nparts: int
+) -> list[str]:
+    """Partial-result splitting for reductions (single-row outputs)."""
+    op = graph.ops[op_name]
+    slots = op_slots(op, graph)
+    out_specs = op_out_specs(op, graph)
+    in_root = slots[0].root
+    in_rows = graph.data[in_root].rows
+    rows = slots[0].rows or (0, in_rows)
+    lo, hi = rows
+    span = hi - lo
+    nparts = min(nparts, span)
+    if nparts <= 1:
+        return [op_name]
+    fn = op.params.get("fn", "sum")
+    cols = graph.data[in_root].shape[1]
+    cuts = [lo + (span * i) // nparts for i in range(nparts + 1)]
+    part_ranges = list(zip(cuts[:-1], cuts[1:]))
+    original_params = dict(op.params)
+    out_chunks = [(n, r) for spec in out_specs for n, r in spec.chunks]
+    out_root = out_specs[0].root
+    graph.remove_operator(op_name)
+    partition_data(graph, in_root, cuts[1:-1])
+    part_names: list[str] = []
+    partials: list[str] = []
+    for p, (a, b) in enumerate(part_ranges):
+        partial = graph.fresh_name(f"{out_root}.partial{p}")
+        graph.add_data(partial, (1, cols))
+        part_slots = [
+            Slot(in_root, (a, b), select_chunks(graph, in_root, (a, b)))
+        ]
+        name = graph.fresh_name(f"{op_name}.p{p}")
+        params = dict(original_params)
+        params["slots"] = part_slots
+        params["out_specs"] = [OutSpec(partial, (0, 1), [(partial, (0, 1))])]
+        params["part_of"] = original_params.get("part_of", op_name)
+        graph.add_operator(
+            name,
+            op.kind,
+            [n for s in part_slots for n in s.chunks],
+            [partial],
+            **params,
+        )
+        part_names.append(name)
+        partials.append(partial)
+    weights = [b - a for a, b in part_ranges] if fn == "mean" else None
+    # Flat combine first; make_feasible rebuilds it as a tree (via
+    # split_combine) if it exceeds device memory.
+    part_names.extend(
+        _combine_tree(
+            graph,
+            op_name,
+            partials,
+            out_chunks,
+            out_root,
+            fn,
+            weights,
+            fan_in=len(partials),
+        )
+    )
+    return part_names
+
+
+def split_combine(
+    graph: OperatorGraph, op_name: str, fan_in: int
+) -> list[str]:
+    """Rebuild an over-large ``combine_partials`` as a reduction tree."""
+    op = graph.ops[op_name]
+    if op.kind != "combine_partials":
+        raise GraphError(f"{op_name!r} is not a combine_partials operator")
+    if fan_in < 2:
+        raise InfeasibleTemplateError(
+            f"combine {op_name!r}: even pairwise merging exceeds capacity"
+        )
+    slots = op_slots(op, graph)
+    partials = [s.root for s in slots]
+    specs = op_out_specs(op, graph)
+    out_chunks = [(n, r) for s in specs for n, r in s.chunks]
+    out_root = specs[0].root
+    fn = op.params.get("fn", "sum")
+    weights = op.params.get("weights")
+    base = op.params.get("part_of", op_name)
+    graph.remove_operator(op_name)
+    return _combine_tree(
+        graph,
+        graph.fresh_name(base),
+        partials,
+        out_chunks,
+        out_root,
+        fn,
+        list(weights) if weights is not None else None,
+        fan_in,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Footprint estimation and the feasibility fixpoint
+# ---------------------------------------------------------------------------
+def estimate_split(graph: OperatorGraph, op_name: str, nparts: int) -> int:
+    """Max part footprint (floats) if ``op_name`` were split ``nparts`` ways.
+
+    Mirrors :func:`split_operator`'s chunk selection analytically, against
+    the input partitions as they would look *after* the refinement the
+    split itself performs.
+    """
+    op = graph.ops[op_name]
+    impl = get_impl(op.kind)
+    out_specs = op_out_specs(op, graph)
+    slots = op_slots(op, graph)
+    if getattr(impl, "partial_split", False):
+        in_root = slots[0].root
+        rows = slots[0].rows or (0, graph.data[in_root].rows)
+        span = rows[1] - rows[0]
+        nparts = min(nparts, span)
+        cols = graph.data[in_root].shape[1]
+        per = _per_row(graph, in_root)
+        worst = max(
+            (rows[0] + (span * (i + 1)) // nparts)
+            - (rows[0] + (span * i) // nparts)
+            for i in range(nparts)
+        )
+        return worst * per + cols
+    lo, hi = out_specs[0].rng
+    rows_out = hi - lo
+    nparts = min(nparts, rows_out)
+    if nparts <= 1:
+        return graph.op_footprint(op_name)
+    cuts = [lo + (rows_out * i) // nparts for i in range(nparts + 1)]
+    part_ranges = list(zip(cuts[:-1], cuts[1:]))
+    reqs = [impl.input_rows(op, graph, rng) for rng in part_ranges]
+    # Refined boundary set per split input root.
+    refined: dict[str, list[int]] = {}
+    for i, slot in enumerate(slots):
+        if all(reqs[p][i] is None for p in range(nparts)):
+            continue
+        root_rows = graph.data[slot.root].rows
+        bounds = {0, root_rows}
+        for n in chunks_of(graph, slot.root):
+            a, b = chunk_range(graph, n)
+            bounds.update((a, b))
+        for p in range(nparts):
+            req = reqs[p][i]
+            if req is not None:
+                bounds.add(_clamp(req, root_rows)[0])
+        refined[slot.root] = sorted(bounds)
+    worst = 0
+    for p, (a, b) in enumerate(part_ranges):
+        fp = 0
+        for spec in out_specs:
+            fp += (b - a) * _per_row(graph, spec.root)
+        seen: set[str] = set()
+        seen_ranges: set[tuple[str, tuple[int, int]]] = set()
+        for i, slot in enumerate(slots):
+            req = reqs[p][i]
+            if req is None:
+                for n in slot.chunks:
+                    if n not in seen:
+                        seen.add(n)
+                        fp += graph.data[n].size
+                continue
+            root_rows = graph.data[slot.root].rows
+            ra, rb = _clamp(req, root_rows)
+            bounds = refined[slot.root]
+            per = _per_row(graph, slot.root)
+            for c0, c1 in zip(bounds[:-1], bounds[1:]):
+                if c0 < rb and c1 > ra:
+                    key = (slot.root, (c0, c1))
+                    if key not in seen_ranges:
+                        seen_ranges.add(key)
+                        fp += (c1 - c0) * per
+        worst = max(worst, fp)
+    return worst
+
+
+def make_feasible(
+    graph: OperatorGraph,
+    capacity_floats: int,
+    *,
+    max_rounds: int = 64,
+) -> SplitReport:
+    """Section 3.2 fixpoint: split until every operator fits the device.
+
+    ``capacity_floats`` should already include the fragmentation reserve
+    (use :attr:`repro.gpusim.GpuDevice.usable_memory_floats`).
+    """
+    if capacity_floats <= 0:
+        raise ValueError("capacity must be positive")
+    report = SplitReport()
+    for round_no in range(max_rounds):
+        infeasible = [
+            o
+            for o in graph.topological_order()
+            if graph.op_footprint(o) > capacity_floats
+        ]
+        if not infeasible:
+            report.rounds = round_no
+            _record_partitions(graph, report)
+            graph.validate()
+            return report
+        for op_name in infeasible:
+            if op_name not in graph.ops:
+                continue  # replaced earlier this round
+            op = graph.ops[op_name]
+            impl = get_impl(op.kind)
+            if op.kind == "combine_partials":
+                # Over-wide merges become trees with capacity-sized fan-in.
+                row = graph.data[op.outputs[0]].size
+                fan_in = capacity_floats // max(row, 1) - 1
+                parts = split_combine(graph, op_name, fan_in)
+                report.split_ops[op_name] = len(parts)
+                continue
+            if not impl.splittable:
+                raise InfeasibleTemplateError(
+                    f"operator {op_name!r} (kind {op.kind!r}, footprint "
+                    f"{graph.op_footprint(op_name)} floats) exceeds device "
+                    f"capacity {capacity_floats} and is not splittable"
+                )
+            fp = graph.op_footprint(op_name)
+            rows_limit = _split_limit(graph, op)
+            n = min(max(2, math.ceil(fp / capacity_floats)), rows_limit)
+            while estimate_split(graph, op_name, n) > capacity_floats:
+                if n >= rows_limit:
+                    raise InfeasibleTemplateError(
+                        f"operator {op_name!r} cannot fit device memory even "
+                        f"when split into {rows_limit} single-row parts"
+                    )
+                n = min(rows_limit, max(n + 1, math.ceil(n * 1.3)))
+            parts = split_operator(graph, op_name, n)
+            report.split_ops[op_name] = len(parts)
+    raise InfeasibleTemplateError(
+        f"splitting did not converge within {max_rounds} rounds"
+    )
+
+
+def _split_limit(graph: OperatorGraph, op) -> int:
+    impl = get_impl(op.kind)
+    if getattr(impl, "partial_split", False):
+        slots = op_slots(op, graph)
+        rows = slots[0].rows or (0, graph.data[slots[0].root].rows)
+        return rows[1] - rows[0]
+    specs = op_out_specs(op, graph)
+    return specs[0].rng[1] - specs[0].rng[0]
+
+
+def _record_partitions(graph: OperatorGraph, report: SplitReport) -> None:
+    for d, ds in graph.data.items():
+        if ds.virtual:
+            report.partitioned_roots[d] = len(chunks_of(graph, d))

@@ -1,0 +1,56 @@
+"""Simulated GPU platform substrate.
+
+Substitutes for the paper's Tesla C870 / GeForce 8800 GTX + CUDA 2.0
+testbed: bounded device memory with a real allocator, PCIe and kernel
+cost models, a CUDA-profiler-like event timeline, and a host-memory
+thrashing model.  See DESIGN.md section 2 for why this substitution
+preserves the behaviours the paper measures.
+"""
+
+from .calibrate import CalibrationResult, Observation, calibrate
+from .device import (
+    CORE2_DESKTOP,
+    FLOAT_BYTES,
+    GB,
+    GEFORCE_8800_GTX,
+    MB,
+    PRESETS,
+    SYSTEM_1,
+    SYSTEM_2,
+    TESLA_C870,
+    XEON_WORKSTATION,
+    GpuDevice,
+    HostSystem,
+    device_by_name,
+)
+from .memory import DeviceAllocator, OutOfDeviceMemoryError
+from .profiler import Event, EventKind, Profile
+from .runtime import DeviceBuffer, SimRuntime
+from .timing import CostModel
+
+__all__ = [
+    "CORE2_DESKTOP",
+    "CalibrationResult",
+    "CostModel",
+    "DeviceAllocator",
+    "DeviceBuffer",
+    "Event",
+    "EventKind",
+    "FLOAT_BYTES",
+    "GB",
+    "GEFORCE_8800_GTX",
+    "GpuDevice",
+    "HostSystem",
+    "MB",
+    "Observation",
+    "OutOfDeviceMemoryError",
+    "PRESETS",
+    "Profile",
+    "SYSTEM_1",
+    "SYSTEM_2",
+    "SimRuntime",
+    "TESLA_C870",
+    "XEON_WORKSTATION",
+    "calibrate",
+    "device_by_name",
+]

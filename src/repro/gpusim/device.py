@@ -1,0 +1,125 @@
+"""GPU platform and host system descriptions.
+
+The paper evaluates on two NVIDIA platforms that differ only in memory
+capacity (both 128 cores at 1.35 GHz):
+
+* Tesla C870 GPU computing card — 1.5 GB GDDR
+* GeForce 8800 GTX graphics card — 768 MB GDDR
+
+and two hosts (a dual quad-core Xeon workstation and a Core 2 Duo desktop,
+both with 8 GB RAM).  These records carry every parameter the framework
+and simulator consume: memory capacity (with the paper's fragmentation
+reserve), PCIe transfer characteristics and arithmetic throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+FLOAT_BYTES = 4
+
+MB = 1 << 20
+GB = 1 << 30
+
+
+@dataclass(frozen=True)
+class GpuDevice:
+    """Static description of a GPU platform.
+
+    The framework consumes ``usable_memory_floats`` (the paper sets
+    ``Total_GPU_Memory`` below the physical capacity to absorb
+    fragmentation); the simulator charges transfers and kernels against
+    the cost-model fields.
+    """
+
+    name: str
+    memory_bytes: int
+    num_cores: int = 128
+    clock_hz: float = 1.35e9
+    #: effective host<->device bandwidth over PCIe (paper: 1-2 GB/s)
+    pcie_bandwidth: float = 1.5e9
+    #: fixed per-transfer latency (driver + DMA setup)
+    pcie_latency: float = 15e-6
+    #: device-internal memory bandwidth (paper: >64 GB/s)
+    internal_bandwidth: float = 70e9
+    #: fixed cost of one kernel launch + host synchronisation
+    launch_overhead: float = 20e-6
+    #: fraction of peak MAD throughput sustained by the operator library
+    compute_efficiency: float = 0.25
+    #: fraction of physical memory the planner may use (fragmentation
+    #: reserve, Section 3.3.2 last paragraph)
+    memory_reserve: float = 0.9
+    #: whether compute can overlap transfers (the paper's GPUs could not)
+    async_copy: bool = False
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak MAD throughput: 2 flops per core per cycle."""
+        return self.num_cores * self.clock_hz * 2.0
+
+    @property
+    def memory_floats(self) -> int:
+        return self.memory_bytes // FLOAT_BYTES
+
+    @property
+    def usable_memory_floats(self) -> int:
+        """Planner-visible capacity in floats, after fragmentation reserve."""
+        return int(self.memory_floats * self.memory_reserve)
+
+    @property
+    def usable_memory_bytes(self) -> int:
+        return int(self.memory_bytes * self.memory_reserve)
+
+    def with_memory(self, memory_bytes: int) -> "GpuDevice":
+        """A copy of this device with a different memory capacity.
+
+        Models the paper's re-targeting scenario: same GPU family, a
+        product variant with more or less memory.
+        """
+        return replace(self, memory_bytes=memory_bytes)
+
+
+@dataclass(frozen=True)
+class HostSystem:
+    """Host-side description, used by the thrashing model (Table 2)."""
+
+    name: str
+    memory_bytes: int
+    #: sustained host memory bandwidth for host-side staging copies
+    memory_bandwidth: float = 3.0e9
+    #: penalty factor applied to host traffic once the working set
+    #: exceeds physical RAM (OS paging / swapping)
+    paging_penalty: float = 20.0
+
+    @property
+    def memory_floats(self) -> int:
+        return self.memory_bytes // FLOAT_BYTES
+
+
+TESLA_C870 = GpuDevice(name="Tesla C870", memory_bytes=1536 * MB)
+GEFORCE_8800_GTX = GpuDevice(name="GeForce 8800 GTX", memory_bytes=768 * MB)
+
+#: Dell Precision T5400, dual quad-core Xeon E5405, 8 GB
+XEON_WORKSTATION = HostSystem(name="Xeon E5405 workstation", memory_bytes=8 * GB)
+#: Intel Core 2 Duo 2.66 GHz, 8 GB
+CORE2_DESKTOP = HostSystem(name="Core 2 Duo desktop", memory_bytes=8 * GB)
+
+#: The two evaluation systems of Section 4.
+SYSTEM_1 = (TESLA_C870, XEON_WORKSTATION)
+SYSTEM_2 = (GEFORCE_8800_GTX, CORE2_DESKTOP)
+
+PRESETS: dict[str, GpuDevice] = {
+    "tesla_c870": TESLA_C870,
+    "geforce_8800_gtx": GEFORCE_8800_GTX,
+}
+
+
+def device_by_name(name: str) -> GpuDevice:
+    """Look up a preset device by its registry key (case-insensitive)."""
+    key = name.strip().lower().replace(" ", "_")
+    try:
+        return PRESETS[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown device {name!r}; known presets: {sorted(PRESETS)}"
+        ) from None

@@ -1,0 +1,122 @@
+"""Device memory allocator.
+
+A first-fit free-list allocator over the simulated GPU address space.
+It exists to make out-of-memory behaviour *real* in the simulator: a plan
+that claims feasibility but over-commits device memory will fail here,
+and fragmentation (the reason the paper reserves headroom when setting
+``Total_GPU_Memory``) is observable through :meth:`fragmentation`.
+
+All sizes are in bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class OutOfDeviceMemoryError(RuntimeError):
+    """Raised when an allocation cannot be satisfied."""
+
+    def __init__(self, requested: int, free: int, largest: int) -> None:
+        super().__init__(
+            f"device allocation of {requested} B failed: "
+            f"{free} B free, largest contiguous block {largest} B"
+        )
+        self.requested = requested
+        self.free = free
+        self.largest = largest
+
+
+@dataclass
+class _Block:
+    offset: int
+    size: int
+
+
+class DeviceAllocator:
+    """First-fit allocator with coalescing frees."""
+
+    def __init__(self, capacity: int, alignment: int = 256) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if alignment <= 0 or alignment & (alignment - 1):
+            raise ValueError("alignment must be a positive power of two")
+        self.capacity = capacity
+        self.alignment = alignment
+        self._free: list[_Block] = [_Block(0, capacity)]
+        self._allocated: dict[int, int] = {}  # offset -> size
+        self.peak_in_use = 0
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def in_use(self) -> int:
+        return sum(self._allocated.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity - self.in_use
+
+    @property
+    def largest_free_block(self) -> int:
+        return max((b.size for b in self._free), default=0)
+
+    def fragmentation(self) -> float:
+        """1 - largest_free_block/free_bytes; 0 when memory is unfragmented."""
+        free = self.free_bytes
+        if free == 0:
+            return 0.0
+        return 1.0 - self.largest_free_block / free
+
+    # -- operations ---------------------------------------------------------
+    def _round(self, size: int) -> int:
+        a = self.alignment
+        return (max(size, 1) + a - 1) // a * a
+
+    def alloc(self, size: int) -> int:
+        """Allocate ``size`` bytes; returns the device offset."""
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        need = self._round(size)
+        for i, block in enumerate(self._free):
+            if block.size >= need:
+                offset = block.offset
+                if block.size == need:
+                    del self._free[i]
+                else:
+                    block.offset += need
+                    block.size -= need
+                self._allocated[offset] = need
+                self.peak_in_use = max(self.peak_in_use, self.in_use)
+                return offset
+        raise OutOfDeviceMemoryError(need, self.free_bytes, self.largest_free_block)
+
+    def free(self, offset: int) -> None:
+        """Release a previously allocated block and coalesce neighbours."""
+        try:
+            size = self._allocated.pop(offset)
+        except KeyError:
+            raise ValueError(f"free of unallocated offset {offset}") from None
+        # Insert sorted by offset, then coalesce with neighbours.
+        lo, hi = 0, len(self._free)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._free[mid].offset < offset:
+                lo = mid + 1
+            else:
+                hi = mid
+        self._free.insert(lo, _Block(offset, size))
+        # Coalesce with successor then predecessor.
+        if lo + 1 < len(self._free):
+            nxt = self._free[lo + 1]
+            if offset + size == nxt.offset:
+                self._free[lo].size += nxt.size
+                del self._free[lo + 1]
+        if lo > 0:
+            prv = self._free[lo - 1]
+            if prv.offset + prv.size == offset:
+                prv.size += self._free[lo].size
+                del self._free[lo]
+
+    def reset(self) -> None:
+        self._free = [_Block(0, self.capacity)]
+        self._allocated.clear()

@@ -1,0 +1,88 @@
+"""Event profiler for the simulated runtime.
+
+Mirrors what the paper extracts from the CUDA profiler (Section 4.2:
+"time actually spent inside the GPU device driver ... in memcopy"):
+a timeline of typed events from which transfer/compute breakdowns
+(Figure 2) and driver-time summaries are computed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class EventKind(str, Enum):
+    H2D = "memcpy_h2d"
+    D2H = "memcpy_d2h"
+    KERNEL = "kernel"
+    ALLOC = "alloc"
+    FREE = "free"
+    HOST = "host"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One timeline entry; ``start``/``duration`` in simulated seconds."""
+
+    kind: EventKind
+    name: str
+    start: float
+    duration: float
+    nbytes: int = 0
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass
+class Profile:
+    """Accumulated timeline plus aggregate counters."""
+
+    events: list[Event] = field(default_factory=list)
+
+    def record(self, event: Event) -> None:
+        self.events.append(event)
+
+    # -- aggregates ----------------------------------------------------------
+    def total_time(self) -> float:
+        return max((e.end for e in self.events), default=0.0)
+
+    def time_in(self, *kinds: EventKind) -> float:
+        wanted = set(kinds)
+        return sum(e.duration for e in self.events if e.kind in wanted)
+
+    @property
+    def transfer_time(self) -> float:
+        return self.time_in(EventKind.H2D, EventKind.D2H)
+
+    @property
+    def compute_time(self) -> float:
+        return self.time_in(EventKind.KERNEL)
+
+    @property
+    def host_time(self) -> float:
+        return self.time_in(EventKind.HOST)
+
+    def bytes_transferred(self) -> int:
+        return sum(
+            e.nbytes for e in self.events if e.kind in (EventKind.H2D, EventKind.D2H)
+        )
+
+    def breakdown(self) -> dict[str, float]:
+        """Fractional split of busy time, as plotted in Figure 2."""
+        busy = self.transfer_time + self.compute_time + self.host_time
+        if busy == 0:
+            return {"transfer": 0.0, "compute": 0.0, "host": 0.0}
+        return {
+            "transfer": self.transfer_time / busy,
+            "compute": self.compute_time / busy,
+            "host": self.host_time / busy,
+        }
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for e in self.events:
+            out[e.kind.value] = out.get(e.kind.value, 0) + 1
+        return out

@@ -1,0 +1,116 @@
+"""2D convolution operator.
+
+The workhorse of both evaluation templates (edge detection, CNNs).  Not
+strictly data parallel — each output depends on a *neighbourhood* of
+inputs — so splitting needs the halo-aware "size and offset computation"
+of Section 3.2 (whose worked example, a 100x100 matrix with a 5x5 kernel
+split into two 100x52 inputs, is a unit test of this module).
+
+Two boundary modes:
+
+* ``valid`` — output shrinks by kernel-1 (the Section 3.2 example);
+* ``same`` — zero-padded, output matches the input (what the edge
+  detection template uses: Table 1's sizes only add up with same-size
+  edge maps).
+
+Convolution here is cross-correlation (no kernel flip), as is standard
+in the recognition workloads the paper targets.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from .base import OpImpl, register
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.graph import Operator, OperatorGraph
+
+
+def same_padding(k: int) -> tuple[int, int]:
+    """(before, after) zero padding giving same-size output for kernel k."""
+    return ((k - 1) // 2, k - 1 - (k - 1) // 2)
+
+
+def conv2d_valid(image: np.ndarray, kernel: np.ndarray) -> np.ndarray:
+    """Vectorised valid-mode 2D cross-correlation."""
+    kh, kw = kernel.shape
+    if image.shape[0] < kh or image.shape[1] < kw:
+        raise ValueError(
+            f"image {image.shape} smaller than kernel {kernel.shape}"
+        )
+    windows = np.lib.stride_tricks.sliding_window_view(image, (kh, kw))
+    return np.einsum("ijkl,kl->ij", windows, kernel, optimize=True).astype(
+        np.float32, copy=False
+    )
+
+
+class Conv2D(OpImpl):
+    """``conv2d(image, kernel) -> output``; params: ``mode``, split ranges."""
+
+    kind = "conv2d"
+    splittable = True
+
+    # -- shapes ------------------------------------------------------------
+    def out_shapes(self, in_shapes, params):
+        (h, w), (kh, kw) = in_shapes[0], in_shapes[1]
+        mode = params.get("mode", "same")
+        if mode == "same":
+            return [(h, w)]
+        if mode == "valid":
+            if h < kh or w < kw:
+                raise ValueError("valid conv: image smaller than kernel")
+            return [(h - kh + 1, w - kw + 1)]
+        raise ValueError(f"unknown conv mode {mode!r}")
+
+    # -- execution -----------------------------------------------------------
+    def execute(self, op: "Operator", inputs: Sequence[np.ndarray]):
+        image, kernel = inputs[0], inputs[1]
+        mode = op.params.get("mode", "same")
+        kh, kw = kernel.shape
+        if mode == "same":
+            ct, cb = same_padding(kh)
+            cl, cr = same_padding(kw)
+            # Row padding: the executor hands us the clamped rows; pad the
+            # rows that fell outside the logical array with zeros.
+            out_range = op.params.get("out_range")
+            in_rows = op.params.get("in_rows")
+            if out_range is None:
+                top, bottom = ct, cb
+            else:
+                r0, r1 = out_range
+                h = in_rows
+                top = max(0, ct - r0)
+                bottom = max(0, (r1 + cb) - h)
+            image = np.pad(image, ((top, bottom), (cl, cr)))
+        return [conv2d_valid(image, kernel)]
+
+    # -- cost ------------------------------------------------------------------
+    def flops(self, op: "Operator", graph: "OperatorGraph") -> float:
+        from repro.core.graph import op_slots, output_size
+
+        kernel_root = op_slots(op, graph)[1].root
+        return 2.0 * output_size(op, graph) * graph.data[kernel_root].size
+
+    # -- splitting rule -----------------------------------------------------------
+    def min_part_rows(self, op: "Operator", graph: "OperatorGraph") -> int:
+        return 1
+
+    def input_rows(self, op, graph, out_range):
+        from repro.core.graph import op_slots
+
+        kh = graph.data[op_slots(op, graph)[1].root].shape[0]
+        mode = op.params.get("mode", "same")
+        r0, r1 = out_range
+        if mode == "valid":
+            # Output rows [r0, r1) need input rows [r0, r1 + kh - 1).
+            img_rows = (r0, r1 + kh - 1)
+        else:
+            ct, cb = same_padding(kh)
+            img_rows = (r0 - ct, r1 + cb)  # clamped by the splitter
+        return [img_rows, None]  # the kernel matrix must not be split
+
+
+register(Conv2D())

@@ -1,0 +1,193 @@
+"""Elementwise (data parallel) operators.
+
+These are the paper's "easy target for splitting" (Section 3.2): each
+output element depends only on the same-position input elements, so the
+splitting rule is the identity on row ranges.
+
+Kinds
+-----
+``add``       elementwise sum of two same-shaped arrays (CNN Fig. 7 "A")
+``bias_add``  array plus a scalar bias (the B_j inputs in Fig. 7)
+``tanh``      the CNN nonlinearity (5 of the 11 layers)
+``remap``     pointwise intensity remapping, the "R" operators of the
+              edge-detection template (Fig. 1(b)); implemented as a
+              magnitude remap |x| as used for edge energy
+``scale``     multiply by a scalar parameter
+``max``       elementwise maximum over k >= 2 inputs — the edge template's
+              Combine_op (Section 4.1.1: addition / max / max absolute)
+``sum_combine`` / ``absmax`` — the other Combine_op choices
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from .base import OpImpl, register
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.graph import Operator, OperatorGraph
+
+
+class _Elementwise(OpImpl):
+    """Shared shape/split logic: all array inputs align with the output."""
+
+    #: indices of inputs that are scalars/parameters (never split)
+    scalar_slots: tuple[int, ...] = ()
+    #: approximate flops per output element
+    flops_per_elem: float = 1.0
+
+    def out_shapes(self, in_shapes, params):
+        array_shapes = [
+            s for i, s in enumerate(in_shapes) if i not in self.scalar_slots
+        ]
+        first = array_shapes[0]
+        for s in array_shapes[1:]:
+            if s != first:
+                raise ValueError(f"{self.kind}: mismatched input shapes {in_shapes}")
+        return [first]
+
+    def flops(self, op: "Operator", graph: "OperatorGraph") -> float:
+        from repro.core.graph import output_size
+
+        return self.flops_per_elem * output_size(op, graph)
+
+    def input_rows(self, op, graph, out_range):
+        from repro.core.graph import op_slots
+
+        return [
+            None if i in self.scalar_slots else out_range
+            for i in range(len(op_slots(op, graph)))
+        ]
+
+
+class Add(_Elementwise):
+    kind = "add"
+
+    def execute(self, op, inputs: Sequence[np.ndarray]):
+        return [inputs[0] + inputs[1]]
+
+
+class BiasAdd(_Elementwise):
+    kind = "bias_add"
+    scalar_slots = (1,)
+
+    def execute(self, op, inputs: Sequence[np.ndarray]):
+        return [inputs[0] + np.float32(inputs[1].reshape(-1)[0])]
+
+
+class Tanh(_Elementwise):
+    kind = "tanh"
+    flops_per_elem = 8.0  # transcendental
+
+    def execute(self, op, inputs: Sequence[np.ndarray]):
+        return [np.tanh(inputs[0])]
+
+
+class Remap(_Elementwise):
+    kind = "remap"
+    flops_per_elem = 2.0
+
+    def execute(self, op, inputs: Sequence[np.ndarray]):
+        gain = np.float32(op.params.get("gain", 1.0))
+        return [np.abs(inputs[0]) * gain]
+
+
+class Scale(_Elementwise):
+    kind = "scale"
+
+    def execute(self, op, inputs: Sequence[np.ndarray]):
+        return [inputs[0] * np.float32(op.params.get("factor", 1.0))]
+
+
+class MaxCombine(_Elementwise):
+    """Elementwise max over all inputs — the edge template Combine_op."""
+
+    kind = "max"
+
+    def execute(self, op, inputs: Sequence[np.ndarray]):
+        out = inputs[0]
+        for arr in inputs[1:]:
+            out = np.maximum(out, arr)
+        return [out]
+
+    def flops(self, op: "Operator", graph: "OperatorGraph") -> float:
+        from repro.core.graph import op_slots, output_size
+
+        return float(len(op_slots(op, graph))) * output_size(op, graph)
+
+
+class SumCombine(_Elementwise):
+    """Elementwise addition over all inputs (alternative Combine_op)."""
+
+    kind = "sum_combine"
+
+    def execute(self, op, inputs: Sequence[np.ndarray]):
+        out = inputs[0].copy()
+        for arr in inputs[1:]:
+            out += arr
+        return [out]
+
+    def flops(self, op: "Operator", graph: "OperatorGraph") -> float:
+        from repro.core.graph import op_slots, output_size
+
+        return float(len(op_slots(op, graph))) * output_size(op, graph)
+
+
+class AbsMaxCombine(_Elementwise):
+    """Elementwise max of absolute values (alternative Combine_op)."""
+
+    kind = "absmax"
+    flops_per_elem = 2.0
+
+    def execute(self, op, inputs: Sequence[np.ndarray]):
+        out = np.abs(inputs[0])
+        for arr in inputs[1:]:
+            out = np.maximum(out, np.abs(arr))
+        return [out]
+
+    def flops(self, op: "Operator", graph: "OperatorGraph") -> float:
+        from repro.core.graph import op_slots, output_size
+
+        return 2.0 * len(op_slots(op, graph)) * output_size(op, graph)
+
+
+class Sub(_Elementwise):
+    """Elementwise difference (e.g. difference-of-Gaussians bands)."""
+
+    kind = "sub"
+
+    def execute(self, op, inputs: Sequence[np.ndarray]):
+        return [inputs[0] - inputs[1]]
+
+
+class Mul(_Elementwise):
+    """Elementwise (Hadamard) product."""
+
+    kind = "mul"
+
+    def execute(self, op, inputs: Sequence[np.ndarray]):
+        return [inputs[0] * inputs[1]]
+
+
+class Relu(_Elementwise):
+    """Rectified linear unit."""
+
+    kind = "relu"
+
+    def execute(self, op, inputs: Sequence[np.ndarray]):
+        return [np.maximum(inputs[0], np.float32(0.0))]
+
+
+register(Add())
+register(BiasAdd())
+register(Tanh())
+register(Remap())
+register(Scale())
+register(MaxCombine())
+register(SumCombine())
+register(AbsMaxCombine())
+register(Sub())
+register(Mul())
+register(Relu())

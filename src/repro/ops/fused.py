@@ -1,0 +1,68 @@
+"""Fused offload units.
+
+Section 3.1: "Having coarser-grained offload units reduces
+synchronization overheads between the host and the GPU, however, the
+memory footprint may also increase and care must be taken to ensure that
+each offload unit can be individually executed within the available GPU
+memory."  The paper itself uses one operator per unit; fusion is the
+optional coarsening the framework supports (and our ablation benches
+measure).
+
+A ``fused`` operator carries a private sub-graph in its params and
+executes it with the host reference executor; its footprint (computed
+from the main graph, where the internal intermediates remain attached to
+the fused op as extra outputs would be wrong — instead their sizes are
+accounted in ``params['internal_floats']``) includes the internals.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from .base import OpImpl, register
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.graph import Operator, OperatorGraph
+
+
+class FusedOp(OpImpl):
+    """Atomically offloaded sub-graph; params: subgraph, input/output names."""
+
+    kind = "fused"
+    splittable = False
+
+    def out_shapes(self, in_shapes, params):
+        sub = params["subgraph"]
+        return [sub.data[n].shape for n in params["output_names"]]
+
+    def execute(self, op: "Operator", inputs: Sequence[np.ndarray]):
+        from repro.runtime.reference import reference_execute
+
+        sub = op.params["subgraph"]
+        feed = dict(zip(op.params["input_names"], inputs))
+        outs = reference_execute(sub, feed)
+        return [outs[n] for n in op.params["output_names"]]
+
+    def flops(self, op: "Operator", graph: "OperatorGraph") -> float:
+        from .base import get_impl
+
+        sub = op.params["subgraph"]
+        return sum(
+            get_impl(sop.kind).flops(sop, sub) for sop in sub.ops.values()
+        )
+
+    def bytes_accessed(self, op: "Operator", graph: "OperatorGraph") -> float:
+        # External traffic plus the internal intermediates (still written
+        # to and read from device memory by the fused kernels).
+        return 4.0 * (
+            graph.op_footprint(op.name)
+            + 2 * op.params.get("internal_floats", 0)
+        )
+
+    def input_rows(self, op, graph, out_range):  # pragma: no cover
+        raise NotImplementedError("fused units are not splittable")
+
+
+register(FusedOp())

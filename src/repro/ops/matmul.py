@@ -1,0 +1,50 @@
+"""Matrix multiplication operator.
+
+Section 3.2 uses it as the canonical "splitting hint" example: a large
+``C = A @ B`` that exceeds device memory is split "by breaking up one of
+the input matrices and the output matrix" — rows of ``A`` and ``C`` here,
+while ``B`` is marked unsplittable (``None`` in the splitting rule), the
+same mechanism that protects convolution kernels.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from .base import OpImpl, register
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.graph import Operator, OperatorGraph
+
+
+class MatMul(OpImpl):
+    """``matmul(A, B) -> C`` with row-wise splitting of A and C."""
+
+    kind = "matmul"
+    splittable = True
+
+    def out_shapes(self, in_shapes, params):
+        (m, k), (k2, n) = in_shapes[0], in_shapes[1]
+        if k != k2:
+            raise ValueError(f"matmul: inner dims differ ({k} vs {k2})")
+        return [(m, n)]
+
+    def execute(self, op: "Operator", inputs: Sequence[np.ndarray]):
+        return [(inputs[0] @ inputs[1]).astype(np.float32, copy=False)]
+
+    def flops(self, op: "Operator", graph: "OperatorGraph") -> float:
+        from repro.core.graph import op_slots, slot_size
+
+        slots = op_slots(op, graph)
+        k = graph.data[slots[0].root].shape[1]
+        n = graph.data[slots[1].root].shape[1]
+        m = slot_size(op, graph, 0) // k
+        return 2.0 * m * k * n
+
+    def input_rows(self, op, graph, out_range):
+        return [out_range, None]  # split A rows; B stays whole
+
+
+register(MatMul())

@@ -1,0 +1,60 @@
+"""Spatial subsampling operator (torch5 ``SpatialSubSampling``).
+
+Used by the CNN template's two subsampling layers: non-overlapping
+``factor x factor`` windows are averaged, then scaled by a trainable
+weight and shifted by a bias — here fixed parameters, since the paper
+runs inference with a trained network.
+
+Splittable, but not elementwise: output rows ``[r0, r1)`` read input rows
+``[r0*f, r1*f)``, so the splitting rule scales ranges by the factor.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from .base import OpImpl, register
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.graph import Operator, OperatorGraph
+
+
+class Subsample(OpImpl):
+    """``subsample(x) -> y``; params: ``factor`` (default 2), ``weight``, ``bias``."""
+
+    kind = "subsample"
+    splittable = True
+
+    def out_shapes(self, in_shapes, params):
+        h, w = in_shapes[0]
+        f = int(params.get("factor", 2))
+        if f <= 0:
+            raise ValueError("subsample factor must be positive")
+        if h % f or w % f:
+            raise ValueError(
+                f"subsample: shape ({h},{w}) not divisible by factor {f}"
+            )
+        return [(h // f, w // f)]
+
+    def execute(self, op: "Operator", inputs: Sequence[np.ndarray]):
+        x = inputs[0]
+        f = int(op.params.get("factor", 2))
+        weight = np.float32(op.params.get("weight", 1.0))
+        bias = np.float32(op.params.get("bias", 0.0))
+        h, w = x.shape
+        pooled = x.reshape(h // f, f, w // f, f).mean(axis=(1, 3))
+        return [(pooled * weight + bias).astype(np.float32, copy=False)]
+
+    def flops(self, op: "Operator", graph: "OperatorGraph") -> float:
+        f = int(op.params.get("factor", 2))
+        return float((f * f + 2) * graph.data[op.outputs[0]].size)
+
+    def input_rows(self, op, graph, out_range):
+        f = int(op.params.get("factor", 2))
+        r0, r1 = out_range
+        return [(r0 * f, r1 * f)]
+
+
+register(Subsample())

@@ -1,0 +1,47 @@
+"""Pseudo-Boolean / SAT solving substrate.
+
+The paper solves its exact offload-and-transfer scheduling formulation
+(Figure 5) with MiniSAT+ [9].  This package is a from-scratch equivalent:
+a CDCL SAT solver (:mod:`repro.pb.solver`), PB-to-CNF translation
+(:mod:`repro.pb.encode`) and a linear-descent minimiser
+(:mod:`repro.pb.optimize`).
+"""
+
+from .cnf import CNF, neg, sign, var_of
+from .encode import (
+    Term,
+    build_counter,
+    encode_at_most_one,
+    encode_exactly_one,
+    encode_geq,
+    encode_leq,
+    evaluate_terms,
+    normalize_leq,
+)
+from .opb import PBInstance, dumps_opb, read_opb, solve_instance, write_opb
+from .optimize import OptResult, PBSolver
+from .solver import Solver, luby
+
+__all__ = [
+    "CNF",
+    "OptResult",
+    "PBInstance",
+    "PBSolver",
+    "Solver",
+    "Term",
+    "build_counter",
+    "encode_at_most_one",
+    "encode_exactly_one",
+    "encode_geq",
+    "encode_leq",
+    "dumps_opb",
+    "evaluate_terms",
+    "luby",
+    "read_opb",
+    "solve_instance",
+    "write_opb",
+    "neg",
+    "normalize_leq",
+    "sign",
+    "var_of",
+]

@@ -1,0 +1,62 @@
+"""Literal / clause conventions shared by the SAT and pseudo-Boolean layers.
+
+Literals follow the DIMACS convention: variables are positive integers
+``1..n`` and a negative integer denotes the negation of the variable.
+A clause is a sequence of literals interpreted as a disjunction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+
+def neg(lit: int) -> int:
+    """Return the negation of a literal."""
+    return -lit
+
+
+def var_of(lit: int) -> int:
+    """Return the variable underlying a literal."""
+    return lit if lit > 0 else -lit
+
+
+def sign(lit: int) -> bool:
+    """True when the literal is positive."""
+    return lit > 0
+
+
+@dataclass
+class CNF:
+    """A growable CNF formula.
+
+    Used as an intermediate container by the PB encoder before the clauses
+    are handed to a :class:`repro.pb.solver.Solver`.
+    """
+
+    num_vars: int = 0
+    clauses: list[tuple[int, ...]] = field(default_factory=list)
+
+    def new_var(self) -> int:
+        self.num_vars += 1
+        return self.num_vars
+
+    def new_vars(self, count: int) -> list[int]:
+        return [self.new_var() for _ in range(count)]
+
+    def add(self, lits: Iterable[int]) -> None:
+        clause = tuple(lits)
+        for lit in clause:
+            v = var_of(lit)
+            if v == 0:
+                raise ValueError("literal 0 is not allowed")
+            if v > self.num_vars:
+                self.num_vars = v
+        self.clauses.append(clause)
+
+    def extend(self, clauses: Iterable[Sequence[int]]) -> None:
+        for c in clauses:
+            self.add(c)
+
+    def __len__(self) -> int:
+        return len(self.clauses)

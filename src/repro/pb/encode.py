@@ -1,0 +1,194 @@
+"""Pseudo-Boolean constraint normalisation and CNF encoding.
+
+Linear constraints over Boolean literals (``sum a_i * l_i <= k``) are
+translated to clauses with the sequential weighted counter encoding, the
+same family of translations used by MiniSAT+ (the solver the paper uses
+for its Figure-5 formulation).  The encoding introduces auxiliary
+variables ``s[i][j]`` meaning "the sum of the first *i* terms is >= j";
+one direction of the equivalence suffices for a <= constraint.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+Term = tuple[int, int]  # (coefficient, literal)
+
+
+def normalize_leq(terms: Sequence[Term], bound: int) -> tuple[list[Term], int]:
+    """Normalise ``sum a_i*l_i <= bound`` to positive coefficients.
+
+    Negative coefficients are eliminated via ``a*l == -|a|*(~l) + a`` —
+    flipping the literal and shifting the bound.  Zero coefficients are
+    dropped and duplicate literals merged.
+    """
+    merged: dict[int, int] = {}
+    for coef, lit in terms:
+        if coef == 0:
+            continue
+        if coef < 0:
+            coef, lit, bound = -coef, -lit, bound + (-coef)
+        # Merge with an existing occurrence of the same or opposite literal.
+        if -lit in merged:
+            other = merged.pop(-lit)
+            # a*(~l) + c*l == (c-a)*l + a
+            coef, bound = coef - other, bound - other
+            if coef < 0:
+                coef, lit, bound = -coef, -lit, bound + (-coef)
+        if coef:
+            merged[lit] = merged.get(lit, 0) + coef
+    out = [(c, l) for l, c in merged.items() if c]
+    return out, bound
+
+
+def encode_leq(
+    terms: Sequence[Term],
+    bound: int,
+    new_var: Callable[[], int],
+    add_clause: Callable[[Sequence[int]], None],
+) -> list[int]:
+    """Encode ``sum a_i*l_i <= bound`` (positive coefficients assumed after
+    normalisation) into clauses.
+
+    Returns the final column of counter outputs ``outs`` where
+    ``outs[j-1]`` (1-based j) is an auxiliary literal that is forced true
+    whenever the sum reaches at least ``j``.  Asserting ``-outs[j-1]``
+    therefore tightens the constraint to ``sum <= j-1`` — this is how the
+    optimiser narrows the objective incrementally.
+    """
+    terms, bound = normalize_leq(terms, bound)
+    if bound < 0:
+        add_clause([])  # unsatisfiable
+        return []
+    # Scale down by the GCD to keep the counter small.
+    if terms:
+        g = math.gcd(*[c for c, _ in terms])
+        if g > 1 and all(c % g == 0 for c, _ in terms):
+            # Only sound to divide the bound with floor for a <= constraint.
+            terms = [(c // g, l) for c, l in terms]
+            bound = bound // g
+    total = sum(c for c, _ in terms)
+    if total <= bound:
+        return []  # trivially satisfied
+    # Literals whose single coefficient exceeds the bound are forced false.
+    forced: list[Term] = []
+    for c, l in terms:
+        if c > bound:
+            add_clause([-l])
+        else:
+            forced.append((c, l))
+    terms = forced
+    if not terms:
+        return []
+    k = bound
+    n = len(terms)
+    # s[i][j] for i in 0..n-1, j in 1..k
+    prev: list[int] = []
+    outs: list[int] = []
+    for i, (c, l) in enumerate(terms):
+        cur = [new_var() for _ in range(k)]
+        for j in range(1, k + 1):
+            # x_i -> s_i,j for j <= c
+            if j <= c:
+                add_clause([-l, cur[j - 1]])
+            if i > 0:
+                # s_{i-1},j -> s_i,j
+                add_clause([-prev[j - 1], cur[j - 1]])
+                # s_{i-1},j & x_i -> s_i,j+c
+                if j + c <= k:
+                    add_clause([-prev[j - 1], -l, cur[j + c - 1]])
+        if i > 0 and k + 1 - c >= 1:
+            # Overflow: sum of first i-1 >= k+1-c forbids x_i.
+            add_clause([-prev[k - c], -l])
+        prev = cur
+        outs = cur
+    return outs
+
+
+def build_counter(
+    terms: Sequence[Term],
+    k: int,
+    new_var: Callable[[], int],
+    add_clause: Callable[[Sequence[int]], None],
+) -> list[int]:
+    """Build a sequential weighted counter over positive-coefficient terms.
+
+    Returns ``outs`` of length ``k`` where ``outs[j-1]`` is forced true
+    whenever ``sum a_i*l_i >= j``.  Posts no bound itself — the caller
+    asserts ``-outs[j-1]`` to impose ``sum <= j-1``.  Used by the
+    optimiser, which must control scaling and triviality itself.
+    """
+    if k <= 0 or not terms:
+        return []
+    assert all(c > 0 for c, _ in terms), "build_counter requires positive coefficients"
+    prev: list[int] = []
+    for i, (c, l) in enumerate(terms):
+        cur = [new_var() for _ in range(k)]
+        for j in range(1, k + 1):
+            if j <= c:
+                add_clause([-l, cur[j - 1]])
+            if i > 0:
+                add_clause([-prev[j - 1], cur[j - 1]])
+                if j + c <= k:
+                    add_clause([-prev[j - 1], -l, cur[j + c - 1]])
+        prev = cur
+    return prev
+
+
+def encode_geq(
+    terms: Sequence[Term],
+    bound: int,
+    new_var: Callable[[], int],
+    add_clause: Callable[[Sequence[int]], None],
+) -> None:
+    """Encode ``sum a_i*l_i >= bound`` by negating into a <= constraint."""
+    flipped = [(-c, l) for c, l in terms]
+    encode_leq(flipped, -bound, new_var, add_clause)
+
+
+def encode_exactly_one(
+    lits: Sequence[int],
+    new_var: Callable[[], int],
+    add_clause: Callable[[Sequence[int]], None],
+) -> None:
+    """At least one + at most one (pairwise for short lists, ladder else)."""
+    add_clause(list(lits))
+    encode_at_most_one(lits, new_var, add_clause)
+
+
+def encode_at_most_one(
+    lits: Sequence[int],
+    new_var: Callable[[], int],
+    add_clause: Callable[[Sequence[int]], None],
+) -> None:
+    n = len(lits)
+    if n <= 1:
+        return
+    if n <= 6:
+        for i in range(n):
+            for j in range(i + 1, n):
+                add_clause([-lits[i], -lits[j]])
+        return
+    # Sequential (ladder) encoding: r_i == "one of lits[0..i] is true".
+    r_prev = None
+    for i, lit in enumerate(lits[:-1]):
+        r = new_var()
+        add_clause([-lit, r])
+        if r_prev is not None:
+            add_clause([-r_prev, r])
+            add_clause([-r_prev, -lit])
+        r_prev = r
+    add_clause([-r_prev, -lits[-1]])
+
+
+def evaluate_terms(terms: Sequence[Term], model: dict[int, bool]) -> int:
+    """Value of a linear form under a model (negative literals supported)."""
+    total = 0
+    for coef, lit in terms:
+        v = model.get(abs(lit), False)
+        if lit < 0:
+            v = not v
+        if v:
+            total += coef
+    return total

@@ -1,0 +1,158 @@
+"""OPB (pseudo-Boolean competition format) interchange.
+
+The paper solves its Figure-5 instances with MiniSAT+, which consumes
+the standard OPB format.  This module writes and reads that format, so
+formulations built with :class:`repro.pb.PBSolver` (recording enabled)
+can be cross-checked against external solvers, and external instances
+can be solved with ours.
+
+Format example::
+
+    * #variable= 3 #constraint= 2
+    min: +2 x1 +3 x2 ;
+    +1 x1 +2 x2 +1 x3 >= 2 ;
+    +1 x1 -1 x2 <= 0 ;
+
+Only ``>=``, ``<=`` and ``=`` linear constraints over positive variable
+literals appear (negative literals are rewritten via ``~x = 1 - x``
+before writing, i.e. folded into coefficients and the bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence, TextIO
+
+Term = tuple[int, int]  # (coefficient, literal)
+
+
+@dataclass
+class PBInstance:
+    """A plain pseudo-Boolean instance (constraints + optional objective)."""
+
+    num_vars: int = 0
+    objective: list[Term] | None = None
+    constraints: list[tuple[list[Term], str, int]] = field(default_factory=list)
+    # each constraint: (terms, relation in {'>=', '<=', '='}, bound)
+
+    def add(self, terms: Sequence[Term], rel: str, bound: int) -> None:
+        if rel not in (">=", "<=", "="):
+            raise ValueError(f"bad relation {rel!r}")
+        terms = list(terms)
+        for _, lit in terms:
+            self.num_vars = max(self.num_vars, abs(lit))
+        self.constraints.append((terms, rel, bound))
+
+
+def _positivise(terms: Sequence[Term], bound: int) -> tuple[list[Term], int]:
+    """Rewrite negative literals: c*~x == c - c*x."""
+    out: list[Term] = []
+    for c, lit in terms:
+        if lit < 0:
+            out.append((-c, -lit))
+            bound -= c
+        else:
+            out.append((c, lit))
+    return out, bound
+
+
+def _fmt_terms(terms: Sequence[Term]) -> str:
+    return " ".join(f"{c:+d} x{lit}" for c, lit in terms if c != 0)
+
+
+def write_opb(instance: PBInstance, fh: TextIO) -> None:
+    """Serialise an instance in OPB format."""
+    fh.write(
+        f"* #variable= {instance.num_vars} "
+        f"#constraint= {len(instance.constraints)}\n"
+    )
+    if instance.objective is not None:
+        obj, shift = _positivise(instance.objective, 0)
+        if shift:
+            fh.write(f"* objective constant offset: {-shift}\n")
+        fh.write(f"min: {_fmt_terms(obj)} ;\n")
+    for terms, rel, bound in instance.constraints:
+        pos, b = _positivise(terms, bound)
+        if rel == "<=":
+            # OPB prefers >=; negate.
+            pos = [(-c, l) for c, l in pos]
+            rel, b = ">=", -b
+        fh.write(f"{_fmt_terms(pos)} {rel} {b} ;\n")
+
+
+def dumps_opb(instance: PBInstance) -> str:
+    import io
+
+    buf = io.StringIO()
+    write_opb(instance, buf)
+    return buf.getvalue()
+
+
+def read_opb(lines: Iterable[str]) -> PBInstance:
+    """Parse OPB text back into a :class:`PBInstance`."""
+    inst = PBInstance()
+
+    def parse_terms(text: str) -> list[Term]:
+        tokens = text.split()
+        if len(tokens) % 2:
+            raise ValueError(f"malformed terms: {text!r}")
+        terms = []
+        for i in range(0, len(tokens), 2):
+            coef = int(tokens[i])
+            var = tokens[i + 1]
+            neg = var.startswith("~")
+            if neg:
+                var = var[1:]
+            if not var.startswith("x"):
+                raise ValueError(f"bad variable token {var!r}")
+            lit = int(var[1:])
+            terms.append((coef, -lit if neg else lit))
+        return terms
+
+    for raw in lines:
+        line = raw.strip()
+        if not line or line.startswith("*"):
+            continue
+        if not line.endswith(";"):
+            raise ValueError(f"missing ';' in line: {line!r}")
+        line = line[:-1].strip()
+        if line.startswith("min:"):
+            inst.objective = parse_terms(line[4:])
+            for _, lit in inst.objective:
+                inst.num_vars = max(inst.num_vars, abs(lit))
+            continue
+        for rel in (">=", "<=", "="):
+            if rel in line:
+                lhs, rhs = line.split(rel, 1)
+                inst.add(parse_terms(lhs), rel, int(rhs))
+                break
+        else:
+            raise ValueError(f"no relation found in line: {line!r}")
+    return inst
+
+
+def solve_instance(instance: PBInstance):
+    """Solve a parsed instance with our PB optimiser.
+
+    Returns an :class:`repro.pb.OptResult` (minimisation if the instance
+    has an objective, else plain satisfiability wrapped as value 0).
+    """
+    from .optimize import OptResult, PBSolver
+
+    solver = PBSolver()
+    solver.new_vars(instance.num_vars)
+    for terms, rel, bound in instance.constraints:
+        if rel == ">=":
+            solver.add_geq(terms, bound)
+        elif rel == "<=":
+            solver.add_leq(terms, bound)
+        else:
+            solver.add_eq(terms, bound)
+    if instance.objective is not None:
+        return solver.minimize(instance.objective)
+    sat = solver.solve()
+    if not sat:
+        return OptResult(status="unsat", solve_calls=1)
+    return OptResult(
+        status="optimal", value=0, model=solver.model(), solve_calls=1
+    )

@@ -1,0 +1,201 @@
+"""Pseudo-Boolean optimisation driver (MiniSAT+-style).
+
+Wraps the CDCL core with PB constraint posting and a linear-descent
+minimisation loop: solve, read off the objective value, assert
+"objective <= value - 1" via the counter outputs, and repeat until UNSAT.
+The last model found is optimal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import math
+
+from .encode import (
+    Term,
+    build_counter,
+    encode_at_most_one,
+    encode_exactly_one,
+    encode_geq,
+    encode_leq,
+    evaluate_terms,
+    normalize_leq,
+)
+from .solver import Solver
+
+
+@dataclass
+class OptResult:
+    """Outcome of a minimisation run."""
+
+    status: str  # "optimal", "unsat"
+    value: int | None = None
+    model: dict[int, bool] | None = None
+    solve_calls: int = 0
+
+    @property
+    def satisfiable(self) -> bool:
+        return self.status == "optimal"
+
+
+class PBSolver:
+    """Pseudo-Boolean satisfiability and optimisation.
+
+    Provides the constraint vocabulary needed by the paper's Figure-5
+    formulation: clauses (implications), exactly-one / at-most-one,
+    linear <= / >= / == constraints, and linear objective minimisation.
+    """
+
+    def __init__(self, record: bool = False) -> None:
+        self._solver = Solver()
+        self.num_constraints = 0
+        #: when recording, a plain PB mirror of every posted constraint
+        #: is kept for OPB export (see :mod:`repro.pb.opb`)
+        self._recorded: list[tuple[list[Term], str, int]] | None = (
+            [] if record else None
+        )
+
+    def _record(self, terms: Sequence[Term], rel: str, bound: int) -> None:
+        if self._recorded is not None:
+            self._recorded.append((list(terms), rel, bound))
+
+    def to_instance(self, objective: Sequence[Term] | None = None):
+        """Export recorded constraints as an OPB-ready instance."""
+        from .opb import PBInstance
+
+        if self._recorded is None:
+            raise RuntimeError("PBSolver(record=True) required for export")
+        inst = PBInstance(num_vars=self.num_vars)
+        if objective is not None:
+            inst.objective = list(objective)
+        for terms, rel, bound in self._recorded:
+            inst.add(terms, rel, bound)
+        return inst
+
+    # -- variables ------------------------------------------------------
+    def new_var(self) -> int:
+        return self._solver.new_var()
+
+    def new_vars(self, count: int) -> list[int]:
+        return [self._solver.new_var() for _ in range(count)]
+
+    @property
+    def num_vars(self) -> int:
+        return self._solver.nvars
+
+    # -- constraints -----------------------------------------------------
+    def add_clause(self, lits: Sequence[int]) -> None:
+        self.num_constraints += 1
+        if len(lits) == 0:
+            self._solver.ok = False
+            return
+        self._record([(1, l) for l in lits], ">=", 1)
+        self._solver.add_clause(lits)
+
+    def implies(self, antecedents: Sequence[int], consequent: int) -> None:
+        """Post ``(a1 & a2 & ...) -> c`` as a clause."""
+        self.add_clause([-a for a in antecedents] + [consequent])
+
+    def exactly_one(self, lits: Sequence[int]) -> None:
+        self.num_constraints += 1
+        self._record([(1, l) for l in lits], "=", 1)
+        encode_exactly_one(lits, self.new_var, self._solver.add_clause)
+
+    def at_most_one(self, lits: Sequence[int]) -> None:
+        self.num_constraints += 1
+        self._record([(1, l) for l in lits], "<=", 1)
+        encode_at_most_one(lits, self.new_var, self._solver.add_clause)
+
+    def add_leq(self, terms: Sequence[Term], bound: int) -> None:
+        self.num_constraints += 1
+        self._record(terms, "<=", bound)
+        encode_leq(terms, bound, self.new_var, self._add_raw)
+
+    def add_geq(self, terms: Sequence[Term], bound: int) -> None:
+        self.num_constraints += 1
+        self._record(terms, ">=", bound)
+        encode_geq(terms, bound, self.new_var, self._add_raw)
+
+    def add_eq(self, terms: Sequence[Term], bound: int) -> None:
+        self.add_leq(terms, bound)
+        self.add_geq(terms, bound)
+
+    def _add_raw(self, lits: Sequence[int]) -> None:
+        if len(lits) == 0:
+            self._solver.ok = False
+            return
+        self._solver.add_clause(lits)
+
+    def suggest(self, lit: int, weight: float = 1.0) -> None:
+        """Branching hint: prefer this literal's phase and try it early.
+
+        Used to warm-start the Figure-5 search from a heuristic schedule.
+        """
+        v = abs(lit)
+        self._solver.ensure_vars(v)
+        self._solver.polarity[v] = lit > 0
+        self._solver.activity[v] += weight
+        if v in self._solver._heap_pos:
+            self._solver._heap_up(self._solver._heap_pos[v])
+
+    # -- solving ----------------------------------------------------------
+    def solve(self, assumptions: Sequence[int] = ()) -> bool:
+        return self._solver.solve(assumptions)
+
+    def model(self) -> dict[int, bool]:
+        return self._solver.model()
+
+    def minimize(
+        self,
+        objective: Sequence[Term],
+        upper_bound: int | None = None,
+    ) -> OptResult:
+        """Minimise a linear objective.
+
+        ``upper_bound`` (inclusive, in original objective units) seeds the
+        search: a known-achievable value (e.g. from a heuristic plan)
+        constrains the very first solve, which vastly prunes the descent.
+
+        Returns the optimal value and a witnessing model, or ``unsat``.
+        """
+        objective, shift = normalize_leq(objective, 0)
+        # ``shift`` tracks the constant folded out by normalisation:
+        # normalize_leq(terms, 0) rewrote sum(terms) <= 0 into
+        # sum(pos_terms) <= shift, i.e. sum(orig) == sum(pos) - shift.
+        # All achievable objective values are multiples of the coefficient
+        # GCD; working in scaled units keeps the counter small.
+        g = math.gcd(*[c for c, _ in objective]) if objective else 1
+        scaled = [(c // g, l) for c, l in objective]
+        outs: list[int] = []
+        if upper_bound is not None and objective:
+            ub_u = (upper_bound + shift) // g
+            outs = build_counter(scaled, ub_u + 1, self.new_var, self._add_raw)
+            if ub_u < len(outs):
+                self._add_raw([-outs[ub_u]])
+        calls = 1
+        if not self.solve():
+            return OptResult(status="unsat", solve_calls=calls)
+        best_model = self.model()
+        best = evaluate_terms(objective, best_model)
+        best_u = best // g
+        if len(outs) < best_u:
+            outs = build_counter(scaled, best_u, self.new_var, self._add_raw)
+        while best_u > 0:
+            # Assert objective <= best - 1 via the counter output column.
+            self._add_raw([-outs[best_u - 1]])
+            calls += 1
+            if not self.solve():
+                break
+            model = self.model()
+            value = evaluate_terms(objective, model)
+            assert value < best, "objective failed to decrease"
+            best, best_model = value, model
+            best_u = best // g
+        return OptResult(
+            status="optimal",
+            value=best - shift,
+            model=best_model,
+            solve_calls=calls,
+        )

@@ -1,0 +1,504 @@
+"""A CDCL SAT solver.
+
+This is the satisfiability core underneath the pseudo-Boolean optimiser
+(the paper solves its Figure-5 formulation with MiniSAT+ [Een & Sorensson
+2006]; we implement the same architecture from scratch): conflict-driven
+clause learning with two watched literals, VSIDS branching on an order
+heap, phase saving, first-UIP learning with recursive minimisation,
+learnt-clause database reduction and Luby restarts.
+
+The solver is deliberately self-contained (no numpy) so that the PB layer
+can be property-tested against brute force in isolation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+_LUBY_UNIT = 128
+
+
+def luby(i: int) -> int:
+    """The i-th term (1-based) of the Luby restart sequence 1,1,2,1,1,2,4,..."""
+    if i < 1:
+        raise ValueError("luby is 1-indexed")
+    x = i - 1
+    size, seq = 1, 0
+    while size < x + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != x:
+        size = (size - 1) >> 1
+        seq -= 1
+        x %= size
+    return 1 << seq
+
+
+class Clause:
+    """A clause with watch metadata; ``lits[0:2]`` are watched."""
+
+    __slots__ = ("lits", "learnt", "activity", "deleted")
+
+    def __init__(self, lits: list[int], learnt: bool = False) -> None:
+        self.lits = lits
+        self.learnt = learnt
+        self.activity = 0.0
+        self.deleted = False
+
+    def __len__(self) -> int:
+        return len(self.lits)
+
+
+class Solver:
+    """Conflict-driven clause-learning SAT solver over DIMACS-style literals.
+
+    Typical use::
+
+        s = Solver()
+        a, b = s.new_var(), s.new_var()
+        s.add_clause([a, b])
+        s.add_clause([-a, b])
+        assert s.solve()
+        assert s.value(b) is True
+
+    Clauses may be added between ``solve()`` calls, which is how the PB
+    optimiser tightens the objective bound incrementally.
+    """
+
+    def __init__(self) -> None:
+        self.nvars = 0
+        # Indexed by variable (1..nvars); index 0 unused.
+        self.assigns: list[int] = [0]  # 0 unassigned, 1 true, -1 false
+        self.level: list[int] = [0]
+        self.reason: list[Clause | None] = [None]
+        self.activity: list[float] = [0.0]
+        self.polarity: list[bool] = [False]  # saved phase
+        self.watches: dict[int, list[Clause]] = {}
+        self.trail: list[int] = []
+        self.trail_lim: list[int] = []
+        self.prop_head = 0
+        self.ok = True
+        self.var_inc = 1.0
+        self.var_decay = 0.95
+        self.cla_inc = 1.0
+        self.cla_decay = 0.999
+        self.learnts: list[Clause] = []
+        self.clauses: list[Clause] = []
+        self.max_learnts = 4000.0
+        self.conflicts = 0
+        self.decisions = 0
+        self.propagations = 0
+        # Order heap (binary max-heap on activity) with lazy position map.
+        self._heap: list[int] = []
+        self._heap_pos: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Variable and clause management
+    # ------------------------------------------------------------------
+    def new_var(self) -> int:
+        self.nvars += 1
+        v = self.nvars
+        self.assigns.append(0)
+        self.level.append(0)
+        self.reason.append(None)
+        self.activity.append(0.0)
+        self.polarity.append(False)
+        self._heap_insert(v)
+        return v
+
+    def ensure_vars(self, n: int) -> None:
+        while self.nvars < n:
+            self.new_var()
+
+    def _lit_value(self, lit: int) -> int:
+        v = self.assigns[lit if lit > 0 else -lit]
+        return v if lit > 0 else -v
+
+    def value(self, lit: int) -> bool | None:
+        """Truth value of a literal in the current assignment."""
+        v = self._lit_value(lit)
+        return None if v == 0 else v > 0
+
+    def add_clause(self, lits: Iterable[int]) -> bool:
+        """Add a clause; returns False if the formula became trivially UNSAT."""
+        if not self.ok:
+            return False
+        self._cancel_until(0)
+        seen: set[int] = set()
+        clause: list[int] = []
+        for lit in lits:
+            v = abs(lit)
+            if v == 0:
+                raise ValueError("literal 0 is not allowed")
+            self.ensure_vars(v)
+            if -lit in seen:
+                return True  # tautology
+            if lit in seen:
+                continue
+            val = self._lit_value(lit)
+            if val > 0:
+                return True  # satisfied at root
+            if val < 0:
+                continue  # falsified at root; drop literal
+            seen.add(lit)
+            clause.append(lit)
+        if not clause:
+            self.ok = False
+            return False
+        if len(clause) == 1:
+            self._enqueue(clause[0], None)
+            if self._propagate() is not None:
+                self.ok = False
+                return False
+            return True
+        c = Clause(clause)
+        self.clauses.append(c)
+        self._watch_clause(c)
+        return True
+
+    def _watch_clause(self, c: Clause) -> None:
+        self.watches.setdefault(-c.lits[0], []).append(c)
+        self.watches.setdefault(-c.lits[1], []).append(c)
+
+    # ------------------------------------------------------------------
+    # Order heap (max-heap on var activity)
+    # ------------------------------------------------------------------
+    def _heap_less(self, a: int, b: int) -> bool:
+        return self.activity[a] > self.activity[b]
+
+    def _heap_insert(self, v: int) -> None:
+        if v in self._heap_pos:
+            return
+        self._heap.append(v)
+        i = len(self._heap) - 1
+        self._heap_pos[v] = i
+        self._heap_up(i)
+
+    def _heap_up(self, i: int) -> None:
+        h, pos = self._heap, self._heap_pos
+        v = h[i]
+        while i > 0:
+            p = (i - 1) >> 1
+            if self._heap_less(v, h[p]):
+                h[i] = h[p]
+                pos[h[i]] = i
+                i = p
+            else:
+                break
+        h[i] = v
+        pos[v] = i
+
+    def _heap_down(self, i: int) -> None:
+        h, pos = self._heap, self._heap_pos
+        n = len(h)
+        v = h[i]
+        while True:
+            l = 2 * i + 1
+            if l >= n:
+                break
+            r = l + 1
+            c = r if r < n and self._heap_less(h[r], h[l]) else l
+            if self._heap_less(h[c], v):
+                h[i] = h[c]
+                pos[h[i]] = i
+                i = c
+            else:
+                break
+        h[i] = v
+        pos[v] = i
+
+    def _heap_pop(self) -> int | None:
+        h, pos = self._heap, self._heap_pos
+        while h:
+            v = h[0]
+            last = h.pop()
+            del pos[v]
+            if h:
+                h[0] = last
+                pos[last] = 0
+                self._heap_down(0)
+            if self.assigns[v] == 0:
+                return v
+        return None
+
+    # ------------------------------------------------------------------
+    # Assignment / trail
+    # ------------------------------------------------------------------
+    def _enqueue(self, lit: int, reason: Clause | None) -> bool:
+        val = self._lit_value(lit)
+        if val != 0:
+            return val > 0
+        v = abs(lit)
+        self.assigns[v] = 1 if lit > 0 else -1
+        self.level[v] = len(self.trail_lim)
+        self.reason[v] = reason
+        self.trail.append(lit)
+        return True
+
+    def _cancel_until(self, lvl: int) -> None:
+        if len(self.trail_lim) <= lvl:
+            return
+        bound = self.trail_lim[lvl]
+        for i in range(len(self.trail) - 1, bound - 1, -1):
+            lit = self.trail[i]
+            v = abs(lit)
+            self.polarity[v] = lit > 0
+            self.assigns[v] = 0
+            self.reason[v] = None
+            self._heap_insert(v)
+        del self.trail[bound:]
+        del self.trail_lim[lvl:]
+        self.prop_head = len(self.trail)
+
+    # ------------------------------------------------------------------
+    # Propagation
+    # ------------------------------------------------------------------
+    def _propagate(self) -> Clause | None:
+        """Unit propagation; returns a conflicting clause or None."""
+        while self.prop_head < len(self.trail):
+            lit = self.trail[self.prop_head]
+            self.prop_head += 1
+            self.propagations += 1
+            watchlist = self.watches.get(lit)
+            if not watchlist:
+                continue
+            new_watchlist: list[Clause] = []
+            i = 0
+            n = len(watchlist)
+            value = self._lit_value
+            while i < n:
+                c = watchlist[i]
+                i += 1
+                if c.deleted:
+                    continue
+                lits = c.lits
+                # Ensure the falsified literal (-lit) sits at position 1.
+                if lits[0] == -lit:
+                    lits[0], lits[1] = lits[1], lits[0]
+                first = lits[0]
+                if value(first) > 0:
+                    new_watchlist.append(c)
+                    continue
+                # Look for a new literal to watch.
+                found = False
+                for k in range(2, len(lits)):
+                    if value(lits[k]) >= 0:
+                        lits[1], lits[k] = lits[k], lits[1]
+                        self.watches.setdefault(-lits[1], []).append(c)
+                        found = True
+                        break
+                if found:
+                    continue
+                new_watchlist.append(c)
+                if value(first) < 0:
+                    new_watchlist.extend(watchlist[i:])
+                    self.watches[lit] = new_watchlist
+                    return c
+                self._enqueue(first, c)
+            self.watches[lit] = new_watchlist
+        return None
+
+    # ------------------------------------------------------------------
+    # Activity bookkeeping
+    # ------------------------------------------------------------------
+    def _bump_var(self, v: int) -> None:
+        self.activity[v] += self.var_inc
+        if self.activity[v] > 1e100:
+            for i in range(1, self.nvars + 1):
+                self.activity[i] *= 1e-100
+            self.var_inc *= 1e-100
+            self._rebuild_heap()
+        elif v in self._heap_pos:
+            self._heap_up(self._heap_pos[v])
+
+    def _rebuild_heap(self) -> None:
+        vs = list(self._heap_pos)
+        self._heap.clear()
+        self._heap_pos.clear()
+        for v in vs:
+            self._heap_insert(v)
+
+    def _bump_clause(self, c: Clause) -> None:
+        c.activity += self.cla_inc
+        if c.activity > 1e20:
+            for lc in self.learnts:
+                lc.activity *= 1e-20
+            self.cla_inc *= 1e-20
+
+    # ------------------------------------------------------------------
+    # Conflict analysis (first UIP)
+    # ------------------------------------------------------------------
+    def _analyze(self, confl: Clause) -> tuple[list[int], int]:
+        """Return (learnt clause, asserting literal first, backtrack level)."""
+        cur_level = len(self.trail_lim)
+        seen = bytearray(self.nvars + 1)
+        learnt: list[int] = [0]
+        counter = 0
+        lit = None
+        idx = len(self.trail) - 1
+        reason: Clause = confl
+        while True:
+            if reason.learnt:
+                self._bump_clause(reason)
+            start = 0 if lit is None else 1
+            rlits = reason.lits
+            if lit is not None and rlits[0] != lit:
+                rlits = [lit] + [q for q in rlits if q != lit]
+            for q in rlits[start:]:
+                v = abs(q)
+                if not seen[v] and self.level[v] > 0:
+                    seen[v] = 1
+                    self._bump_var(v)
+                    if self.level[v] >= cur_level:
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            while True:
+                lit = self.trail[idx]
+                idx -= 1
+                if seen[abs(lit)]:
+                    break
+            v = abs(lit)
+            seen[v] = 0
+            counter -= 1
+            if counter == 0:
+                break
+            r = self.reason[v]
+            assert r is not None
+            reason = r
+        learnt[0] = -lit
+        # Clause minimisation: drop literals implied by the rest.
+        if len(learnt) > 1:
+            marked = {abs(q) for q in learnt}
+            keep = [learnt[0]]
+            for q in learnt[1:]:
+                r = self.reason[abs(q)]
+                if r is None:
+                    keep.append(q)
+                    continue
+                if all(
+                    abs(p) in marked or self.level[abs(p)] == 0
+                    for p in r.lits
+                    if abs(p) != abs(q)
+                ):
+                    continue
+                keep.append(q)
+            learnt = keep
+        if len(learnt) == 1:
+            back = 0
+        else:
+            back = max(self.level[abs(q)] for q in learnt[1:])
+            for k in range(1, len(learnt)):
+                if self.level[abs(learnt[k])] == back:
+                    learnt[1], learnt[k] = learnt[k], learnt[1]
+                    break
+        return learnt, back
+
+    # ------------------------------------------------------------------
+    # Learnt clause DB reduction
+    # ------------------------------------------------------------------
+    def _reduce_db(self) -> None:
+        locked = {id(r) for r in self.reason if r is not None}
+        self.learnts.sort(key=lambda c: (len(c.lits) <= 2, c.activity))
+        keep_from = len(self.learnts) // 2
+        removed = 0
+        kept: list[Clause] = []
+        for i, c in enumerate(self.learnts):
+            if i >= keep_from or len(c.lits) <= 2 or id(c) in locked:
+                kept.append(c)
+            else:
+                c.deleted = True
+                removed += 1
+        self.learnts = kept
+        if removed:
+            # Deleted clauses are skipped lazily in propagate; compact the
+            # watch lists here to reclaim memory.
+            for lit in list(self.watches):
+                wl = [c for c in self.watches[lit] if not c.deleted]
+                if wl:
+                    self.watches[lit] = wl
+                else:
+                    del self.watches[lit]
+
+    # ------------------------------------------------------------------
+    # Branching
+    # ------------------------------------------------------------------
+    def _pick_branch(self) -> int:
+        v = self._heap_pop()
+        if v is None:
+            return 0
+        return v if self.polarity[v] else -v
+
+    # ------------------------------------------------------------------
+    # Main search
+    # ------------------------------------------------------------------
+    def solve(self, assumptions: Sequence[int] = ()) -> bool:
+        """Search for a satisfying assignment.
+
+        Returns True and leaves a complete model readable through
+        :meth:`value` / :meth:`model`, or False if UNSAT (under the
+        assumptions).
+        """
+        if not self.ok:
+            return False
+        self._cancel_until(0)
+        if self._propagate() is not None:
+            self.ok = False
+            return False
+        restart_round = 0
+        conflict_budget = _LUBY_UNIT * luby(1)
+        conflicts_here = 0
+        while True:
+            confl = self._propagate()
+            if confl is not None:
+                self.conflicts += 1
+                conflicts_here += 1
+                if not self.trail_lim:
+                    self.ok = False
+                    return False
+                learnt, back = self._analyze(confl)
+                self._cancel_until(back)
+                if len(learnt) == 1:
+                    self._enqueue(learnt[0], None)
+                else:
+                    c = Clause(learnt, learnt=True)
+                    c.activity = self.cla_inc
+                    self.learnts.append(c)
+                    self._watch_clause(c)
+                    self._enqueue(learnt[0], c)
+                self.var_inc /= self.var_decay
+                self.cla_inc /= self.cla_decay
+                if len(self.learnts) > self.max_learnts:
+                    self._reduce_db()
+                    self.max_learnts *= 1.1
+                continue
+            if conflicts_here >= conflict_budget:
+                restart_round += 1
+                conflict_budget = _LUBY_UNIT * luby(restart_round + 1)
+                conflicts_here = 0
+                self._cancel_until(0)
+                continue
+            # Apply assumptions as pseudo-decisions.
+            if len(self.trail_lim) < len(assumptions):
+                lit = assumptions[len(self.trail_lim)]
+                self.ensure_vars(abs(lit))
+                val = self._lit_value(lit)
+                if val > 0:
+                    self.trail_lim.append(len(self.trail))
+                    continue
+                if val < 0:
+                    return False
+                self.decisions += 1
+                self.trail_lim.append(len(self.trail))
+                self._enqueue(lit, None)
+                continue
+            lit = self._pick_branch()
+            if lit == 0:
+                return True
+            self.decisions += 1
+            self.trail_lim.append(len(self.trail))
+            self._enqueue(lit, None)
+
+    def model(self) -> dict[int, bool]:
+        """The satisfying assignment found by the last successful solve."""
+        return {v: self.assigns[v] > 0 for v in range(1, self.nvars + 1)}

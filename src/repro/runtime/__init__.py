@@ -1,0 +1,23 @@
+"""Plan execution: numeric (on the simulated device) and analytic."""
+
+from .assemble import assemble_root, gather_slot, input_chunk_array, scatter_outputs
+from .dynamic import DynamicExecutor, dynamic_execute
+from .executor import ExecutionResult, SimulatedRun, execute_plan, simulate_plan
+from .overlap import OverlapResult, simulate_plan_overlap
+from .reference import reference_execute
+
+__all__ = [
+    "DynamicExecutor",
+    "ExecutionResult",
+    "OverlapResult",
+    "SimulatedRun",
+    "assemble_root",
+    "dynamic_execute",
+    "execute_plan",
+    "gather_slot",
+    "input_chunk_array",
+    "reference_execute",
+    "scatter_outputs",
+    "simulate_plan",
+    "simulate_plan_overlap",
+]

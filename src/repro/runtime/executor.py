@@ -1,0 +1,267 @@
+"""Execution of plans.
+
+Two modes:
+
+* :func:`execute_plan` — run a plan on the :class:`~repro.gpusim.SimRuntime`
+  with real numpy payloads.  Device capacity is *enforced by the
+  allocator*, so an over-committing plan fails exactly like it would on
+  hardware; results are numerically comparable to the host reference.
+
+* :func:`simulate_plan` — walk the same steps analytically (no payloads)
+  to produce timing/transfer figures for paper-scale workloads (the
+  Table 1/2 configurations reach 17 GB footprints, which we account but
+  never materialise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.graph import OperatorGraph, op_slots
+from repro.core.plan import CopyToCPU, CopyToGPU, ExecutionPlan, Free, Launch
+from repro.gpusim import FLOAT_BYTES, CostModel, GpuDevice, HostSystem, SimRuntime
+from repro.ops import get_impl
+
+from .assemble import assemble_root, gather_slot, input_chunk_array, scatter_outputs
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of a numeric plan execution."""
+
+    outputs: dict[str, np.ndarray]
+    elapsed: float
+    transfer_time: float
+    compute_time: float
+    h2d_floats: int
+    d2h_floats: int
+    thrashed: bool
+
+    @property
+    def transfer_floats(self) -> int:
+        return self.h2d_floats + self.d2h_floats
+
+
+def execute_plan(
+    plan: ExecutionPlan,
+    graph: OperatorGraph,
+    runtime: SimRuntime,
+    template_inputs: Mapping[str, np.ndarray],
+) -> ExecutionResult:
+    """Run a validated plan on the simulated device with real payloads."""
+    host: dict[str, np.ndarray] = {}
+
+    def host_fetch(name: str) -> np.ndarray:
+        if name not in host:
+            ds = graph.data[name]
+            if not ds.is_input:
+                raise KeyError(f"host read of {name!r} before it was saved")
+            host[name] = input_chunk_array(graph, name, template_inputs)
+        return host[name]
+
+    def update_working_set() -> None:
+        inputs_bytes = sum(
+            np.asarray(a).size * FLOAT_BYTES for a in template_inputs.values()
+        )
+        copies = sum(
+            a.size * FLOAT_BYTES
+            for n, a in host.items()
+            if not graph.data[n].is_input
+        )
+        runtime.host_working_set = inputs_bytes + copies
+
+    update_working_set()
+    for step in plan.steps:
+        if isinstance(step, CopyToGPU):
+            arr = host_fetch(step.data)
+            runtime.malloc(step.data, arr.size * FLOAT_BYTES)
+            runtime.memcpy_h2d(step.data, arr)
+        elif isinstance(step, CopyToCPU):
+            host[step.data] = runtime.memcpy_d2h(step.data)
+            update_working_set()
+        elif isinstance(step, Free):
+            runtime.free(step.data)
+        elif isinstance(step, Launch):
+            op = graph.ops[step.op]
+            impl = get_impl(op.kind)
+            inputs = [
+                gather_slot(graph, s, runtime.read_device)
+                for s in op_slots(op, graph)
+            ]
+            results = impl.execute(op, inputs)
+
+            def put(name: str, array: np.ndarray) -> None:
+                runtime.malloc(name, graph.data[name].size * FLOAT_BYTES)
+                runtime.write_device(name, array)
+
+            scatter_outputs(graph, op, results, put)
+            runtime.launch(
+                step.op, impl.flops(op, graph), impl.bytes_accessed(op, graph)
+            )
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown step {step!r}")
+    outputs = {
+        name: assemble_root(graph, name, lambda n: host[n])
+        for name, ds in graph.data.items()
+        if ds.is_output and ds.parent is None
+    }
+    prof = runtime.profile
+    return ExecutionResult(
+        outputs=outputs,
+        elapsed=runtime.clock,
+        transfer_time=prof.transfer_time,
+        compute_time=prof.compute_time,
+        h2d_floats=plan.h2d_floats(graph),
+        d2h_floats=plan.d2h_floats(graph),
+        thrashed=getattr(runtime, "thrashed", False),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Analytic simulation (paper-scale workloads)
+# ---------------------------------------------------------------------------
+@dataclass
+class SimulatedRun:
+    """Analytic timing of a plan (no payloads materialised)."""
+
+    total_time: float
+    transfer_time: float
+    compute_time: float
+    h2d_floats: int
+    d2h_floats: int
+    launches: int
+    peak_device_floats: int
+    peak_host_bytes: int
+    thrashed: bool
+    #: the paper reports such runs as erratic / inconsistent (Table 2)
+    events: list[tuple[str, float]] = field(default_factory=list)
+
+    @property
+    def transfer_floats(self) -> int:
+        return self.h2d_floats + self.d2h_floats
+
+    @property
+    def inconsistent(self) -> bool:
+        return self.thrashed
+
+    def breakdown(self) -> dict[str, float]:
+        busy = self.transfer_time + self.compute_time
+        if busy == 0:
+            return {"transfer": 0.0, "compute": 0.0}
+        return {
+            "transfer": self.transfer_time / busy,
+            "compute": self.compute_time / busy,
+        }
+
+
+def simulate_plan(
+    plan: ExecutionPlan,
+    graph: OperatorGraph,
+    device: GpuDevice,
+    host: HostSystem | None = None,
+    *,
+    record_events: bool = False,
+) -> SimulatedRun:
+    """Walk a plan analytically against the device/host cost model.
+
+    Host working set = template inputs + live host copies of
+    intermediates; once it exceeds host RAM, subsequent transfers pay the
+    paging penalty and the run is flagged ``thrashed`` (the paper's
+    "inconsistent results ... thrashing effects in main memory").
+    """
+    cost = CostModel(device, host)
+    # Last read of each data structure, from the plan's launch sequence.
+    launch_at: dict[str, int] = {}
+    last_read: dict[str, int] = {}
+    t = 0
+    for step in plan.steps:
+        if isinstance(step, Launch):
+            for d in graph.ops[step.op].inputs:
+                last_read[d] = t
+            launch_at[step.op] = t
+            t += 1
+
+    inputs_bytes = sum(
+        ds.size * FLOAT_BYTES
+        for ds in graph.data.values()
+        if ds.is_input and not ds.virtual
+    )
+    host_copies: dict[str, int] = {}
+    device_resident: dict[str, int] = {}
+    transfer_time = 0.0
+    compute_time = 0.0
+    h2d = d2h = 0
+    peak_dev = dev_used = 0
+    peak_host = inputs_bytes
+    thrashed = False
+    launches = 0
+    events: list[tuple[str, float]] = []
+    t = 0
+
+    def working_set() -> int:
+        return inputs_bytes + sum(host_copies.values())
+
+    def transfer(nfloats: int) -> float:
+        nonlocal thrashed
+        dt = cost.transfer_time_floats(nfloats)
+        if cost.thrashing(working_set()):
+            thrashed = True
+            if host is not None:
+                dt *= host.paging_penalty
+        return dt
+
+    for step in plan.steps:
+        if isinstance(step, CopyToGPU):
+            size = graph.data[step.data].size
+            dt = transfer(size)
+            transfer_time += dt
+            h2d += size
+            device_resident[step.data] = size
+            dev_used += size
+        elif isinstance(step, CopyToCPU):
+            size = graph.data[step.data].size
+            dt = transfer(size)
+            transfer_time += dt
+            d2h += size
+            if not graph.data[step.data].is_input:
+                host_copies[step.data] = size * FLOAT_BYTES
+        elif isinstance(step, Free):
+            dev_used -= device_resident.pop(step.data)
+            dt = 0.0
+        elif isinstance(step, Launch):
+            op = graph.ops[step.op]
+            impl = get_impl(op.kind)
+            dt = cost.kernel_time(
+                impl.flops(op, graph), impl.bytes_accessed(op, graph)
+            )
+            compute_time += dt
+            launches += 1
+            for d in op.outputs:
+                size = graph.data[d].size
+                device_resident[d] = size
+                dev_used += size
+            # Host copies of data never read again (and not outputs) die.
+            for d in list(host_copies):
+                ds = graph.data[d]
+                if not ds.is_output and last_read.get(d, -1) <= t:
+                    del host_copies[d]
+            t += 1
+        peak_dev = max(peak_dev, dev_used)
+        peak_host = max(peak_host, working_set())
+        if record_events:
+            events.append((str(step), dt))
+    return SimulatedRun(
+        total_time=transfer_time + compute_time,
+        transfer_time=transfer_time,
+        compute_time=compute_time,
+        h2d_floats=h2d,
+        d2h_floats=d2h,
+        launches=launches,
+        peak_device_floats=peak_dev,
+        peak_host_bytes=peak_host,
+        thrashed=thrashed,
+        events=events,
+    )

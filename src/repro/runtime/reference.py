@@ -1,0 +1,55 @@
+"""Host-only reference execution of an operator graph.
+
+Runs every operator in topological order with the numpy operator
+library, entirely in host memory (no device, no plan).  This is the
+numerical ground truth: an optimized, split, scheduled plan executed on
+the bounded-memory simulator must reproduce these results exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.graph import OperatorGraph, op_slots
+from repro.ops import get_impl
+
+from .assemble import assemble_root, gather_slot, input_chunk_array, scatter_outputs
+
+
+def reference_execute(
+    graph: OperatorGraph,
+    template_inputs: Mapping[str, np.ndarray],
+) -> dict[str, np.ndarray]:
+    """Execute the graph on the host; returns the template outputs.
+
+    ``template_inputs`` maps *root* input names (pre-splitting names) to
+    arrays.  Outputs are returned under their root names, reassembled
+    from chunks when the graph was split.
+    """
+    store: dict[str, np.ndarray] = {}
+
+    def fetch(name: str) -> np.ndarray:
+        if name not in store:
+            ds = graph.data[name]
+            if not ds.is_input:
+                raise KeyError(f"data {name!r} read before being produced")
+            store[name] = input_chunk_array(graph, name, template_inputs)
+        return store[name]
+
+    def put(name: str, array: np.ndarray) -> None:
+        store[name] = array
+
+    for op_name in graph.topological_order():
+        op = graph.ops[op_name]
+        impl = get_impl(op.kind)
+        inputs = [gather_slot(graph, s, fetch) for s in op_slots(op, graph)]
+        results = impl.execute(op, inputs)
+        scatter_outputs(graph, op, results, put)
+
+    outputs: dict[str, np.ndarray] = {}
+    for name, ds in graph.data.items():
+        if ds.is_output and ds.parent is None:
+            outputs[name] = assemble_root(graph, name, fetch)
+    return outputs

@@ -1,0 +1,92 @@
+"""The paper's parametrized-API face of the framework.
+
+"Re-targeting to different data sizes and GPUs with different memory
+capacities is automatic and abstracted from the application programmer,
+who simply views the templates as parametrized APIs that implement
+specific algorithms."  (Section 1)
+
+These functions are those APIs: a domain expert calls
+``find_edges(image, ...)`` or ``cnn_forward(arch, image)`` with plain
+numpy arrays and gets numpy arrays back; template construction,
+splitting, scheduling and execution on the bounded-memory device happen
+underneath.  The general template form from Section 4.1.1::
+
+    edge_map = find_edges(Image, Kernel, num_orientations, Combine_op)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import CompileOptions, Framework
+from repro.gpusim import GpuDevice, HostSystem, TESLA_C870
+
+from .cnn import CNNArch, cnn_graph
+from .edge_detection import find_edges_graph, rotated_kernel
+
+
+def find_edges(
+    image: np.ndarray,
+    kernel: np.ndarray,
+    num_orientations: int = 4,
+    combine_op: str = "max",
+    *,
+    device: GpuDevice = TESLA_C870,
+    host: HostSystem | None = None,
+    options: CompileOptions | None = None,
+) -> np.ndarray:
+    """Edge detection (Section 4.1.1's template API).
+
+    ``kernel`` is the base edge filter; orientations use its quarter-turn
+    rotations.  Returns the combined edge map, same shape as ``image``.
+    """
+    image = np.asarray(image, dtype=np.float32)
+    kernel = np.asarray(kernel, dtype=np.float32)
+    if image.ndim != 2 or kernel.ndim != 2:
+        raise ValueError("find_edges expects 2-D image and kernel")
+    if kernel.shape[0] != kernel.shape[1]:
+        raise ValueError("edge kernels must be square")
+    h, w = image.shape
+    graph = find_edges_graph(
+        h, w, kernel.shape[0], num_orientations, combine_op
+    )
+    inputs: dict[str, np.ndarray] = {"Img": image}
+    n_conv = (num_orientations + 1) // 2
+    for i in range(n_conv):
+        inputs[f"K{i + 1}"] = rotated_kernel(kernel, i)
+    fw = Framework(device, host, options)
+    result = fw.execute(fw.compile(graph), inputs)
+    return result.outputs["Edg"]
+
+
+def cnn_forward(
+    arch: CNNArch,
+    image: np.ndarray,
+    weights: dict[str, np.ndarray],
+    *,
+    device: GpuDevice = TESLA_C870,
+    host: HostSystem | None = None,
+    options: CompileOptions | None = None,
+) -> dict[str, np.ndarray]:
+    """Run one CNN inference; returns the output feature maps by name.
+
+    ``weights`` maps the template's weight/bias input names (the ``*.W*``
+    and ``*.B*`` entries of :func:`repro.templates.cnn_inputs`) to arrays.
+    """
+    image = np.asarray(image, dtype=np.float32)
+    if image.ndim != 2:
+        raise ValueError("cnn_forward expects a single 2-D input plane")
+    h, w = image.shape
+    graph = cnn_graph(arch, h, w)
+    inputs = dict(weights)
+    inputs["In0"] = image
+    missing = {
+        d
+        for d, ds in graph.data.items()
+        if ds.is_input and ds.parent is None
+    } - set(inputs)
+    if missing:
+        raise ValueError(f"missing weights: {sorted(missing)[:5]} ...")
+    fw = Framework(device, host, options)
+    result = fw.execute(fw.compile(graph), inputs)
+    return result.outputs

@@ -1,0 +1,58 @@
+"""Stateful property test for the device memory allocator.
+
+Drives random alloc/free sequences against a reference model and checks
+the allocator's global invariants after every operation: allocations
+never overlap, stay in bounds, accounting matches, and freeing
+everything restores a single maximal free block (perfect coalescing).
+"""
+
+import hypothesis.strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.gpusim import DeviceAllocator, OutOfDeviceMemoryError
+
+CAPACITY = 1 << 16
+
+
+class AllocatorMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.alloc = DeviceAllocator(CAPACITY, alignment=16)
+        self.live: dict[int, int] = {}  # offset -> rounded size
+
+    @rule(size=st.integers(0, CAPACITY // 4))
+    def allocate(self, size):
+        try:
+            offset = self.alloc.alloc(size)
+        except OutOfDeviceMemoryError:
+            # Legitimate only if no free *contiguous* block fits.
+            need = self.alloc._round(size)
+            assert self.alloc.largest_free_block < need
+            return
+        need = self.alloc._round(size)
+        assert offset % 16 == 0
+        assert 0 <= offset and offset + need <= CAPACITY
+        for o, s in self.live.items():
+            assert offset + need <= o or o + s <= offset, "overlap!"
+        self.live[offset] = need
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def release(self, data):
+        offset = data.draw(st.sampled_from(sorted(self.live)))
+        self.alloc.free(offset)
+        del self.live[offset]
+
+    @invariant()
+    def accounting_matches(self):
+        assert self.alloc.in_use == sum(self.live.values())
+        assert self.alloc.free_bytes == CAPACITY - self.alloc.in_use
+        assert 0.0 <= self.alloc.fragmentation() <= 1.0
+
+    @invariant()
+    def empty_means_coalesced(self):
+        if not self.live:
+            assert self.alloc.largest_free_block == CAPACITY
+
+
+TestAllocatorStateful = AllocatorMachine.TestCase

@@ -1,0 +1,107 @@
+"""Tests for the analysis package (Figures 1(c), 8; Table 1 columns)."""
+
+import pytest
+
+from repro.analysis import (
+    best_possible,
+    compare_transfers,
+    edge_strategy_regions,
+    io_lower_bound_floats,
+    memory_profile,
+    sweep_memory,
+)
+from repro.core import Framework, dfs_schedule, schedule_transfers
+from repro.gpusim import MB, TESLA_C870, XEON_WORKSTATION
+from repro.templates import find_edges_graph
+
+
+class TestMemoryProfile:
+    def test_profile_fields(self):
+        g = find_edges_graph(100, 100, 16, 8)
+        p = memory_profile(g)
+        assert p.total_floats == g.total_data_size()
+        assert p.io_floats == g.io_size()
+        assert p.max_op_footprint == g.max_footprint()
+        assert p.input_floats == 100 * 100 + 4 * 256
+        assert len(p.per_op) == len(g.ops)
+
+    def test_op_classes_group_by_prefix(self):
+        g = find_edges_graph(100, 100, 16, 8)
+        classes = memory_profile(g).op_classes()
+        assert "C" in classes and "R" in classes and "Combine" in classes
+        assert classes["Combine"] == 9 * 100 * 100
+
+    def test_sweep(self):
+        rows = sweep_memory(
+            lambda s: find_edges_graph(s, s, 16, 8), [64, 128]
+        )
+        assert len(rows) == 2
+        assert rows[0][1].total_floats < rows[1][1].total_floats
+
+
+class TestStrategyRegions:
+    def test_paper_boundaries_on_c870(self):
+        """Figure 1(c): regions at 150 / 166.67 / 750 / 1500 MB.
+
+        The figure's axes are MB of input image; with n=8 orientations the
+        template needs (n+2)x image-size in total, the max operator
+        (n+1)x, convolutions 2x, and the image itself 1x.
+        """
+        cap_mb = 1500
+        r = edge_strategy_regions(cap_mb, num_orientations=8)
+        assert r.all_fits_below == pytest.approx(150.0)
+        assert r.largest_op_fits_below == pytest.approx(166.666, rel=1e-3)
+        assert r.conv_fits_below == pytest.approx(750.0)
+        assert r.input_fits_below == pytest.approx(1500.0)
+
+    def test_regions_consistent_with_profiles(self):
+        """The analytic boundaries agree with actual template profiles."""
+        cap = TESLA_C870.memory_floats
+        r = edge_strategy_regions(cap, 8)
+        # An image just below the first boundary fits entirely.
+        side = int((r.all_fits_below * 0.99) ** 0.5)
+        g = find_edges_graph(side, side, 16, 8)
+        assert g.total_data_size() <= cap
+        # Just above it no longer fits, but the max op still does.
+        side = int((r.all_fits_below * 1.05) ** 0.5)
+        g = find_edges_graph(side, side, 16, 8)
+        assert g.total_data_size() > cap
+        assert g.max_footprint() <= cap
+
+
+class TestBestPossible:
+    def test_transfers_are_io_only(self):
+        g = find_edges_graph(64, 64, 5, 4)
+        bp = best_possible(g, TESLA_C870, XEON_WORKSTATION)
+        assert bp.transfer_floats == g.io_size()
+        assert bp.time == pytest.approx(bp.transfer_time + bp.compute_time)
+
+    def test_beats_any_real_plan(self):
+        g = find_edges_graph(64, 64, 5, 4)
+        bp = best_possible(g, TESLA_C870)
+        fw = Framework(TESLA_C870)
+        sim = fw.simulate(fw.compile(g))
+        assert bp.time <= sim.total_time
+        assert bp.transfer_floats <= sim.transfer_floats
+
+
+class TestCompareTransfers:
+    def test_row_construction(self):
+        g = find_edges_graph(64, 64, 5, 4)
+        plan = schedule_transfers(g, dfs_schedule(g), 10**9)
+        row = compare_transfers(
+            g, {"Tesla C870": plan.transfer_floats(g)}, baseline_feasible=True
+        )
+        assert row.lower_bound_floats == g.io_size()
+        assert row.baseline_floats is not None
+        assert row.reduction("Tesla C870") > 1.0
+
+    def test_infeasible_baseline_is_none(self):
+        g = find_edges_graph(64, 64, 5, 4)
+        row = compare_transfers(g, {"d": 123}, baseline_feasible=False)
+        assert row.baseline_floats is None
+        assert row.reduction("d") is None
+
+    def test_io_lower_bound(self):
+        g = find_edges_graph(64, 64, 5, 4)
+        assert io_lower_bound_floats(g) == g.io_size()

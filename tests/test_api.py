@@ -1,0 +1,90 @@
+"""Tests for the paper's parametrized template APIs."""
+
+import numpy as np
+import pytest
+from scipy.signal import correlate2d
+
+from repro.gpusim import GpuDevice
+from repro.runtime import reference_execute
+from repro.templates import (
+    SMALL_CNN,
+    cnn_forward,
+    cnn_graph,
+    cnn_inputs,
+    edge_filter,
+    find_edges,
+    find_edges_graph,
+    rotated_kernel,
+)
+
+DEV = GpuDevice(name="api-dev", memory_bytes=128 * 1024)
+rng = np.random.default_rng(42)
+
+
+class TestFindEdges:
+    def test_matches_direct_computation(self):
+        image = rng.random((40, 32), dtype=np.float32)
+        kernel = edge_filter(5)
+        out = find_edges(image, kernel, num_orientations=2, device=DEV)
+        e1 = correlate2d(image, kernel, mode="same")
+        e2 = np.abs(e1)
+        np.testing.assert_allclose(
+            out, np.maximum(e1, e2), rtol=1e-4, atol=1e-5
+        )
+
+    def test_add_combine(self):
+        image = rng.random((32, 32), dtype=np.float32)
+        kernel = edge_filter(3)
+        out = find_edges(image, kernel, 2, combine_op="add", device=DEV)
+        e1 = correlate2d(image, kernel, mode="same")
+        np.testing.assert_allclose(out, e1 + np.abs(e1), rtol=1e-4, atol=1e-5)
+
+    def test_four_orientations_uses_rotations(self):
+        image = rng.random((32, 32), dtype=np.float32)
+        kernel = edge_filter(4)
+        out = find_edges(image, kernel, 4, device=DEV)
+        maps = [
+            correlate2d(image, rotated_kernel(kernel, i), mode="same")
+            for i in range(2)
+        ]
+        maps += [np.abs(m) for m in maps]
+        np.testing.assert_allclose(
+            out, np.maximum.reduce(maps), rtol=1e-4, atol=1e-5
+        )
+
+    def test_works_on_memory_starved_device(self):
+        tiny = GpuDevice(name="tiny", memory_bytes=24 * 1024)
+        image = rng.random((48, 40), dtype=np.float32)
+        kernel = edge_filter(5)
+        big = find_edges(image, kernel, 4, device=DEV)
+        small = find_edges(image, kernel, 4, device=tiny)
+        np.testing.assert_allclose(small, big, rtol=1e-5, atol=1e-6)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            find_edges(np.zeros((4, 4, 3), np.float32), edge_filter(3))
+        with pytest.raises(ValueError):
+            find_edges(np.zeros((4, 4), np.float32), np.zeros((2, 3), np.float32))
+
+
+class TestCNNForward:
+    def test_matches_reference(self):
+        h = w = 48
+        weights = cnn_inputs(SMALL_CNN, h, w, seed=7)
+        image = weights.pop("In0")
+        out = cnn_forward(SMALL_CNN, image, weights, device=DEV)
+        g = cnn_graph(SMALL_CNN, h, w)
+        ref = reference_execute(g, {**weights, "In0": image})
+        assert set(out) == set(ref)
+        for k in ref:
+            np.testing.assert_allclose(out[k], ref[k], rtol=1e-4, atol=1e-5)
+
+    def test_missing_weights_rejected(self):
+        with pytest.raises(ValueError, match="missing weights"):
+            cnn_forward(
+                SMALL_CNN, np.zeros((48, 48), np.float32), {}, device=DEV
+            )
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            cnn_forward(SMALL_CNN, np.zeros((3, 48, 48), np.float32), {})

@@ -1,0 +1,158 @@
+"""Tests for the command-line interface."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_size_parsing(self):
+        args = build_parser().parse_args(
+            ["info", "--size", "640x480"]
+        )
+        assert args.size == (480, 640)  # (height, width)
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["info", "--size", "foo"])
+
+    def test_device_choices_documented(self):
+        args = build_parser().parse_args(
+            ["info", "--device", "geforce_8800_gtx"]
+        )
+        assert args.device == "geforce_8800_gtx"
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info", "--template", "edge", "--size", "256x256"]) == 0
+        out = capsys.readouterr().out
+        assert "operators      : 5" in out
+        assert "I/O lower bound" in out
+
+    def test_info_cnn(self, capsys):
+        assert main(["info", "--template", "small-cnn", "--size", "96x96"]) == 0
+        out = capsys.readouterr().out
+        assert "operators      : 1632" in out
+
+    def test_compile(self, capsys):
+        rc = main(
+            [
+                "compile",
+                "--template", "edge",
+                "--size", "512x512",
+                "--device", "geforce_8800_gtx",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "transfer_floats" in out
+        assert "simulated time" in out
+
+    def test_compile_timeline_and_save(self, capsys, tmp_path):
+        path = os.fspath(tmp_path / "plan.json")
+        rc = main(
+            [
+                "compile",
+                "--size", "128x128",
+                "--timeline",
+                "--save", path,
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "exec" in out  # timeline printed
+        raw = json.load(open(path))
+        assert raw["format_version"] == 1
+        assert raw["plan"]["steps"]
+
+    def test_run_with_verify(self, capsys):
+        rc = main(
+            [
+                "run",
+                "--template", "edge",
+                "--size", "96x96",
+                "--kernel", "5",
+                "--verify",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "verified" in out
+
+    def test_codegen_python_stdout(self, capsys):
+        rc = main(["codegen", "--size", "64x64", "--kernel", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Generated hybrid CPU/GPU program" in out
+
+    def test_codegen_cuda_to_file(self, capsys, tmp_path):
+        path = os.fspath(tmp_path / "out.cu")
+        rc = main(
+            [
+                "codegen",
+                "--size", "64x64",
+                "--kernel", "3",
+                "--lang", "cuda",
+                "-o", path,
+            ]
+        )
+        assert rc == 0
+        src = open(path).read()
+        assert "__global__" in src
+
+    def test_scheduler_and_eviction_flags(self, capsys):
+        rc = main(
+            [
+                "compile",
+                "--size", "128x128",
+                "--scheduler", "bfs",
+                "--eviction", "lru",
+                "--headroom", "2",
+            ]
+        )
+        assert rc == 0
+
+
+class TestNewCommands:
+    def test_pyramid_template(self, capsys):
+        assert main(["info", "--template", "pyramid", "--size", "128x128",
+                     "--octaves", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "operators      : 9" in out
+
+    def test_dot(self, capsys):
+        assert main(["dot", "--size", "64x64", "--kernel", "3"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+
+    def test_dot_to_file(self, capsys, tmp_path):
+        import os
+
+        path = os.fspath(tmp_path / "g.dot")
+        assert main(["dot", "--size", "64x64", "--kernel", "3", "-o", path]) == 0
+        assert open(path).read().startswith("digraph")
+
+    def test_opb_export(self, capsys):
+        # Tiny template so the Figure-5 instance stays small.
+        assert main([
+            "opb", "--size", "4x4", "--kernel", "3", "--orientations", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "* Figure-5 formulation" in out
+        assert "min:" in out
+
+    def test_run_pyramid_verify(self, capsys):
+        rc = main([
+            "run", "--template", "pyramid", "--size", "128x128",
+            "--octaves", "2", "--verify",
+        ])
+        assert rc == 0
+        assert "verified" in capsys.readouterr().out

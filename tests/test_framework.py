@@ -1,0 +1,171 @@
+"""Tests for the end-to-end Framework driver (Figure 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CompileOptions, Framework, PlanError, run_template
+from repro.gpusim import GEFORCE_8800_GTX, GpuDevice, TESLA_C870, XEON_WORKSTATION
+from repro.runtime import reference_execute
+from repro.templates import find_edges_graph, find_edges_inputs
+
+SMALL_DEV = GpuDevice(name="small", memory_bytes=20 * 1024)  # 5k floats
+BIG_DEV = GpuDevice(name="big", memory_bytes=8 << 20)
+
+
+@pytest.fixture(scope="module")
+def edge():
+    g = find_edges_graph(48, 40, 5, 4)
+    inputs = find_edges_inputs(48, 40, 5, 4, seed=21)
+    ref = reference_execute(g, inputs)["Edg"]
+    return g, inputs, ref
+
+
+class TestCompile:
+    def test_compile_validates_plan(self, edge):
+        g, _, _ = edge
+        compiled = Framework(SMALL_DEV).compile(g)
+        assert compiled.peak_device_floats <= SMALL_DEV.usable_memory_floats
+        assert compiled.split_report.any_split
+
+    def test_template_not_mutated(self, edge):
+        g, _, _ = edge
+        n_ops = len(g.ops)
+        Framework(SMALL_DEV).compile(g)
+        assert len(g.ops) == n_ops
+
+    def test_no_split_on_big_device(self, edge):
+        g, _, _ = edge
+        compiled = Framework(BIG_DEV).compile(g)
+        assert not compiled.split_report.any_split
+        assert compiled.transfer_floats() == g.io_size()
+
+    def test_options_propagate(self, edge):
+        g, _, _ = edge
+        opts = CompileOptions(scheduler="bfs", eviction_policy="lru", eager_free=False)
+        compiled = Framework(BIG_DEV, options=opts).compile(g)
+        assert compiled.plan.label == "lru+lazy"
+
+    def test_split_disabled_raises_when_needed(self, edge):
+        g, _, _ = edge
+        fw = Framework(SMALL_DEV, options=CompileOptions(split=False))
+        with pytest.raises(PlanError):
+            fw.compile(g)
+
+    def test_summary_fields(self, edge):
+        g, _, _ = edge
+        s = Framework(SMALL_DEV).compile(g).summary()
+        for key in ("transfer_floats", "device", "operators", "peak_device_floats"):
+            assert key in s
+
+
+class TestExecution:
+    def test_execute_matches_reference(self, edge):
+        g, inputs, ref = edge
+        fw = Framework(SMALL_DEV)
+        res = fw.execute(fw.compile(g), inputs)
+        np.testing.assert_allclose(res.outputs["Edg"], ref, rtol=1e-4, atol=1e-5)
+
+    def test_run_template_convenience(self, edge):
+        g, inputs, ref = edge
+        res = run_template(g, inputs, SMALL_DEV)
+        np.testing.assert_allclose(res.outputs["Edg"], ref, rtol=1e-4, atol=1e-5)
+
+    def test_simulate_agrees_with_execute(self, edge):
+        g, inputs, _ = edge
+        fw = Framework(SMALL_DEV, XEON_WORKSTATION)
+        compiled = fw.compile(g)
+        sim = fw.simulate(compiled)
+        res = fw.execute(compiled, inputs)
+        assert sim.transfer_floats == res.transfer_floats
+        assert sim.total_time == pytest.approx(
+            res.transfer_time + res.compute_time, rel=1e-6
+        )
+
+
+class TestRetargeting:
+    """Section 2: automatic re-targeting across devices and data sizes."""
+
+    def test_same_template_both_paper_devices(self, edge):
+        g, inputs, ref = edge
+        for dev in (TESLA_C870, GEFORCE_8800_GTX):
+            fw = Framework(dev)
+            res = fw.execute(fw.compile(g), inputs)
+            np.testing.assert_allclose(
+                res.outputs["Edg"], ref, rtol=1e-4, atol=1e-5
+            )
+
+    def test_smaller_memory_never_transfers_less(self, edge):
+        g, _, _ = edge
+        caps = [128 * 1024, 256 * 1024, 8 << 20]
+        vols = []
+        for cap in caps:
+            fw = Framework(GpuDevice(name=f"m{cap}", memory_bytes=cap))
+            vols.append(fw.compile(g).transfer_floats())
+        assert vols[0] >= vols[1] >= vols[2]
+
+    def test_memory_variant_retarget(self, edge):
+        g, inputs, ref = edge
+        half = SMALL_DEV.with_memory(SMALL_DEV.memory_bytes // 2)
+        fw = Framework(half)
+        res = fw.execute(fw.compile(g), inputs)
+        np.testing.assert_allclose(res.outputs["Edg"], ref, rtol=1e-4, atol=1e-5)
+
+
+class TestBaseline:
+    def test_baseline_feasible_on_big_device(self, edge):
+        g, inputs, ref = edge
+        fw = Framework(BIG_DEV)
+        compiled = fw.compile_baseline(g)
+        res = fw.execute(compiled, inputs)
+        np.testing.assert_allclose(res.outputs["Edg"], ref, rtol=1e-4, atol=1e-5)
+
+    def test_baseline_na_on_small_device(self, edge):
+        g, _, _ = edge
+        with pytest.raises(PlanError):
+            Framework(SMALL_DEV).compile_baseline(g)
+
+    def test_optimized_beats_baseline(self, edge):
+        g, _, _ = edge
+        fw = Framework(BIG_DEV, XEON_WORKSTATION)
+        opt = fw.simulate(fw.compile(g))
+        base = fw.simulate(fw.compile_baseline(g))
+        assert opt.transfer_floats < base.transfer_floats
+        assert opt.total_time < base.total_time
+
+
+class TestAutoHeadroom:
+    def test_auto_matches_best_candidate(self):
+        """compile() with auto headroom returns the cheapest candidate."""
+        g = find_edges_graph(400, 400, 16, 4)
+        dev = GpuDevice(name="hr", memory_bytes=256 * 1024)
+        candidates = []
+        for h in (1.0, 2.0, 4.0):
+            fw = Framework(dev, options=CompileOptions(split_headroom=h))
+            candidates.append(fw.compile(g).transfer_floats())
+        auto = Framework(
+            dev, options=CompileOptions(split_headroom="auto")
+        ).compile(g)
+        assert auto.transfer_floats() == min(candidates)
+
+    def test_in_core_skips_candidates(self):
+        """When the template fits, only one compilation happens (fast path
+        indistinguishable from headroom 1)."""
+        g = find_edges_graph(48, 40, 5, 4)
+        auto = Framework(BIG_DEV).compile(g)
+        one = Framework(
+            BIG_DEV, options=CompileOptions(split_headroom=1.0)
+        ).compile(g)
+        assert auto.transfer_floats() == one.transfer_floats()
+        assert auto.plan.steps == one.plan.steps
+
+    def test_fixed_headroom_respected(self):
+        g = find_edges_graph(400, 400, 16, 4)
+        dev = GpuDevice(name="hr2", memory_bytes=256 * 1024)
+        fw = Framework(dev, options=CompileOptions(split_headroom=4.0))
+        compiled = fw.compile(g)
+        # All operators fit in a quarter of usable capacity.
+        cap = dev.usable_memory_floats
+        assert all(
+            compiled.graph.op_footprint(o) <= cap / 4
+            for o in compiled.graph.ops
+        )

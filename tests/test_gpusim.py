@@ -1,0 +1,253 @@
+"""Tests for the GPU platform simulator substrate."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import (
+    CORE2_DESKTOP,
+    FLOAT_BYTES,
+    GEFORCE_8800_GTX,
+    MB,
+    TESLA_C870,
+    XEON_WORKSTATION,
+    CostModel,
+    DeviceAllocator,
+    EventKind,
+    GpuDevice,
+    OutOfDeviceMemoryError,
+    SimRuntime,
+    device_by_name,
+)
+
+
+class TestDevicePresets:
+    def test_paper_memory_sizes(self):
+        assert TESLA_C870.memory_bytes == 1536 * MB
+        assert GEFORCE_8800_GTX.memory_bytes == 768 * MB
+
+    def test_same_compute_different_memory(self):
+        """Both GPUs: 128 cores at 1.35 GHz; they differ only in memory."""
+        assert TESLA_C870.num_cores == GEFORCE_8800_GTX.num_cores == 128
+        assert TESLA_C870.clock_hz == GEFORCE_8800_GTX.clock_hz
+        assert TESLA_C870.memory_bytes == 2 * GEFORCE_8800_GTX.memory_bytes
+
+    def test_peak_flops(self):
+        assert TESLA_C870.peak_flops == 128 * 1.35e9 * 2
+
+    def test_usable_memory_reserve(self):
+        assert TESLA_C870.usable_memory_floats < TESLA_C870.memory_floats
+
+    def test_with_memory_retarget(self):
+        big = TESLA_C870.with_memory(4096 * MB)
+        assert big.memory_bytes == 4096 * MB
+        assert big.num_cores == TESLA_C870.num_cores
+
+    def test_lookup_by_name(self):
+        assert device_by_name("tesla_c870") is TESLA_C870
+        assert device_by_name("GeForce 8800 GTX") is GEFORCE_8800_GTX
+        with pytest.raises(KeyError):
+            device_by_name("rtx_4090")
+
+    def test_hosts(self):
+        assert XEON_WORKSTATION.memory_bytes == CORE2_DESKTOP.memory_bytes
+
+
+class TestAllocator:
+    def test_alloc_free_roundtrip(self):
+        a = DeviceAllocator(1 << 20)
+        off = a.alloc(1000)
+        assert a.in_use >= 1000
+        a.free(off)
+        assert a.in_use == 0
+        assert a.largest_free_block == 1 << 20
+
+    def test_alignment(self):
+        a = DeviceAllocator(1 << 20, alignment=256)
+        o1 = a.alloc(1)
+        o2 = a.alloc(1)
+        assert o2 - o1 == 256
+
+    def test_oom(self):
+        a = DeviceAllocator(1024)
+        a.alloc(512)
+        with pytest.raises(OutOfDeviceMemoryError) as ei:
+            a.alloc(1024)
+        assert ei.value.requested == 1024
+
+    def test_coalescing(self):
+        a = DeviceAllocator(1024, alignment=1)
+        o1, o2, o3 = a.alloc(256), a.alloc(256), a.alloc(256)
+        a.free(o1)
+        a.free(o3)
+        assert a.largest_free_block == 256 + 256  # o3 merges with tail
+        a.free(o2)
+        assert a.largest_free_block == 1024
+
+    def test_fragmentation_metric(self):
+        a = DeviceAllocator(1024, alignment=1)
+        offs = [a.alloc(128) for _ in range(8)]
+        for o in offs[::2]:
+            a.free(o)
+        assert a.fragmentation() > 0
+        for o in offs[1::2]:
+            a.free(o)
+        assert a.fragmentation() == 0.0
+
+    def test_peak_tracking(self):
+        a = DeviceAllocator(1024, alignment=1)
+        o = a.alloc(512)
+        a.free(o)
+        a.alloc(128)
+        assert a.peak_in_use == 512
+
+    def test_double_free_rejected(self):
+        a = DeviceAllocator(1024)
+        o = a.alloc(10)
+        a.free(o)
+        with pytest.raises(ValueError):
+            a.free(o)
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            DeviceAllocator(0)
+        with pytest.raises(ValueError):
+            DeviceAllocator(100, alignment=3)
+        a = DeviceAllocator(100)
+        with pytest.raises(ValueError):
+            a.alloc(-1)
+
+    def test_reset(self):
+        a = DeviceAllocator(1024)
+        a.alloc(100)
+        a.reset()
+        assert a.in_use == 0
+
+
+class TestCostModel:
+    def test_transfer_monotonic_with_latency(self):
+        c = CostModel(TESLA_C870)
+        assert c.transfer_time(0) == 0.0
+        t1 = c.transfer_time(1)
+        t2 = c.transfer_time(10 * MB)
+        assert 0 < t1 < t2
+        assert t1 >= TESLA_C870.pcie_latency
+
+    def test_transfer_floats(self):
+        c = CostModel(TESLA_C870)
+        assert c.transfer_time_floats(100) == c.transfer_time(400)
+
+    def test_kernel_roofline(self):
+        c = CostModel(TESLA_C870)
+        compute_bound = c.kernel_time(1e12, 0)
+        memory_bound = c.kernel_time(0, 1e12)
+        assert compute_bound > TESLA_C870.launch_overhead
+        assert memory_bound > TESLA_C870.launch_overhead
+
+    def test_negative_rejected(self):
+        c = CostModel(TESLA_C870)
+        with pytest.raises(ValueError):
+            c.transfer_time(-1)
+        with pytest.raises(ValueError):
+            c.kernel_time(-1, 0)
+
+    def test_thrashing_threshold(self):
+        c = CostModel(TESLA_C870, XEON_WORKSTATION)
+        assert not c.thrashing(XEON_WORKSTATION.memory_bytes)
+        assert c.thrashing(XEON_WORKSTATION.memory_bytes + 1)
+
+    def test_host_copy_paging_penalty(self):
+        c = CostModel(TESLA_C870, XEON_WORKSTATION)
+        fast = c.host_copy_time(1 * MB, 0)
+        slow = c.host_copy_time(1 * MB, XEON_WORKSTATION.memory_bytes * 2)
+        assert slow == pytest.approx(fast * XEON_WORKSTATION.paging_penalty)
+
+    def test_no_host(self):
+        c = CostModel(TESLA_C870)
+        assert c.host_copy_time(1 * MB) == 0.0
+        assert not c.thrashing(10**18)
+
+
+class TestSimRuntime:
+    def make(self, mem_bytes=1 * MB):
+        return SimRuntime(GpuDevice(name="t", memory_bytes=mem_bytes))
+
+    def test_roundtrip(self):
+        rt = self.make()
+        data = np.arange(100, dtype=np.float32)
+        rt.malloc("x", 400)
+        rt.memcpy_h2d("x", data)
+        out = rt.memcpy_d2h("x")
+        np.testing.assert_array_equal(out, data)
+        assert rt.clock > 0
+
+    def test_capacity_enforced(self):
+        rt = self.make(mem_bytes=1024)
+        rt.malloc("a", 512)
+        with pytest.raises(OutOfDeviceMemoryError):
+            rt.malloc("b", 1024)
+
+    def test_double_malloc_rejected(self):
+        rt = self.make()
+        rt.malloc("a", 4)
+        with pytest.raises(ValueError):
+            rt.malloc("a", 4)
+
+    def test_free_unknown_rejected(self):
+        rt = self.make()
+        with pytest.raises(KeyError):
+            rt.free("nope")
+
+    def test_h2d_overflow_rejected(self):
+        rt = self.make()
+        rt.malloc("a", 4)
+        with pytest.raises(ValueError):
+            rt.memcpy_h2d("a", np.zeros(100, dtype=np.float32))
+
+    def test_d2h_uninitialised_rejected(self):
+        rt = self.make()
+        rt.malloc("a", 4)
+        with pytest.raises(RuntimeError):
+            rt.memcpy_d2h("a")
+
+    def test_profile_events(self):
+        rt = self.make()
+        rt.malloc("a", 400)
+        rt.memcpy_h2d("a", np.zeros(100, dtype=np.float32))
+        rt.launch("k", 1e6, 800)
+        rt.memcpy_d2h("a")
+        rt.free("a")
+        counts = rt.profile.counts()
+        assert counts[EventKind.H2D.value] == 1
+        assert counts[EventKind.D2H.value] == 1
+        assert counts[EventKind.KERNEL.value] == 1
+        assert rt.profile.transfer_time > 0
+        assert rt.profile.compute_time > 0
+        bd = rt.profile.breakdown()
+        assert bd["transfer"] + bd["compute"] + bd["host"] == pytest.approx(1.0)
+
+    def test_bytes_transferred(self):
+        rt = self.make()
+        rt.malloc("a", 400)
+        rt.memcpy_h2d("a", np.zeros(100, dtype=np.float32))
+        rt.memcpy_d2h("a")
+        assert rt.profile.bytes_transferred() == 800
+
+    def test_thrashing_slows_transfers(self):
+        dev = GpuDevice(name="t", memory_bytes=1 * MB)
+        fast = SimRuntime(dev, XEON_WORKSTATION)
+        slow = SimRuntime(dev, XEON_WORKSTATION)
+        slow.host_working_set = XEON_WORKSTATION.memory_bytes * 2
+        for rt in (fast, slow):
+            rt.malloc("a", 4000)
+            rt.memcpy_h2d("a", np.zeros(1000, dtype=np.float32))
+        assert slow.clock > fast.clock
+        assert slow.thrashed and not fast.thrashed
+
+    def test_write_device_and_read_device(self):
+        rt = self.make()
+        rt.malloc("a", 400)
+        rt.write_device("a", np.ones(100, dtype=np.float32))
+        np.testing.assert_array_equal(rt.read_device("a"), np.ones(100))
+        assert rt.resident("a")
+        rt.free("a")
+        assert not rt.resident("a")

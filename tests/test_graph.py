@@ -1,0 +1,304 @@
+"""Tests for the operator-graph IR."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    DataStructure,
+    GraphError,
+    Operator,
+    OperatorGraph,
+    OutSpec,
+    Slot,
+    op_out_specs,
+    op_slots,
+    output_size,
+    slot_size,
+)
+
+
+def diamond():
+    """Img -> (A, B) -> C, the smallest interesting DAG."""
+    g = OperatorGraph("diamond")
+    g.add_data("Img", (4, 4), is_input=True)
+    g.add_data("X", (4, 4))
+    g.add_data("Y", (4, 4))
+    g.add_data("Out", (4, 4), is_output=True)
+    g.add_operator("A", "remap", ["Img"], ["X"])
+    g.add_operator("B", "remap", ["Img"], ["Y"])
+    g.add_operator("C", "max", ["X", "Y"], ["Out"])
+    return g
+
+
+class TestDataStructure:
+    def test_size_and_rows(self):
+        ds = DataStructure("a", (3, 5))
+        assert ds.size == 15
+        assert ds.rows == 3
+
+    def test_scalar_shape(self):
+        ds = DataStructure("b", ())
+        assert ds.size == 1
+        assert ds.rows == 1
+
+    def test_negative_dim_rejected(self):
+        with pytest.raises(ValueError):
+            DataStructure("c", (-1, 2))
+
+
+class TestOperator:
+    def test_requires_outputs(self):
+        with pytest.raises(ValueError):
+            Operator("o", "remap", ("a",), ())
+
+    def test_touched_deduplicates(self):
+        op = Operator("o", "add", ("a", "b", "a"), ("c",))
+        assert op.touched() == ("a", "b", "c")
+
+
+class TestConstruction:
+    def test_duplicate_data_rejected(self):
+        g = OperatorGraph()
+        g.add_data("a", (1, 1))
+        with pytest.raises(GraphError):
+            g.add_data("a", (2, 2))
+
+    def test_duplicate_operator_rejected(self):
+        g = diamond()
+        with pytest.raises(GraphError):
+            g.add_operator("A", "remap", ["Img"], ["X"])
+
+    def test_unknown_input_rejected(self):
+        g = OperatorGraph()
+        g.add_data("out", (1, 1))
+        with pytest.raises(GraphError):
+            g.add_operator("o", "remap", ["nope"], ["out"])
+
+    def test_double_producer_rejected(self):
+        g = OperatorGraph()
+        g.add_data("a", (1, 1), is_input=True)
+        g.add_data("b", (1, 1))
+        g.add_operator("p1", "remap", ["a"], ["b"])
+        with pytest.raises(GraphError):
+            g.add_operator("p2", "remap", ["a"], ["b"])
+
+    def test_template_input_cannot_be_output(self):
+        g = OperatorGraph()
+        g.add_data("a", (1, 1), is_input=True)
+        g.add_data("b", (1, 1), is_input=True)
+        with pytest.raises(GraphError):
+            g.add_operator("o", "remap", ["a"], ["b"])
+
+
+class TestDependencies:
+    def test_predecessors_successors(self):
+        g = diamond()
+        assert g.op_predecessors("C") == ["A", "B"]
+        assert g.op_successors("A") == ["C"]
+        assert g.op_predecessors("A") == []
+
+    def test_roots_leaves(self):
+        g = diamond()
+        assert g.roots() == ["A", "B"]
+        assert g.leaves() == ["C"]
+
+    def test_template_io(self):
+        g = diamond()
+        assert g.template_inputs() == ["Img"]
+        assert g.template_outputs() == ["Out"]
+
+    def test_topological_order(self):
+        g = diamond()
+        order = g.topological_order()
+        assert order.index("A") < order.index("C")
+        assert order.index("B") < order.index("C")
+
+    def test_cycle_detected(self):
+        g = OperatorGraph()
+        g.add_data("a", (1, 1), is_input=True)
+        g.add_data("b", (1, 1))
+        g.add_data("c", (1, 1))
+        g.add_operator("p", "add", ["a", "c"], ["b"])
+        g.add_operator("q", "remap", ["b"], ["c"])
+        with pytest.raises(GraphError):
+            g.topological_order()
+
+
+class TestValidate:
+    def test_valid_graph(self):
+        diamond().validate()
+
+    def test_orphan_rejected(self):
+        g = diamond()
+        g.add_data("stray", (2, 2))
+        with pytest.raises(GraphError, match="orphan"):
+            g.validate()
+
+    def test_consumed_but_never_produced(self):
+        g = OperatorGraph()
+        g.add_data("a", (1, 1))  # not an input!
+        g.add_data("b", (1, 1))
+        g.add_operator("o", "remap", ["a"], ["b"])
+        with pytest.raises(GraphError):
+            g.validate()
+
+    def test_chunk_without_range_rejected(self):
+        g = diamond()
+        g.data["X"].parent = "Img"
+        with pytest.raises(GraphError):
+            g.validate()
+
+    def test_virtual_must_be_unwired(self):
+        g = diamond()
+        g.data["X"].virtual = True
+        with pytest.raises(GraphError, match="virtual"):
+            g.validate()
+
+
+class TestFootprints:
+    def test_op_footprint(self):
+        g = diamond()
+        assert g.op_footprint("A") == 32  # Img + X
+        assert g.op_footprint("C") == 48  # X + Y + Out
+
+    def test_max_footprint(self):
+        assert diamond().max_footprint() == 48
+
+    def test_total_and_io(self):
+        g = diamond()
+        assert g.total_data_size() == 64
+        assert g.io_size() == 32
+
+    def test_virtual_excluded(self):
+        g = diamond()
+        g.add_data("V", (100, 100), virtual=True)
+        assert g.total_data_size() == 64
+
+    def test_stats_keys(self):
+        s = diamond().stats()
+        assert s["operators"] == 3
+        assert s["io_floats"] == 32
+
+
+class TestRewiring:
+    def test_set_op_io(self):
+        g = diamond()
+        g.add_data("Y2", (4, 4))
+        g.set_op_io("B", ["Img"], ["Y2"])
+        assert g.producer["Y2"] == "B"
+        assert "Y" not in g.producer
+        assert g.consumers["Img"] == ["A", "B"]
+
+    def test_set_op_io_conflict(self):
+        g = diamond()
+        with pytest.raises(GraphError):
+            g.set_op_io("B", ["Img"], ["X"])  # X produced by A
+
+    def test_remove_operator(self):
+        g = diamond()
+        g.remove_operator("C")
+        assert "C" not in g.ops
+        assert g.consumers["X"] == []
+
+    def test_remove_data_guards(self):
+        g = diamond()
+        with pytest.raises(GraphError):
+            g.remove_data("X")  # produced
+        g.remove_operator("C")
+        g.remove_operator("A")
+        g.remove_data("X")
+        assert "X" not in g.data
+
+    def test_children_index(self):
+        g = OperatorGraph()
+        g.add_data("root", (4, 2), virtual=True)
+        g.add_data("c1", (2, 2), parent="root", row_range=(0, 2))
+        g.add_data("c2", (2, 2), parent="root", row_range=(2, 4))
+        assert g.children["root"] == ["c1", "c2"]
+        g.remove_data("c1")
+        assert g.children["root"] == ["c2"]
+
+
+class TestCopy:
+    def test_copy_is_deep(self):
+        g = diamond()
+        h = g.copy()
+        h.remove_operator("C")
+        assert "C" in g.ops
+        h.data["X"].shape = (9, 9)
+        assert g.data["X"].shape == (4, 4)
+
+    def test_copy_preserves_params(self):
+        g = diamond()
+        g.ops["A"].params["slots"] = [Slot("Img", None, ["Img"])]
+        h = g.copy()
+        h.ops["A"].params["slots"][0].chunks.append("zzz")
+        assert g.ops["A"].params["slots"][0].chunks == ["Img"]
+
+
+class TestSlotHelpers:
+    def test_default_slots(self):
+        g = diamond()
+        slots = op_slots(g.ops["C"], g)
+        assert [s.root for s in slots] == ["X", "Y"]
+        assert all(s.rows is None for s in slots)
+
+    def test_default_out_specs(self):
+        g = diamond()
+        specs = op_out_specs(g.ops["C"], g)
+        assert specs[0].root == "Out"
+        assert specs[0].rng == (0, 4)
+        assert specs[0].chunks == [("Out", (0, 4))]
+
+    def test_slot_size_full_and_ranged(self):
+        g = diamond()
+        assert slot_size(g.ops["A"], g, 0) == 16
+        g.ops["A"].params["slots"] = [Slot("Img", (1, 3), ["Img"])]
+        assert slot_size(g.ops["A"], g, 0) == 8
+
+    def test_output_size(self):
+        g = diamond()
+        assert output_size(g.ops["C"], g) == 16
+
+    def test_fresh_name(self):
+        g = diamond()
+        assert g.fresh_name("new") == "new"
+        assert g.fresh_name("Img") == "Img#1"
+        g.add_data("Img#1", (1, 1), is_input=True)
+        assert g.fresh_name("Img") == "Img#2"
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n_layers=st.integers(1, 5),
+    width=st.integers(1, 4),
+    seed=st.integers(0, 10_000),
+)
+def test_random_layered_graphs_are_valid(n_layers, width, seed):
+    """Random layered DAGs satisfy all IR invariants and topo-sort."""
+    import random
+
+    rng = random.Random(seed)
+    g = OperatorGraph("rand")
+    prev = []
+    for i in range(width):
+        g.add_data(f"in{i}", (4, 4), is_input=True)
+        prev.append(f"in{i}")
+    for layer in range(n_layers):
+        cur = []
+        for i in range(width):
+            name = f"d{layer}_{i}"
+            g.add_data(name, (4, 4), is_output=(layer == n_layers - 1))
+            srcs = rng.sample(prev, k=rng.randint(1, len(prev)))
+            kind = "remap" if len(srcs) == 1 else "max"
+            g.add_operator(f"o{layer}_{i}", kind, srcs, [name])
+            cur.append(name)
+        prev = cur
+    g.validate()
+    order = g.topological_order()
+    assert len(order) == len(g.ops)
+    pos = {o: i for i, o in enumerate(order)}
+    for o in g.ops:
+        for p in g.op_predecessors(o):
+            assert pos[p] < pos[o]

@@ -1,0 +1,140 @@
+"""Tests for OPB interchange (export/parse/solve)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.pbopt import export_opb
+from repro.pb import (
+    PBInstance,
+    PBSolver,
+    dumps_opb,
+    evaluate_terms,
+    read_opb,
+    solve_instance,
+)
+
+from .test_transfers import fig3_graph
+
+
+class TestInstance:
+    def test_add_tracks_vars(self):
+        inst = PBInstance()
+        inst.add([(1, 3), (2, -7)], ">=", 1)
+        assert inst.num_vars == 7
+
+    def test_bad_relation(self):
+        with pytest.raises(ValueError):
+            PBInstance().add([(1, 1)], ">", 0)
+
+
+class TestRoundTrip:
+    def test_dumps_and_read(self):
+        inst = PBInstance()
+        inst.objective = [(2, 1), (3, -2)]
+        inst.add([(1, 1), (1, 2), (1, 3)], ">=", 2)
+        inst.add([(2, 1), (-1, 3)], "<=", 1)
+        inst.add([(1, 2)], "=", 1)
+        text = dumps_opb(inst)
+        parsed = read_opb(text.splitlines())
+        assert parsed.num_vars == inst.num_vars
+        assert len(parsed.constraints) == 3
+        # Semantics must survive the round trip.
+        for bits in itertools.product([False, True], repeat=3):
+            model = {v: bits[v - 1] for v in (1, 2, 3)}
+
+            def feasible(i):
+                ok = True
+                for terms, rel, bound in i.constraints:
+                    val = evaluate_terms(terms, model)
+                    if rel == ">=":
+                        ok &= val >= bound
+                    elif rel == "<=":
+                        ok &= val <= bound
+                    else:
+                        ok &= val == bound
+                return ok
+
+            assert feasible(inst) == feasible(parsed), bits
+
+    def test_random_semantics_preserved(self):
+        rng = random.Random(5)
+        for _ in range(50):
+            n = rng.randint(2, 5)
+            inst = PBInstance()
+            for _ in range(rng.randint(1, 4)):
+                terms = [
+                    (rng.randint(-4, 4), rng.choice([1, -1]) * rng.randint(1, n))
+                    for _ in range(rng.randint(1, 4))
+                ]
+                inst.add(terms, rng.choice([">=", "<=", "="]), rng.randint(-4, 6))
+            inst.num_vars = max(inst.num_vars, n)
+            r1 = solve_instance(inst)
+            r2 = solve_instance(read_opb(dumps_opb(inst).splitlines()))
+            assert r1.status == r2.status
+
+    def test_parse_errors(self):
+        with pytest.raises(ValueError, match="';'"):
+            read_opb(["+1 x1 >= 1"])
+        with pytest.raises(ValueError, match="relation"):
+            read_opb(["+1 x1 1 ;"])
+        with pytest.raises(ValueError, match="variable"):
+            read_opb(["+1 y1 >= 1 ;"])
+
+
+class TestSolveInstance:
+    def test_minimisation(self):
+        inst = PBInstance()
+        inst.objective = [(5, 1), (1, 2)]
+        inst.add([(1, 1), (1, 2)], ">=", 1)
+        res = solve_instance(inst)
+        assert res.value == 1
+
+    def test_satisfiability_only(self):
+        inst = PBInstance()
+        inst.add([(1, 1), (1, 2)], "=", 1)
+        res = solve_instance(inst)
+        assert res.status == "optimal"
+        assert sum(res.model[v] for v in (1, 2)) == 1
+
+    def test_unsat(self):
+        inst = PBInstance()
+        inst.add([(1, 1)], ">=", 1)
+        inst.add([(1, 1)], "<=", 0)
+        assert solve_instance(inst).status == "unsat"
+
+
+class TestRecording:
+    def test_requires_record_flag(self):
+        p = PBSolver()
+        with pytest.raises(RuntimeError, match="record"):
+            p.to_instance()
+
+    def test_recorded_mirror_is_equisatisfiable(self):
+        rng = random.Random(11)
+        for _ in range(30):
+            n = rng.randint(2, 5)
+            p = PBSolver(record=True)
+            p.new_vars(n)
+            for _ in range(rng.randint(1, 4)):
+                terms = [
+                    (rng.randint(-3, 3), rng.choice([1, -1]) * rng.randint(1, n))
+                    for _ in range(rng.randint(1, 3))
+                ]
+                kind = rng.choice(["leq", "geq"])
+                getattr(p, "add_" + kind)(terms, rng.randint(-3, 5))
+            direct = p.solve()
+            mirrored = solve_instance(p.to_instance())
+            assert direct == (mirrored.status == "optimal")
+
+
+class TestFigure5Export:
+    def test_export_and_cross_check(self):
+        g = fig3_graph()
+        text = export_opb(g, 5)
+        assert text.startswith("* Figure-5 formulation")
+        inst = read_opb(text.splitlines())
+        res = solve_instance(inst)
+        # Unit sizes: scaled units == floats; the known optimum is 6.
+        assert res.value == 6

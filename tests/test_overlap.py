@@ -1,0 +1,76 @@
+"""Tests for asynchronous copy/compute overlap simulation."""
+
+import pytest
+
+from repro.core import Framework, dfs_schedule, schedule_transfers
+from repro.gpusim import GpuDevice, TESLA_C870, XEON_WORKSTATION
+from repro.runtime import simulate_plan, simulate_plan_overlap
+from repro.templates import find_edges_graph
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    g = find_edges_graph(512, 512, 16, 4)
+    fw = Framework(TESLA_C870, XEON_WORKSTATION)
+    return fw.compile(g)
+
+
+class TestOverlap:
+    def test_never_slower_than_sync(self, compiled):
+        ov = simulate_plan_overlap(compiled.plan, compiled.graph, TESLA_C870)
+        assert ov.total_time <= ov.sync_total_time + 1e-12
+        assert ov.speedup >= 1.0
+
+    def test_bounded_below_by_each_engine(self, compiled):
+        ov = simulate_plan_overlap(compiled.plan, compiled.graph, TESLA_C870)
+        assert ov.total_time >= ov.copy_busy - 1e-12
+        assert ov.total_time >= ov.compute_busy - 1e-12
+
+    def test_sync_time_matches_serial_simulator(self, compiled):
+        ov = simulate_plan_overlap(compiled.plan, compiled.graph, TESLA_C870)
+        sim = simulate_plan(compiled.plan, compiled.graph, TESLA_C870)
+        assert ov.sync_total_time == pytest.approx(sim.total_time, rel=1e-9)
+
+    def test_hidden_time_accounting(self, compiled):
+        ov = simulate_plan_overlap(compiled.plan, compiled.graph, TESLA_C870)
+        assert ov.hidden_transfer_time == pytest.approx(
+            ov.sync_total_time - ov.total_time
+        )
+        assert 0.0 <= ov.exposed_transfer_fraction <= 1.0
+
+    def test_speedup_capped_at_two(self, compiled):
+        """Two engines can at most halve the time."""
+        ov = simulate_plan_overlap(compiled.plan, compiled.graph, TESLA_C870)
+        assert ov.speedup <= 2.0 + 1e-9
+
+    def test_dependency_ordering_respected(self):
+        """A launch cannot start before its input upload completes, so a
+        transfer-then-compute chain cannot overlap at all."""
+        from repro.core.graph import OperatorGraph
+
+        g = OperatorGraph()
+        g.add_data("a", (512, 512), is_input=True)
+        g.add_data("b", (512, 512), is_output=True)
+        g.add_operator("op", "tanh", ["a"], ["b"])
+        plan = schedule_transfers(g, dfs_schedule(g), 10**9)
+        ov = simulate_plan_overlap(plan, g, TESLA_C870)
+        # upload -> compute -> download strictly serialises.
+        assert ov.total_time == pytest.approx(ov.sync_total_time, rel=1e-9)
+
+    def test_independent_streams_do_overlap(self):
+        """Many independent single-op pipelines overlap copy with compute."""
+        from repro.core.graph import OperatorGraph
+
+        g = OperatorGraph()
+        g.add_data("K", (16, 16), is_input=True)
+        for i in range(8):
+            g.add_data(f"a{i}", (512, 512), is_input=True)
+            g.add_data(f"b{i}", (512, 512), is_output=True)
+            # conv with a 16x16 kernel: compute roughly balances transfer,
+            # so two engines overlap substantially.
+            g.add_operator(
+                f"op{i}", "conv2d", [f"a{i}", "K"], [f"b{i}"], mode="same"
+            )
+        plan = schedule_transfers(g, dfs_schedule(g), 10**9)
+        ov = simulate_plan_overlap(plan, g, TESLA_C870)
+        assert ov.total_time < ov.sync_total_time * 0.8

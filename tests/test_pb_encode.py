@@ -1,0 +1,252 @@
+"""Tests for PB constraint normalisation and CNF encodings."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.pb import (
+    CNF,
+    Solver,
+    build_counter,
+    encode_at_most_one,
+    encode_exactly_one,
+    encode_geq,
+    encode_leq,
+    evaluate_terms,
+    normalize_leq,
+)
+
+
+def enumerate_models(solver_factory, nvars):
+    """All assignments of the first ``nvars`` variables satisfying the CNF."""
+    out = []
+    for bits in itertools.product([False, True], repeat=nvars):
+        s = solver_factory()
+        ok = True
+        for v, b in enumerate(bits, start=1):
+            ok = ok and s.add_clause([v if b else -v])
+        if ok and s.solve():
+            out.append(bits)
+    return out
+
+
+class TestNormalize:
+    def test_positive_passthrough(self):
+        terms, bound = normalize_leq([(2, 1), (3, 2)], 5)
+        assert sorted(terms) == [(2, 1), (3, 2)]
+        assert bound == 5
+
+    def test_negative_coefficient_flips_literal(self):
+        terms, bound = normalize_leq([(-2, 1)], 3)
+        assert terms == [(2, -1)]
+        assert bound == 5
+
+    def test_zero_coefficient_dropped(self):
+        terms, bound = normalize_leq([(0, 1), (1, 2)], 1)
+        assert terms == [(1, 2)]
+
+    def test_duplicate_literal_merged(self):
+        terms, bound = normalize_leq([(1, 3), (2, 3)], 4)
+        assert terms == [(3, 3)]
+        assert bound == 4
+
+    def test_opposite_literals_merged(self):
+        # 2*x + 3*(~x) <= 4  ==  -x <= 1  ==  x >= -1 (free) after shifting
+        terms, bound = normalize_leq([(2, 1), (3, -1)], 4)
+        value_true = evaluate_terms(terms, {1: True})
+        value_false = evaluate_terms(terms, {1: False})
+        # Semantics preserved: original holds iff normalised holds.
+        assert (2 <= 4) == (value_true <= bound)
+        assert (3 <= 4) == (value_false <= bound)
+
+    def test_random_semantics_preserved(self):
+        rng = random.Random(7)
+        for _ in range(300):
+            n = rng.randint(1, 5)
+            terms = [
+                (rng.randint(-5, 5), rng.choice([1, -1]) * rng.randint(1, n))
+                for _ in range(rng.randint(1, 6))
+            ]
+            bound = rng.randint(-8, 8)
+            norm, nbound = normalize_leq(terms, bound)
+            assert all(c > 0 for c, _ in norm)
+            for bits in itertools.product([False, True], repeat=n):
+                model = {v: bits[v - 1] for v in range(1, n + 1)}
+                assert (evaluate_terms(terms, model) <= bound) == (
+                    evaluate_terms(norm, model) <= nbound
+                )
+
+
+def _leq_models(terms, bound, nvars):
+    """Models allowed by the encoding, projected onto original vars."""
+    def make():
+        s = Solver()
+        s.ensure_vars(nvars)
+        encode_leq(terms, bound, s.new_var, lambda c: s.add_clause(c))
+        return s
+
+    return enumerate_models(make, nvars)
+
+
+class TestEncodeLeq:
+    def test_simple(self):
+        # x1 + x2 + x3 <= 1
+        models = _leq_models([(1, 1), (1, 2), (1, 3)], 1, 3)
+        assert models == [
+            m
+            for m in itertools.product([False, True], repeat=3)
+            if sum(m) <= 1
+        ]
+
+    def test_weighted(self):
+        # 3a + 2b + 2c <= 4
+        models = _leq_models([(3, 1), (2, 2), (2, 3)], 4, 3)
+        expect = [
+            m
+            for m in itertools.product([False, True], repeat=3)
+            if 3 * m[0] + 2 * m[1] + 2 * m[2] <= 4
+        ]
+        assert models == expect
+
+    def test_trivially_true(self):
+        models = _leq_models([(1, 1), (1, 2)], 5, 2)
+        assert len(models) == 4
+
+    def test_negative_bound_unsat(self):
+        models = _leq_models([(1, 1)], -1, 1)
+        assert models == []
+
+    def test_single_big_coefficient_forces_false(self):
+        models = _leq_models([(10, 1), (1, 2)], 2, 2)
+        assert models == [(False, False), (False, True)]
+
+    def test_random_against_bruteforce(self):
+        rng = random.Random(3)
+        for _ in range(150):
+            n = rng.randint(1, 5)
+            terms = [
+                (rng.randint(-4, 6), rng.choice([1, -1]) * rng.randint(1, n))
+                for _ in range(rng.randint(1, 5))
+            ]
+            bound = rng.randint(-5, 12)
+            models = set(_leq_models(terms, bound, n))
+            for bits in itertools.product([False, True], repeat=n):
+                model = {v: bits[v - 1] for v in range(1, n + 1)}
+                assert (bits in models) == (
+                    evaluate_terms(terms, model) <= bound
+                ), (terms, bound, bits)
+
+
+class TestEncodeGeq:
+    def test_random_against_bruteforce(self):
+        rng = random.Random(11)
+        for _ in range(150):
+            n = rng.randint(1, 5)
+            terms = [
+                (rng.randint(-4, 6), rng.choice([1, -1]) * rng.randint(1, n))
+                for _ in range(rng.randint(1, 5))
+            ]
+            bound = rng.randint(-5, 12)
+
+            def make():
+                s = Solver()
+                s.ensure_vars(n)
+                encode_geq(terms, bound, s.new_var, lambda c: s.add_clause(c))
+                return s
+
+            models = set(enumerate_models(make, n))
+            for bits in itertools.product([False, True], repeat=n):
+                model = {v: bits[v - 1] for v in range(1, n + 1)}
+                assert (bits in models) == (
+                    evaluate_terms(terms, model) >= bound
+                )
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 5, 6, 7, 9, 12])
+class TestCardinality:
+    def test_at_most_one(self, n):
+        def make():
+            s = Solver()
+            s.ensure_vars(n)
+            encode_at_most_one(
+                list(range(1, n + 1)), s.new_var, lambda c: s.add_clause(c)
+            )
+            return s
+
+        models = enumerate_models(make, n)
+        assert models == [
+            m for m in itertools.product([False, True], repeat=n) if sum(m) <= 1
+        ]
+
+    def test_exactly_one(self, n):
+        def make():
+            s = Solver()
+            s.ensure_vars(n)
+            encode_exactly_one(
+                list(range(1, n + 1)), s.new_var, lambda c: s.add_clause(c)
+            )
+            return s
+
+        models = enumerate_models(make, n)
+        assert models == [
+            m for m in itertools.product([False, True], repeat=n) if sum(m) == 1
+        ]
+
+
+class TestBuildCounter:
+    def test_outputs_track_partial_sums(self):
+        # 2a + 1b + 3c: outs[j-1] must be true whenever the sum >= j.
+        rng = random.Random(5)
+        terms = [(2, 1), (1, 2), (3, 3)]
+        k = 6
+        for bits in itertools.product([False, True], repeat=3):
+            s = Solver()
+            s.ensure_vars(3)
+            outs = build_counter(terms, k, s.new_var, lambda c: s.add_clause(c))
+            for v, b in enumerate(bits, start=1):
+                s.add_clause([v if b else -v])
+            assert s.solve()
+            total = 2 * bits[0] + 1 * bits[1] + 3 * bits[2]
+            model = s.model()
+            for j in range(1, k + 1):
+                if total >= j:
+                    assert model[outs[j - 1]], (bits, j)
+
+    def test_asserting_output_bounds_sum(self):
+        terms = [(1, v) for v in range(1, 6)]
+        s = Solver()
+        s.ensure_vars(5)
+        outs = build_counter(terms, 5, s.new_var, lambda c: s.add_clause(c))
+        s.add_clause([-outs[2]])  # sum <= 2
+        count = 0
+        seen = set()
+        while s.solve():
+            model = s.model()
+            bits = tuple(model[v] for v in range(1, 6))
+            assert sum(bits) <= 2
+            assert bits not in seen
+            seen.add(bits)
+            s.add_clause([-v if model[v] else v for v in range(1, 6)])
+            count += 1
+        assert count == sum(1 for b in itertools.product([0, 1], repeat=5) if sum(b) <= 2)
+
+    def test_empty(self):
+        s = Solver()
+        assert build_counter([], 3, s.new_var, lambda c: s.add_clause(c)) == []
+        assert build_counter([(1, 1)], 0, s.new_var, lambda c: s.add_clause(c)) == []
+
+
+class TestCNFContainer:
+    def test_var_tracking(self):
+        f = CNF()
+        a, b = f.new_var(), f.new_var()
+        f.add([a, -b])
+        f.add([5])
+        assert f.num_vars == 5
+        assert len(f) == 2
+
+    def test_rejects_zero(self):
+        f = CNF()
+        with pytest.raises(ValueError):
+            f.add([0])

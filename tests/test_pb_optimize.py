@@ -1,0 +1,177 @@
+"""Tests for the PB optimisation driver (PBSolver.minimize)."""
+
+import itertools
+import random
+
+from repro.pb import PBSolver, evaluate_terms
+
+
+def brute_force_min(nvars, constraints, objective):
+    """(feasible, best) over all assignments."""
+    best = None
+    for bits in itertools.product([False, True], repeat=nvars):
+        model = {v: bits[v - 1] for v in range(1, nvars + 1)}
+        ok = True
+        for kind, terms, bound in constraints:
+            val = evaluate_terms(terms, model)
+            if kind == "leq" and val > bound:
+                ok = False
+            elif kind == "geq" and val < bound:
+                ok = False
+            elif kind == "eq" and val != bound:
+                ok = False
+            if not ok:
+                break
+        if ok:
+            v = evaluate_terms(objective, model)
+            best = v if best is None else min(best, v)
+    return best
+
+
+def random_instance(rng, n):
+    constraints = []
+    for _ in range(rng.randint(1, 5)):
+        terms = [
+            (rng.randint(-4, 4), rng.choice([1, -1]) * rng.randint(1, n))
+            for _ in range(rng.randint(1, n))
+        ]
+        constraints.append(
+            (rng.choice(["leq", "geq", "eq"]), terms, rng.randint(-6, 10))
+        )
+    objective = [(rng.randint(0, 5), v) for v in range(1, n + 1)]
+    return constraints, objective
+
+
+def solve_with(constraints, objective, n, upper_bound=None):
+    p = PBSolver()
+    p.new_vars(n)
+    for kind, terms, bound in constraints:
+        getattr(p, "add_" + kind)(terms, bound)
+    return p.minimize(objective, upper_bound=upper_bound)
+
+
+class TestMinimize:
+    def test_simple_cover(self):
+        # pick at least 3 of 5, minimise weights
+        p = PBSolver()
+        x = p.new_vars(5)
+        p.add_geq([(1, v) for v in x], 3)
+        r = p.minimize([(2, x[0]), (1, x[1]), (5, x[2]), (1, x[3]), (1, x[4])])
+        assert r.status == "optimal"
+        assert r.value == 3
+
+    def test_zero_optimum(self):
+        p = PBSolver()
+        x = p.new_vars(3)
+        p.add_clause([x[0], x[1]])
+        r = p.minimize([(4, x[2])])
+        assert r.value == 0
+        assert r.model[x[2]] is False
+
+    def test_unsat(self):
+        p = PBSolver()
+        x = p.new_vars(2)
+        p.add_leq([(1, x[0]), (1, x[1])], 0)
+        p.add_geq([(1, x[0])], 1)
+        r = p.minimize([(1, x[0])])
+        assert r.status == "unsat"
+        assert not r.satisfiable
+
+    def test_objective_with_negative_coefficients(self):
+        # minimise x0 - 2*x1 subject to x0 + x1 >= 1 -> pick x1: value -2
+        p = PBSolver()
+        x = p.new_vars(2)
+        p.add_geq([(1, x[0]), (1, x[1])], 1)
+        r = p.minimize([(1, x[0]), (-2, x[1])])
+        assert r.value == -2
+
+    def test_objective_on_negative_literals(self):
+        # minimise (~x0): force x0 true for free
+        p = PBSolver()
+        x = p.new_vars(1)
+        r = p.minimize([(3, -x[0])])
+        assert r.value == 0
+        assert r.model[x[0]] is True
+
+    def test_gcd_scaled_objective(self):
+        p = PBSolver()
+        x = p.new_vars(4)
+        p.add_geq([(1, v) for v in x], 2)
+        r = p.minimize([(10, v) for v in x])
+        assert r.value == 20
+
+    def test_upper_bound_respected(self):
+        constraints = [("geq", [(1, 1), (1, 2), (1, 3)], 2)]
+        objective = [(3, 1), (5, 2), (7, 3)]
+        r = solve_with(constraints, objective, 3, upper_bound=12)
+        assert r.value == 8
+
+    def test_tight_upper_bound_still_optimal(self):
+        constraints = [("geq", [(1, 1), (1, 2)], 1)]
+        objective = [(2, 1), (3, 2)]
+        r = solve_with(constraints, objective, 2, upper_bound=2)
+        assert r.value == 2
+
+    def test_infeasible_upper_bound_reports_unsat(self):
+        constraints = [("geq", [(1, 1), (1, 2)], 2)]
+        objective = [(2, 1), (3, 2)]
+        r = solve_with(constraints, objective, 2, upper_bound=4)
+        assert r.status == "unsat"
+
+    def test_exactly_one_helper(self):
+        p = PBSolver()
+        x = p.new_vars(5)
+        p.exactly_one(x)
+        r = p.minimize([(i + 1, v) for i, v in enumerate(x)])
+        assert r.value == 1
+
+    def test_at_most_one_helper(self):
+        p = PBSolver()
+        x = p.new_vars(8)
+        p.at_most_one(x)
+        p.add_geq([(1, v) for v in x], 1)
+        assert p.solve()
+        assert sum(p.model()[v] for v in x) == 1
+
+    def test_implies_helper(self):
+        p = PBSolver()
+        a, b, c = p.new_vars(3)
+        p.implies([a, b], c)
+        p.add_clause([a])
+        p.add_clause([b])
+        assert p.solve()
+        assert p.model()[c] is True
+
+    def test_empty_clause_makes_unsat(self):
+        p = PBSolver()
+        p.new_vars(1)
+        p.add_clause([])
+        assert not p.solve()
+
+
+class TestRandomMinimize:
+    def test_matches_bruteforce(self):
+        rng = random.Random(99)
+        for trial in range(120):
+            n = rng.randint(2, 7)
+            constraints, objective = random_instance(rng, n)
+            expected = brute_force_min(n, constraints, objective)
+            r = solve_with(constraints, objective, n)
+            if expected is None:
+                assert r.status == "unsat", trial
+            else:
+                assert r.status == "optimal", trial
+                assert r.value == expected, (trial, r.value, expected)
+
+    def test_matches_bruteforce_with_upper_bound(self):
+        rng = random.Random(17)
+        for trial in range(60):
+            n = rng.randint(2, 6)
+            constraints, objective = random_instance(rng, n)
+            expected = brute_force_min(n, constraints, objective)
+            if expected is None:
+                continue
+            slack = rng.randint(0, 3)
+            r = solve_with(constraints, objective, n, upper_bound=expected + slack)
+            assert r.status == "optimal"
+            assert r.value == expected, (trial, r.value, expected)

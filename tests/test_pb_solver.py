@@ -1,0 +1,228 @@
+"""Unit and property tests for the CDCL SAT core."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pb import Solver, luby
+
+
+def brute_force_sat(nvars, clauses):
+    for bits in itertools.product([False, True], repeat=nvars):
+        ok = True
+        for cl in clauses:
+            if not any(bits[abs(l) - 1] == (l > 0) for l in cl):
+                ok = False
+                break
+        if ok:
+            return bits
+    return None
+
+
+def check_model(solver, clauses):
+    model = solver.model()
+    for cl in clauses:
+        assert any(model[abs(l)] == (l > 0) for l in cl), cl
+
+
+class TestLuby:
+    def test_prefix(self):
+        assert [luby(i) for i in range(1, 16)] == [
+            1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8,
+        ]
+
+    def test_powers(self):
+        # positions 2^k - 1 hold 2^(k-1)
+        for k in range(1, 10):
+            assert luby((1 << k) - 1) == 1 << (k - 1)
+
+
+class TestBasics:
+    def test_empty_formula_sat(self):
+        assert Solver().solve()
+
+    def test_single_unit(self):
+        s = Solver()
+        a = s.new_var()
+        s.add_clause([a])
+        assert s.solve()
+        assert s.value(a) is True
+        assert s.value(-a) is False
+
+    def test_unit_conflict_unsat(self):
+        s = Solver()
+        a = s.new_var()
+        s.add_clause([a])
+        s.add_clause([-a])
+        assert not s.solve()
+        assert not s.ok
+
+    def test_implication_chain(self):
+        s = Solver()
+        vs = [s.new_var() for _ in range(20)]
+        for i in range(19):
+            s.add_clause([-vs[i], vs[i + 1]])
+        s.add_clause([vs[0]])
+        assert s.solve()
+        assert all(s.value(v) for v in vs)
+
+    def test_tautology_ignored(self):
+        s = Solver()
+        a, b = s.new_var(), s.new_var()
+        s.add_clause([a, -a, b])
+        s.add_clause([-b])
+        assert s.solve()
+        assert s.value(b) is False
+
+    def test_duplicate_literals_collapsed(self):
+        s = Solver()
+        a = s.new_var()
+        s.add_clause([a, a, a])
+        assert s.solve()
+        assert s.value(a) is True
+
+    def test_zero_literal_rejected(self):
+        s = Solver()
+        with pytest.raises(ValueError):
+            s.add_clause([0])
+
+    def test_xor_gadget(self):
+        # a xor b == True
+        s = Solver()
+        a, b = s.new_var(), s.new_var()
+        s.add_clause([a, b])
+        s.add_clause([-a, -b])
+        assert s.solve()
+        assert s.value(a) != s.value(b)
+
+    def test_pigeonhole_3_into_2_unsat(self):
+        # 3 pigeons, 2 holes: classic small UNSAT instance.
+        s = Solver()
+        p = {(i, j): s.new_var() for i in range(3) for j in range(2)}
+        for i in range(3):
+            s.add_clause([p[i, 0], p[i, 1]])
+        for j in range(2):
+            for i1 in range(3):
+                for i2 in range(i1 + 1, 3):
+                    s.add_clause([-p[i1, j], -p[i2, j]])
+        assert not s.solve()
+
+    def test_pigeonhole_5_into_4_unsat(self):
+        s = Solver()
+        n, m = 5, 4
+        p = {(i, j): s.new_var() for i in range(n) for j in range(m)}
+        for i in range(n):
+            s.add_clause([p[i, j] for j in range(m)])
+        for j in range(m):
+            for i1 in range(n):
+                for i2 in range(i1 + 1, n):
+                    s.add_clause([-p[i1, j], -p[i2, j]])
+        assert not s.solve()
+
+
+class TestIncremental:
+    def test_add_clause_between_solves(self):
+        s = Solver()
+        a, b = s.new_var(), s.new_var()
+        s.add_clause([a, b])
+        assert s.solve()
+        s.add_clause([-a])
+        assert s.solve()
+        assert s.value(b) is True
+        s.add_clause([-b])
+        assert not s.solve()
+
+    def test_descending_cardinality(self):
+        # Emulate the optimiser: repeatedly forbid the current model.
+        s = Solver()
+        vs = [s.new_var() for _ in range(6)]
+        s.add_clause(vs)
+        count = 0
+        while s.solve():
+            model = s.model()
+            s.add_clause([-v if model[v] else v for v in vs])
+            count += 1
+            assert count <= 2**6
+        assert count == 2**6 - 1  # all assignments except all-false
+
+
+class TestAssumptions:
+    def test_assumption_forces_value(self):
+        s = Solver()
+        a, b = s.new_var(), s.new_var()
+        s.add_clause([a, b])
+        assert s.solve(assumptions=[-a])
+        assert s.value(b) is True
+
+    def test_conflicting_assumptions(self):
+        s = Solver()
+        a = s.new_var()
+        s.add_clause([a])
+        assert not s.solve(assumptions=[-a])
+        # formula itself still satisfiable
+        assert s.solve()
+
+    def test_assumptions_do_not_persist(self):
+        s = Solver()
+        a, b = s.new_var(), s.new_var()
+        s.add_clause([a, b])
+        assert s.solve(assumptions=[-a, -b]) is False
+        assert s.solve()
+
+
+class TestRandomAgainstBruteForce:
+    def test_random_3sat(self):
+        rng = random.Random(42)
+        for trial in range(200):
+            n = rng.randint(3, 9)
+            m = rng.randint(2, 4 * n)
+            clauses = []
+            for _ in range(m):
+                k = rng.randint(1, 3)
+                cl = [
+                    rng.choice([1, -1]) * rng.randint(1, n) for _ in range(k)
+                ]
+                clauses.append(cl)
+            s = Solver()
+            s.ensure_vars(n)
+            for cl in clauses:
+                s.add_clause(cl)
+            expected = brute_force_sat(n, clauses)
+            got = s.solve()
+            assert got == (expected is not None), (trial, clauses)
+            if got:
+                check_model(s, clauses)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    st.integers(2, 7).flatmap(
+        lambda n: st.tuples(
+            st.just(n),
+            st.lists(
+                st.lists(
+                    st.integers(1, n).map(lambda v: v)
+                    .flatmap(lambda v: st.sampled_from([v, -v])),
+                    min_size=1,
+                    max_size=3,
+                ),
+                min_size=1,
+                max_size=20,
+            ),
+        )
+    )
+)
+def test_hypothesis_matches_brute_force(case):
+    n, clauses = case
+    s = Solver()
+    s.ensure_vars(n)
+    for cl in clauses:
+        s.add_clause(cl)
+    expected = brute_force_sat(n, clauses)
+    got = s.solve()
+    assert got == (expected is not None)
+    if got:
+        check_model(s, clauses)

@@ -1,0 +1,176 @@
+"""Tests for execution-plan representation and validation."""
+
+import pytest
+
+from repro.core import (
+    CopyToCPU,
+    CopyToGPU,
+    ExecutionPlan,
+    Free,
+    Launch,
+    OperatorGraph,
+    PlanError,
+    validate_plan,
+)
+
+
+def simple_graph():
+    g = OperatorGraph()
+    g.add_data("a", (2, 2), is_input=True)
+    g.add_data("b", (2, 2), is_output=True)
+    g.add_operator("op", "remap", ["a"], ["b"])
+    return g
+
+
+def good_plan():
+    return ExecutionPlan(
+        steps=[
+            CopyToGPU("a"),
+            Launch("op"),
+            CopyToCPU("b"),
+            Free("a"),
+            Free("b"),
+        ],
+        capacity_floats=100,
+    )
+
+
+class TestAccounting:
+    def test_transfer_floats(self):
+        g = simple_graph()
+        p = good_plan()
+        assert p.h2d_floats(g) == 4
+        assert p.d2h_floats(g) == 4
+        assert p.transfer_floats(g) == 8
+
+    def test_launches(self):
+        assert good_plan().launches() == ["op"]
+
+    def test_summary(self):
+        s = good_plan().summary(simple_graph())
+        assert s["steps"] == 5
+        assert s["transfer_floats"] == 8
+
+    def test_pretty_lists_steps(self):
+        text = good_plan().pretty()
+        assert "h2d  a" in text
+        assert "exec op" in text
+        assert "d2h  b" in text
+        assert "free a" in text
+
+    def test_len_and_iter(self):
+        p = good_plan()
+        assert len(p) == 5
+        assert list(p) == p.steps
+
+
+class TestValidation:
+    def test_good_plan_peak(self):
+        peak = validate_plan(good_plan(), simple_graph())
+        assert peak == 8  # a + b resident at launch
+
+    def test_over_capacity(self):
+        g = simple_graph()
+        p = good_plan()
+        p.capacity_floats = 7
+        with pytest.raises(PlanError, match="capacity"):
+            validate_plan(p, g)
+
+    def test_h2d_twice(self):
+        g = simple_graph()
+        p = ExecutionPlan([CopyToGPU("a"), CopyToGPU("a")], 100)
+        with pytest.raises(PlanError, match="already on device"):
+            validate_plan(p, g)
+
+    def test_h2d_of_data_not_on_host(self):
+        g = simple_graph()
+        p = ExecutionPlan([CopyToGPU("b")], 100)
+        with pytest.raises(PlanError, match="not in host memory"):
+            validate_plan(p, g)
+
+    def test_d2h_of_nonresident(self):
+        g = simple_graph()
+        p = ExecutionPlan([CopyToCPU("a")], 100)
+        with pytest.raises(PlanError, match="not on device"):
+            validate_plan(p, g)
+
+    def test_free_of_nonresident(self):
+        g = simple_graph()
+        p = ExecutionPlan([Free("a")], 100)
+        with pytest.raises(PlanError, match="not on device"):
+            validate_plan(p, g)
+
+    def test_launch_missing_input(self):
+        g = simple_graph()
+        p = ExecutionPlan([Launch("op")], 100)
+        with pytest.raises(PlanError, match="not resident"):
+            validate_plan(p, g)
+
+    def test_launch_unknown_op(self):
+        g = simple_graph()
+        p = ExecutionPlan([Launch("nope")], 100)
+        with pytest.raises(PlanError, match="unknown operator"):
+            validate_plan(p, g)
+
+    def test_double_launch(self):
+        g = simple_graph()
+        p = ExecutionPlan(
+            [CopyToGPU("a"), Launch("op"), Free("b"), Launch("op")], 100
+        )
+        with pytest.raises(PlanError, match="twice"):
+            validate_plan(p, g)
+
+    def test_launch_before_dependency(self):
+        g = OperatorGraph()
+        g.add_data("a", (1, 1), is_input=True)
+        g.add_data("b", (1, 1))
+        g.add_data("c", (1, 1), is_output=True)
+        g.add_operator("p", "remap", ["a"], ["b"])
+        g.add_operator("q", "remap", ["b"], ["c"])
+        # forge b's presence on the host so only the dependency check fires
+        g.data["b"].is_input = False
+        p = ExecutionPlan([CopyToGPU("a"), Launch("p"), Launch("q")], 100)
+        # (valid: p before q) — now reversed:
+        bad = ExecutionPlan([CopyToGPU("a"), Launch("q")], 100)
+        with pytest.raises(PlanError):
+            validate_plan(bad, g)
+
+    def test_plan_must_run_all_ops(self):
+        g = simple_graph()
+        p = ExecutionPlan([CopyToGPU("a"), Free("a")], 100)
+        with pytest.raises(PlanError, match="never executes"):
+            validate_plan(p, g)
+
+    def test_outputs_must_reach_host(self):
+        g = simple_graph()
+        p = ExecutionPlan(
+            [CopyToGPU("a"), Launch("op"), Free("a"), Free("b")], 100
+        )
+        with pytest.raises(PlanError, match="not in host memory at end"):
+            validate_plan(p, g)
+
+    def test_output_produced_after_host_copy_invalidated(self):
+        """A host copy of data is invalidated when a launch overwrites it."""
+        g = OperatorGraph()
+        g.add_data("a", (1, 1), is_input=True)
+        g.add_data("b", (1, 1), is_output=True)
+        g.add_operator("op1", "remap", ["a"], ["b"])
+        plan = ExecutionPlan(
+            steps=[
+                CopyToGPU("a"),
+                Launch("op1"),
+                # no CopyToCPU("b")!
+                Free("a"),
+                Free("b"),
+            ],
+            capacity_floats=100,
+        )
+        with pytest.raises(PlanError):
+            validate_plan(plan, g)
+
+    def test_capacity_argument_overrides(self):
+        g = simple_graph()
+        p = good_plan()
+        with pytest.raises(PlanError):
+            validate_plan(p, g, capacity_floats=5)
+        assert validate_plan(p, g, capacity_floats=1000) == 8

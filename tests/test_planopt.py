@@ -1,0 +1,119 @@
+"""Tests for post-scheduling plan transformations (upload prefetching)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Framework, hoist_uploads, validate_plan
+from repro.core.plan import CopyToGPU, Launch
+from repro.gpusim import GpuDevice, SimRuntime
+from repro.runtime import execute_plan, reference_execute, simulate_plan_overlap
+from repro.templates import find_edges_graph, find_edges_inputs
+
+DEV = GpuDevice(name="po-dev", memory_bytes=40 * 1024)
+
+
+@pytest.fixture()
+def compiled():
+    g = find_edges_graph(64, 48, 5, 4)
+    return Framework(DEV).compile(g)
+
+
+class TestHoistUploads:
+    def test_plan_still_valid(self, compiled):
+        pre = hoist_uploads(
+            compiled.plan, compiled.graph, DEV.usable_memory_floats
+        )
+        peak = validate_plan(pre, compiled.graph, DEV.usable_memory_floats)
+        assert peak <= DEV.usable_memory_floats
+
+    def test_transfer_volume_unchanged(self, compiled):
+        pre = hoist_uploads(
+            compiled.plan, compiled.graph, DEV.usable_memory_floats
+        )
+        assert pre.transfer_floats(compiled.graph) == compiled.transfer_floats()
+        assert len(pre.steps) == len(compiled.plan.steps)
+
+    def test_upload_multiset_preserved_and_some_hoisted(self, compiled):
+        def uploads(plan):
+            return sorted(
+                s.data for s in plan.steps if isinstance(s, CopyToGPU)
+            )
+
+        pre = hoist_uploads(
+            compiled.plan, compiled.graph, DEV.usable_memory_floats
+        )
+        assert uploads(pre) == uploads(compiled.plan)
+        # Each upload still precedes the launches that consume it
+        # (guaranteed by validation) and the earliest upload in the plan
+        # can only move towards the front.
+        first_before = next(
+            i
+            for i, s in enumerate(compiled.plan.steps)
+            if isinstance(s, CopyToGPU)
+        )
+        first_after = next(
+            i for i, s in enumerate(pre.steps) if isinstance(s, CopyToGPU)
+        )
+        assert first_after <= first_before
+
+    def test_numerics_preserved(self, compiled):
+        inputs = find_edges_inputs(64, 48, 5, 4, seed=14)
+        ref = reference_execute(find_edges_graph(64, 48, 5, 4), inputs)["Edg"]
+        pre = hoist_uploads(
+            compiled.plan, compiled.graph, DEV.usable_memory_floats
+        )
+        res = execute_plan(pre, compiled.graph, SimRuntime(DEV), inputs)
+        np.testing.assert_allclose(res.outputs["Edg"], ref, rtol=1e-4, atol=1e-5)
+
+    def test_label_marks_prefetch(self, compiled):
+        pre = hoist_uploads(
+            compiled.plan, compiled.graph, DEV.usable_memory_floats
+        )
+        assert pre.label.endswith("+prefetch")
+
+    def test_max_hoist_window(self, compiled):
+        pre = hoist_uploads(
+            compiled.plan,
+            compiled.graph,
+            DEV.usable_memory_floats,
+            max_hoist=1,
+        )
+        validate_plan(pre, compiled.graph, DEV.usable_memory_floats)
+        # With a window of 1, an upload moves at most one position.
+        for i, s in enumerate(compiled.plan.steps):
+            if isinstance(s, CopyToGPU):
+                j = pre.steps.index(s)
+                assert i - j <= 1 + sum(
+                    1
+                    for k, t in enumerate(compiled.plan.steps[:i])
+                    if isinstance(t, CopyToGPU)
+                    and pre.steps.index(t) != k
+                )
+
+    def test_launch_order_untouched(self, compiled):
+        pre = hoist_uploads(
+            compiled.plan, compiled.graph, DEV.usable_memory_floats
+        )
+        assert pre.launches() == compiled.plan.launches()
+
+
+class TestPrefetchOverlapBenefit:
+    def test_in_order_stream_benefits(self):
+        """On a FIFO copy stream the prefetched plan overlaps strictly
+        better than the just-in-time plan (the pass's purpose)."""
+        g = find_edges_graph(2000, 2000, 16, 4)
+        dev = GpuDevice(name="big", memory_bytes=8 << 20)
+        compiled = Framework(dev).compile(g)
+        pre = hoist_uploads(
+            compiled.plan, compiled.graph, dev.usable_memory_floats
+        )
+        plain = simulate_plan_overlap(
+            compiled.plan, compiled.graph, dev, in_order_copy=True
+        )
+        prefetched = simulate_plan_overlap(
+            pre, compiled.graph, dev, in_order_copy=True
+        )
+        assert prefetched.total_time < plain.total_time
+        # And approaches the multi-stream ideal.
+        ideal = simulate_plan_overlap(compiled.plan, compiled.graph, dev)
+        assert prefetched.total_time <= ideal.total_time * 1.10

@@ -1,0 +1,159 @@
+"""Tests for the DoG pyramid template and the extra elementwise ops."""
+
+import numpy as np
+import pytest
+
+from repro.core import Framework, make_feasible, Operator
+from repro.gpusim import GpuDevice
+from repro.ops import get_impl
+from repro.runtime import reference_execute
+from repro.templates import (
+    dog_pyramid_graph,
+    dog_pyramid_inputs,
+    dog_pyramid_reference,
+    gaussian_kernel,
+)
+
+rng = np.random.default_rng(77)
+
+
+def make_op(kind, **params):
+    return Operator("t", kind, ("a", "b"), ("o",), params)
+
+
+class TestNewElementwiseOps:
+    def test_sub(self):
+        a = rng.standard_normal((5, 4)).astype(np.float32)
+        b = rng.standard_normal((5, 4)).astype(np.float32)
+        (out,) = get_impl("sub").execute(make_op("sub"), [a, b])
+        np.testing.assert_allclose(out, a - b)
+
+    def test_mul(self):
+        a = rng.standard_normal((5, 4)).astype(np.float32)
+        b = rng.standard_normal((5, 4)).astype(np.float32)
+        (out,) = get_impl("mul").execute(make_op("mul"), [a, b])
+        np.testing.assert_allclose(out, a * b)
+
+    def test_relu(self):
+        a = rng.standard_normal((5, 4)).astype(np.float32)
+        op = Operator("t", "relu", ("a",), ("o",), {})
+        (out,) = get_impl("relu").execute(op, [a])
+        np.testing.assert_allclose(out, np.maximum(a, 0))
+
+    def test_split_rules_are_elementwise(self):
+        from repro.core import OperatorGraph
+
+        g = OperatorGraph()
+        g.add_data("a", (8, 4), is_input=True)
+        g.add_data("b", (8, 4), is_input=True)
+        g.add_data("o", (8, 4), is_output=True)
+        op = g.add_operator("s", "sub", ["a", "b"], ["o"])
+        assert get_impl("sub").input_rows(op, g, (2, 5)) == [(2, 5), (2, 5)]
+
+
+class TestGaussianKernel:
+    def test_normalised(self):
+        k = gaussian_kernel(7, 1.5)
+        assert k.sum() == pytest.approx(1.0, rel=1e-5)
+        assert k.shape == (7, 7)
+
+    def test_symmetric(self):
+        k = gaussian_kernel(5, 1.0)
+        np.testing.assert_allclose(k, k.T)
+        np.testing.assert_allclose(k, k[::-1, ::-1])
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            gaussian_kernel(0, 1.0)
+
+
+class TestPyramidGraph:
+    def test_structure(self):
+        g = dog_pyramid_graph(128, 96, octaves=3)
+        # Per octave: 2 convs + sub + relu (+ subsample except last).
+        assert len(g.ops) == 3 * 4 + 2
+        assert len(g.template_outputs()) == 3
+        g.validate()
+
+    def test_octave_shapes_halve(self):
+        g = dog_pyramid_graph(128, 96, octaves=3)
+        assert g.data["DoG0"].shape == (128, 96)
+        assert g.data["DoG1"].shape == (64, 48)
+        assert g.data["DoG2"].shape == (32, 24)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            dog_pyramid_graph(16, 16, octaves=4)
+
+    def test_zero_octaves_rejected(self):
+        with pytest.raises(ValueError):
+            dog_pyramid_graph(128, 96, octaves=0)
+
+    def test_reference_matches_graph_execution(self):
+        g = dog_pyramid_graph(64, 64, octaves=2)
+        inputs = dog_pyramid_inputs(64, 64, seed=4)
+        ref = dog_pyramid_reference(inputs, 2)
+        out = reference_execute(g, inputs)
+        assert set(out) == set(ref)
+        for k in ref:
+            np.testing.assert_allclose(out[k], ref[k], rtol=1e-3, atol=1e-4)
+
+
+class TestPyramidUnderPressure:
+    @pytest.mark.parametrize("mem_kb", [256, 96, 60])
+    def test_split_execution_matches(self, mem_kb):
+        g = dog_pyramid_graph(128, 96, octaves=3)
+        inputs = dog_pyramid_inputs(128, 96, seed=6)
+        ref = dog_pyramid_reference(inputs, 3)
+        fw = Framework(GpuDevice(name=f"m{mem_kb}", memory_bytes=mem_kb * 1024))
+        compiled = fw.compile(g)
+        res = fw.execute(compiled, inputs)
+        for k in ref:
+            np.testing.assert_allclose(
+                res.outputs[k], ref[k], rtol=1e-3, atol=1e-4
+            )
+
+    def test_transfers_reach_io_bound(self):
+        g = dog_pyramid_graph(128, 96, octaves=3)
+        fw = Framework(GpuDevice(name="m60", memory_bytes=60 * 1024))
+        compiled = fw.compile(g)
+        assert compiled.transfer_floats() == g.io_size()
+
+
+class TestCompaction:
+    def test_defragmentation_event_recorded(self):
+        """The fragmented pyramid run triggers runtime compaction."""
+        from repro.gpusim import SimRuntime
+
+        g = dog_pyramid_graph(128, 96, octaves=3)
+        inputs = dog_pyramid_inputs(128, 96, seed=2)
+        fw = Framework(GpuDevice(name="m60", memory_bytes=60 * 1024))
+        compiled = fw.compile(g)
+        rt = SimRuntime(fw.device)
+        from repro.runtime import execute_plan
+
+        execute_plan(compiled.plan, compiled.graph, rt, inputs)
+        names = [e.name for e in rt.profile.events]
+        assert "defragment" in names
+
+    def test_true_oom_still_raises(self):
+        from repro.gpusim import OutOfDeviceMemoryError, SimRuntime
+
+        rt = SimRuntime(GpuDevice(name="t", memory_bytes=1024))
+        rt.malloc("a", 800)
+        with pytest.raises(OutOfDeviceMemoryError):
+            rt.malloc("b", 800)
+
+    def test_compaction_preserves_contents(self):
+        from repro.gpusim import SimRuntime
+
+        rt = SimRuntime(GpuDevice(name="t", memory_bytes=4096))
+        rt.malloc("a", 1024)
+        rt.write_device("a", np.arange(256, dtype=np.float32))
+        rt.malloc("b", 1024)
+        rt.write_device("b", np.arange(256, dtype=np.float32) * 2)
+        rt.free("a")
+        rt.malloc("c", 2048)  # needs the hole left by a + tail: compacts
+        np.testing.assert_array_equal(
+            rt.read_device("b"), np.arange(256, dtype=np.float32) * 2
+        )

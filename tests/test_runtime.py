@@ -1,0 +1,157 @@
+"""Tests for plan execution: reference, numeric-on-simulator, analytic."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Framework,
+    baseline_plan,
+    dfs_schedule,
+    make_feasible,
+    schedule_transfers,
+)
+from repro.gpusim import GpuDevice, SimRuntime, XEON_WORKSTATION
+from repro.runtime import (
+    execute_plan,
+    reference_execute,
+    simulate_plan,
+)
+from repro.templates import (
+    SMALL_CNN,
+    cnn_graph,
+    cnn_inputs,
+    find_edges_graph,
+    find_edges_inputs,
+)
+
+DEV = GpuDevice(name="test-dev", memory_bytes=256 * 1024)  # 64k floats
+
+
+class TestReferenceExecute:
+    def test_edge_matches_numpy(self):
+        from scipy.signal import correlate2d
+
+        g = find_edges_graph(20, 16, 3, 2)
+        inputs = find_edges_inputs(20, 16, 3, 2, seed=1)
+        out = reference_execute(g, inputs)["Edg"]
+        e1 = correlate2d(inputs["Img"], inputs["K1"], mode="same")
+        e2 = np.abs(e1)
+        np.testing.assert_allclose(out, np.maximum(e1, e2), rtol=1e-4, atol=1e-5)
+
+    def test_missing_input_raises(self):
+        g = find_edges_graph(10, 10, 3, 2)
+        with pytest.raises(KeyError):
+            reference_execute(g, {"Img": np.zeros((10, 10), np.float32)})
+
+
+class TestExecutePlan:
+    def build(self, cap_frac=0.5):
+        g = find_edges_graph(48, 40, 5, 4)
+        cap = int(g.max_footprint() * cap_frac)
+        make_feasible(g, cap)
+        plan = schedule_transfers(g, dfs_schedule(g), cap)
+        return g, plan
+
+    def test_matches_reference(self):
+        inputs = find_edges_inputs(48, 40, 5, 4, seed=2)
+        ref = reference_execute(find_edges_graph(48, 40, 5, 4), inputs)["Edg"]
+        g, plan = self.build()
+        rt = SimRuntime(DEV)
+        res = execute_plan(plan, g, rt, inputs)
+        np.testing.assert_allclose(res.outputs["Edg"], ref, rtol=1e-4, atol=1e-5)
+
+    def test_result_accounting(self):
+        g, plan = self.build()
+        inputs = find_edges_inputs(48, 40, 5, 4, seed=2)
+        rt = SimRuntime(DEV)
+        res = execute_plan(plan, g, rt, inputs)
+        assert res.h2d_floats == plan.h2d_floats(g)
+        assert res.d2h_floats == plan.d2h_floats(g)
+        assert res.elapsed > 0
+        assert res.transfer_time > 0
+        assert res.compute_time > 0
+        assert res.elapsed == pytest.approx(rt.clock)
+
+    def test_device_capacity_enforced_by_allocator(self):
+        """A plan compiled for a big device fails on a smaller one."""
+        from repro.gpusim import OutOfDeviceMemoryError
+
+        g = find_edges_graph(48, 40, 5, 4)
+        plan = schedule_transfers(g, dfs_schedule(g), 10**9)
+        tiny = SimRuntime(GpuDevice(name="tiny", memory_bytes=10 * 1024))
+        with pytest.raises(OutOfDeviceMemoryError):
+            execute_plan(plan, g, tiny, find_edges_inputs(48, 40, 5, 4))
+
+    def test_baseline_plan_executes(self):
+        g = find_edges_graph(32, 24, 3, 2)
+        inputs = find_edges_inputs(32, 24, 3, 2, seed=5)
+        ref = reference_execute(g, inputs)["Edg"]
+        plan = baseline_plan(g, 10**9)
+        rt = SimRuntime(GpuDevice(name="big", memory_bytes=64 * 1024 * 1024))
+        res = execute_plan(plan, g, rt, inputs)
+        np.testing.assert_allclose(res.outputs["Edg"], ref, rtol=1e-4, atol=1e-5)
+
+
+class TestSimulatePlan:
+    def test_agrees_with_numeric_execution(self):
+        g = find_edges_graph(48, 40, 5, 4)
+        cap = int(g.max_footprint() * 0.5)
+        make_feasible(g, cap)
+        plan = schedule_transfers(g, dfs_schedule(g), cap)
+        sim = simulate_plan(plan, g, DEV)
+        rt = SimRuntime(DEV)
+        res = execute_plan(plan, g, rt, find_edges_inputs(48, 40, 5, 4))
+        assert sim.h2d_floats == res.h2d_floats
+        assert sim.d2h_floats == res.d2h_floats
+        assert sim.transfer_time == pytest.approx(res.transfer_time, rel=1e-6)
+        assert sim.compute_time == pytest.approx(res.compute_time, rel=1e-6)
+
+    def test_peak_device_usage(self):
+        g = find_edges_graph(32, 24, 3, 2)
+        plan = schedule_transfers(g, dfs_schedule(g), 10**9)
+        sim = simulate_plan(plan, g, DEV)
+        assert 0 < sim.peak_device_floats <= g.total_data_size()
+
+    def test_thrashing_flag(self):
+        """Transfers slow down and the run is flagged once the host
+        working set exceeds RAM (Table 2's inconsistent entries)."""
+        from repro.gpusim import HostSystem
+
+        g = find_edges_graph(64, 48, 5, 4)
+        cap = g.max_footprint() // 2
+        make_feasible(g, cap)
+        plan = schedule_transfers(g, dfs_schedule(g), cap)
+        tiny_host = HostSystem(name="tiny-host", memory_bytes=1024)
+        sim = simulate_plan(plan, g, DEV, tiny_host)
+        ok = simulate_plan(plan, g, DEV, XEON_WORKSTATION)
+        assert sim.thrashed and sim.inconsistent
+        assert not ok.thrashed
+        assert sim.total_time > ok.total_time
+
+    def test_breakdown_fractions(self):
+        g = find_edges_graph(32, 24, 3, 2)
+        plan = schedule_transfers(g, dfs_schedule(g), 10**9)
+        sim = simulate_plan(plan, g, DEV)
+        bd = sim.breakdown()
+        assert bd["transfer"] + bd["compute"] == pytest.approx(1.0)
+
+    def test_record_events(self):
+        g = find_edges_graph(32, 24, 3, 2)
+        plan = schedule_transfers(g, dfs_schedule(g), 10**9)
+        sim = simulate_plan(plan, g, DEV, record_events=True)
+        assert len(sim.events) == len(plan.steps)
+
+
+class TestCNNEndToEnd:
+    def test_small_cnn_split_and_executed(self):
+        g = cnn_graph(SMALL_CNN, 48, 48)
+        inputs = cnn_inputs(SMALL_CNN, 48, 48, seed=9)
+        ref = reference_execute(cnn_graph(SMALL_CNN, 48, 48), inputs)
+        fw = Framework(GpuDevice(name="t", memory_bytes=64 * 1024))
+        compiled = fw.compile(g)
+        res = fw.execute(compiled, inputs)
+        assert set(res.outputs) == set(ref)
+        for k in ref:
+            np.testing.assert_allclose(
+                res.outputs[k], ref[k], rtol=1e-4, atol=1e-5
+            )

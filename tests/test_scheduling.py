@@ -1,0 +1,99 @@
+"""Tests for operator scheduling heuristics (Section 3.3.1)."""
+
+import pytest
+
+from repro.core import (
+    OperatorGraph,
+    SCHEDULERS,
+    bfs_schedule,
+    dfs_schedule,
+    get_scheduler,
+    topo_schedule,
+)
+from repro.templates import SMALL_CNN, cnn_graph, find_edges_graph
+
+
+def assert_topological(graph, order):
+    assert sorted(order) == sorted(graph.ops)
+    pos = {o: i for i, o in enumerate(order)}
+    for o in graph.ops:
+        for p in graph.op_predecessors(o):
+            assert pos[p] < pos[o], (p, o)
+
+
+def chain(n=6):
+    g = OperatorGraph("chain")
+    g.add_data("d0", (4, 4), is_input=True)
+    for i in range(n):
+        g.add_data(f"d{i + 1}", (4, 4), is_output=(i == n - 1))
+        g.add_operator(f"o{i}", "remap", [f"d{i}"], [f"d{i + 1}"])
+    return g
+
+
+def tree():
+    """Two independent branches joining at a combine."""
+    g = OperatorGraph("tree")
+    g.add_data("in", (4, 4), is_input=True)
+    for b in ("a", "b"):
+        g.add_data(f"{b}1", (4, 4))
+        g.add_data(f"{b}2", (4, 4))
+        g.add_operator(f"{b}_first", "remap", ["in"], [f"{b}1"])
+        g.add_operator(f"{b}_second", "tanh", [f"{b}1"], [f"{b}2"])
+    g.add_data("out", (4, 4), is_output=True)
+    g.add_operator("join", "max", ["a2", "b2"], ["out"])
+    return g
+
+
+@pytest.mark.parametrize("name", sorted(SCHEDULERS))
+class TestAllSchedulers:
+    def test_valid_on_chain(self, name):
+        g = chain()
+        assert_topological(g, get_scheduler(name)(g))
+
+    def test_valid_on_tree(self, name):
+        g = tree()
+        assert_topological(g, get_scheduler(name)(g))
+
+    def test_valid_on_edge_template(self, name):
+        g = find_edges_graph(32, 32, 5, 8)
+        assert_topological(g, get_scheduler(name)(g))
+
+    def test_valid_on_cnn(self, name):
+        g = cnn_graph(SMALL_CNN, 48, 48)
+        assert_topological(g, get_scheduler(name)(g))
+
+    def test_deterministic(self, name):
+        g = tree()
+        s = get_scheduler(name)
+        assert s(g) == s(g)
+
+
+class TestDFSCharacter:
+    def test_depth_first_on_tree(self):
+        """DFS finishes branch a's subtree before starting branch b."""
+        order = dfs_schedule(tree())
+        assert order.index("a_second") < order.index("b_first")
+
+    def test_bfs_is_level_order(self):
+        order = bfs_schedule(tree())
+        assert order.index("b_first") < order.index("a_second")
+
+    def test_dfs_backtracks_on_precedence(self):
+        """The join is only scheduled after both branches complete."""
+        order = dfs_schedule(tree())
+        assert order[-1] == "join"
+
+    def test_deep_graph_no_recursion_limit(self):
+        g = chain(5000)
+        order = dfs_schedule(g)
+        assert len(order) == 5000
+
+
+class TestLookup:
+    def test_unknown_scheduler(self):
+        with pytest.raises(KeyError):
+            get_scheduler("zigzag")
+
+    def test_topo_matches_graph_order(self):
+        g = tree()
+        assert topo_schedule(g) == g.topological_order()

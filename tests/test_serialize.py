@@ -1,0 +1,113 @@
+"""Tests for plan/graph JSON serialization."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Framework,
+    graph_from_dict,
+    graph_to_dict,
+    load_plan,
+    plan_from_dict,
+    plan_to_dict,
+    save_plan,
+    validate_plan,
+)
+from repro.core.offload import identify_offload_units
+from repro.gpusim import GpuDevice, SimRuntime
+from repro.runtime import execute_plan, reference_execute
+from repro.templates import find_edges_graph, find_edges_inputs
+
+DEV = GpuDevice(name="ser-dev", memory_bytes=96 * 1024)
+
+
+@pytest.fixture()
+def compiled():
+    g = find_edges_graph(48, 40, 5, 4)
+    return Framework(DEV).compile(g)
+
+
+class TestGraphRoundTrip:
+    def test_unsplit(self):
+        g = find_edges_graph(32, 24, 3, 2)
+        h = graph_from_dict(graph_to_dict(g))
+        assert set(h.ops) == set(g.ops)
+        assert set(h.data) == set(g.data)
+        assert h.io_size() == g.io_size()
+        h.validate()
+
+    def test_split_graph_with_slots(self, compiled):
+        g = compiled.graph
+        h = graph_from_dict(graph_to_dict(g))
+        h.validate()
+        assert {d for d, x in h.data.items() if x.virtual} == {
+            d for d, x in g.data.items() if x.virtual
+        }
+        for name, op in g.ops.items():
+            assert h.ops[name].kind == op.kind
+            assert h.ops[name].inputs == op.inputs
+            if "slots" in op.params:
+                hs = h.ops[name].params["slots"]
+                gs = op.params["slots"]
+                assert [(s.root, s.rows, s.chunks) for s in hs] == [
+                    (s.root, s.rows, s.chunks) for s in gs
+                ]
+
+    def test_fused_subgraph(self):
+        g = find_edges_graph(16, 16, 3, 2)
+        # Build a chain to fuse.
+        from repro.core.graph import OperatorGraph
+
+        chain = OperatorGraph("c")
+        chain.add_data("x", (8, 8), is_input=True)
+        chain.add_data("y", (8, 8))
+        chain.add_data("z", (8, 8), is_output=True)
+        chain.add_operator("a", "tanh", ["x"], ["y"])
+        chain.add_operator("b", "remap", ["y"], ["z"])
+        identify_offload_units(chain, 10**9)
+        restored = graph_from_dict(graph_to_dict(chain))
+        restored.validate()
+        (op,) = restored.ops.values()
+        assert op.kind == "fused"
+        sub = op.params["subgraph"]
+        assert set(sub.ops) == {"a", "b"}
+
+    def test_json_clean(self, compiled):
+        text = json.dumps(graph_to_dict(compiled.graph))
+        assert isinstance(text, str)
+
+
+class TestPlanRoundTrip:
+    def test_steps_preserved(self, compiled):
+        plan2 = plan_from_dict(plan_to_dict(compiled.plan))
+        assert plan2.steps == compiled.plan.steps
+        assert plan2.capacity_floats == compiled.plan.capacity_floats
+        assert plan2.label == compiled.plan.label
+
+    def test_file_round_trip_executes(self, compiled, tmp_path):
+        path = os.fspath(tmp_path / "plan.json")
+        save_plan(compiled, path)
+        graph, plan = load_plan(path)
+        validate_plan(plan, graph, compiled.plan.capacity_floats)
+        inputs = find_edges_inputs(48, 40, 5, 4, seed=9)
+        ref = reference_execute(find_edges_graph(48, 40, 5, 4), inputs)["Edg"]
+        res = execute_plan(plan, graph, SimRuntime(DEV), inputs)
+        np.testing.assert_allclose(res.outputs["Edg"], ref, rtol=1e-4, atol=1e-5)
+
+    def test_transfer_accounting_preserved(self, compiled, tmp_path):
+        path = os.fspath(tmp_path / "plan.json")
+        save_plan(compiled, path)
+        graph, plan = load_plan(path)
+        assert plan.transfer_floats(graph) == compiled.transfer_floats()
+
+    def test_version_check(self, compiled, tmp_path):
+        path = os.fspath(tmp_path / "plan.json")
+        save_plan(compiled, path)
+        raw = json.load(open(path))
+        raw["format_version"] = 99
+        json.dump(raw, open(path, "w"))
+        with pytest.raises(ValueError, match="format"):
+            load_plan(path)

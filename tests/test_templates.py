@@ -1,0 +1,182 @@
+"""Tests for the evaluation templates (Section 4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.templates import (
+    LARGE_CNN,
+    SMALL_CNN,
+    CNNArch,
+    ConvLayerSpec,
+    cnn_graph,
+    cnn_inputs,
+    edge_filter,
+    find_edges_graph,
+    find_edges_inputs,
+    rotated_kernel,
+    valid_cnn_shape,
+)
+
+
+class TestEdgeTemplate:
+    def test_paper_1000x1000_float_counts(self):
+        """Table 1 row 1: the exact float counts the paper reports."""
+        g = find_edges_graph(1000, 1000, 16, 4)
+        assert g.total_data_size() == 6_000_512
+        assert g.io_size() == 2_000_512
+
+    def test_paper_10000x10000_float_counts(self):
+        """Table 1 row 2."""
+        g = find_edges_graph(10_000, 10_000, 16, 4)
+        assert g.total_data_size() == 600_000_512
+        assert g.io_size() == 200_000_512
+
+    def test_structure_4_orientations(self):
+        """Section 4.1.1: 2 convolutions + 2 remaps + combine."""
+        g = find_edges_graph(100, 100, 16, 4)
+        kinds = sorted(op.kind for op in g.ops.values())
+        assert kinds == ["conv2d", "conv2d", "max", "remap", "remap"]
+
+    def test_structure_8_orientations_fig1b(self):
+        """Figure 1(b): C1-C4, R1-R4, max over eight maps."""
+        g = find_edges_graph(100, 100, 16, 8)
+        assert sum(1 for o in g.ops.values() if o.kind == "conv2d") == 4
+        assert sum(1 for o in g.ops.values() if o.kind == "remap") == 4
+        assert len(g.ops["Combine"].inputs) == 8
+
+    def test_max_footprint_is_9x_for_8_orientations(self):
+        """Figure 1(c): the max operator needs ~9x the image size."""
+        g = find_edges_graph(300, 300, 16, 8)
+        assert g.op_footprint("Combine") == 9 * 300 * 300
+
+    def test_conv_footprint_is_2x(self):
+        g = find_edges_graph(300, 300, 16, 8)
+        assert g.op_footprint("C1") == 2 * 300 * 300 + 256
+
+    @pytest.mark.parametrize("combine", ["max", "add", "absmax"])
+    def test_combine_ops(self, combine):
+        g = find_edges_graph(32, 32, 5, 4, combine_op=combine)
+        g.validate()
+
+    def test_bad_combine_rejected(self):
+        with pytest.raises(ValueError):
+            find_edges_graph(32, 32, 5, 4, combine_op="min")
+
+    def test_single_orientation(self):
+        g = find_edges_graph(32, 32, 5, 1)
+        g.validate()
+
+    def test_zero_orientations_rejected(self):
+        with pytest.raises(ValueError):
+            find_edges_graph(32, 32, 5, 0)
+
+    def test_inputs_match_graph(self):
+        g = find_edges_graph(40, 30, 7, 6)
+        inputs = find_edges_inputs(40, 30, 7, 6)
+        for name, ds in g.data.items():
+            if ds.is_input:
+                assert inputs[name].shape == ds.shape
+
+    def test_inputs_deterministic(self):
+        a = find_edges_inputs(16, 16, 3, 2, seed=5)
+        b = find_edges_inputs(16, 16, 3, 2, seed=5)
+        np.testing.assert_array_equal(a["Img"], b["Img"])
+
+    def test_edge_filter_and_rotation(self):
+        k = edge_filter(8)
+        assert k.shape == (8, 8)
+        assert rotated_kernel(k, 0) is not k
+        np.testing.assert_array_equal(rotated_kernel(k, 4), k)
+        np.testing.assert_array_equal(
+            rotated_kernel(k, 1), np.rot90(k, 1).astype(np.float32)
+        )
+
+
+class TestCNNTemplate:
+    def test_small_cnn_matches_paper_scale(self):
+        """Paper: 1600 operators, 2434 data structures (ours: within 3%)."""
+        g = cnn_graph(SMALL_CNN, 480, 640)
+        assert abs(len(g.ops) - 1600) / 1600 < 0.03
+        assert abs(len(g.data) - 2434) / 2434 < 0.03
+
+    def test_large_cnn_matches_paper_scale(self):
+        """Paper: 7500 operators, 11334 data structures (ours: within 3%)."""
+        g = cnn_graph(LARGE_CNN, 480, 640)
+        assert abs(len(g.ops) - 7500) / 7500 < 0.03
+        assert abs(len(g.data) - 11334) / 11334 < 0.03
+
+    def test_eleven_layers(self):
+        """4 convolutional + 2 subsampling + 5 tanh."""
+        layers = SMALL_CNN.layers
+        assert len(layers) == 11
+        assert sum(1 for l in layers if l.startswith("conv")) == 4
+        assert sum(1 for l in layers if l.startswith("sub")) == 2
+        assert sum(1 for l in layers if l.startswith("tanh")) == 5
+
+    def test_fig7_layer_expansion(self):
+        """A conv layer with I inputs and O outputs expands into I*O
+        convolutions and I*O additions (incl. the bias add), Figure 7."""
+        arch = CNNArch(
+            name="fig7",
+            conv1=ConvLayerSpec(1, 3),
+            conv2=ConvLayerSpec(3, 2),
+            conv3=ConvLayerSpec(2, 2),
+            conv4=ConvLayerSpec(2, 1),
+        )
+        g = cnn_graph(arch, 64, 64)
+        convs = [o for o in g.ops.values() if o.kind == "conv2d" and o.name.startswith("conv2.")]
+        adds = [
+            o
+            for o in g.ops.values()
+            if o.kind in ("add", "bias_add") and o.name.startswith("conv2.")
+        ]
+        assert len(convs) == 3 * 2
+        assert len(adds) == 3 * 2
+
+    def test_outputs_are_final_tanh_planes(self):
+        g = cnn_graph(SMALL_CNN, 48, 48)
+        outs = g.template_outputs()
+        assert len(outs) == SMALL_CNN.conv4.out_planes
+        assert all(o.startswith("tanh5.") for o in outs)
+
+    def test_weights_and_biases_are_inputs(self):
+        g = cnn_graph(SMALL_CNN, 48, 48)
+        w = [d for d in g.template_inputs() if ".W" in d]
+        b = [d for d in g.template_inputs() if ".B" in d]
+        expect_w = sum(
+            s.in_planes * s.out_planes
+            for s in (SMALL_CNN.conv1, SMALL_CNN.conv2, SMALL_CNN.conv3, SMALL_CNN.conv4)
+        )
+        assert len(w) == expect_w
+        assert len(b) == sum(
+            s.out_planes
+            for s in (SMALL_CNN.conv1, SMALL_CNN.conv2, SMALL_CNN.conv3, SMALL_CNN.conv4)
+        )
+
+    def test_shape_validation(self):
+        assert valid_cnn_shape(SMALL_CNN, 480, 640)
+        assert valid_cnn_shape(SMALL_CNN, 48, 48)
+        assert not valid_cnn_shape(SMALL_CNN, 47, 47)  # odd after conv1
+
+    def test_bad_plane_count_rejected(self):
+        arch = CNNArch(
+            name="bad",
+            conv1=ConvLayerSpec(2, 4),  # template has one input plane
+            conv2=ConvLayerSpec(4, 4),
+            conv3=ConvLayerSpec(4, 4),
+            conv4=ConvLayerSpec(4, 2),
+        )
+        with pytest.raises(ValueError):
+            cnn_graph(arch, 48, 48)
+
+    def test_inputs_cover_graph(self):
+        g = cnn_graph(SMALL_CNN, 48, 48)
+        inputs = cnn_inputs(SMALL_CNN, 48, 48)
+        roots = {d for d, ds in g.data.items() if ds.is_input and ds.parent is None}
+        assert set(inputs) == roots
+
+    def test_paper_input_sizes_valid(self):
+        """The three evaluation input sizes all satisfy shape constraints."""
+        for h, w in ((480, 640), (480, 6400), (4800, 6400)):
+            assert valid_cnn_shape(SMALL_CNN, h, w), (h, w)
+            assert valid_cnn_shape(LARGE_CNN, h, w), (h, w)

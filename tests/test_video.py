@@ -1,0 +1,84 @@
+"""Tests for the video streaming template."""
+
+import numpy as np
+import pytest
+
+from repro.core import Framework
+from repro.gpusim import GpuDevice, MB
+from repro.runtime import reference_execute
+from repro.templates import video_edge_graph, video_edge_inputs
+
+
+class TestGraph:
+    def test_structure(self):
+        g = video_edge_graph(5, 64, 48, 9, 4)
+        # Per frame: 2 convs + 2 remaps + combine.
+        assert len(g.ops) == 5 * 5
+        assert len(g.template_outputs()) == 5
+        assert len([d for d in g.template_inputs() if d.startswith("F")]) == 5
+        g.validate()
+
+    def test_kernels_shared_across_frames(self):
+        g = video_edge_graph(4, 32, 32, 5, 4)
+        assert len(g.consumers["K1"]) == 4
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            video_edge_graph(0, 32, 32)
+        with pytest.raises(ValueError):
+            video_edge_graph(2, 32, 32, num_orientations=1)
+
+    def test_inputs_cover_graph(self):
+        g = video_edge_graph(3, 24, 24, 5, 4)
+        inputs = video_edge_inputs(3, 24, 24, 5, 4)
+        roots = {d for d, ds in g.data.items() if ds.is_input}
+        assert set(inputs) == roots
+
+    def test_frames_drift_but_differ(self):
+        inputs = video_edge_inputs(4, 16, 16, 5, 4, seed=2)
+        assert not np.array_equal(inputs["F0"], inputs["F3"])
+
+
+class TestStreaming:
+    def test_reaches_io_bound_without_splitting(self):
+        """A clip 18x larger than the device streams at the I/O bound."""
+        g = video_edge_graph(24, 256, 256, kernel_size=9)
+        dev = GpuDevice(name="tiny-vram", memory_bytes=2 * MB)
+        compiled = Framework(dev).compile(g)
+        assert not compiled.split_report.any_split
+        assert compiled.transfer_floats() == g.io_size()
+
+    def test_numerics_under_pressure(self):
+        g = video_edge_graph(4, 64, 64, 5, 4)
+        inputs = video_edge_inputs(4, 64, 64, 5, 4, seed=7)
+        ref = reference_execute(g, inputs)
+        fw = Framework(GpuDevice(name="s", memory_bytes=100 * 1024))
+        res = fw.execute(fw.compile(g), inputs)
+        for k in ref:
+            np.testing.assert_allclose(
+                res.outputs[k], ref[k], rtol=1e-3, atol=1e-4
+            )
+
+    def test_per_frame_outputs_independent(self):
+        """Each output frame equals the single-frame template's result."""
+        from repro.templates import find_edges_graph
+
+        inputs = video_edge_inputs(3, 32, 32, 5, 4, seed=9)
+        g = video_edge_graph(3, 32, 32, 5, 4)
+        clip = reference_execute(g, inputs)
+        single = find_edges_graph(32, 32, 5, 4)
+        for t in range(3):
+            one = reference_execute(
+                single,
+                {"Img": inputs[f"F{t}"], "K1": inputs["K1"], "K2": inputs["K2"]},
+            )["Edg"]
+            np.testing.assert_allclose(clip[f"E{t}"], one, rtol=1e-4, atol=1e-5)
+
+    def test_longer_clip_transfers_scale_linearly(self):
+        dev = GpuDevice(name="s2", memory_bytes=2 * MB)
+        vols = []
+        for n in (8, 16):
+            g = video_edge_graph(n, 128, 128, 9, 4)
+            vols.append(Framework(dev).compile(g).transfer_floats())
+        # Doubling frames doubles transfers (minus the shared kernels).
+        assert vols[1] == pytest.approx(2 * vols[0], rel=0.01)
