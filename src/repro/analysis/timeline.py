@@ -68,7 +68,9 @@ def render_timeline(
     width: int = 24,
 ) -> str:
     """ASCII rendering (cf. Figure 6's host/GPU memory columns)."""
-    cap = capacity_floats or plan.capacity_floats or 1
+    # cap == 0 means the capacity is unknown (e.g. a hand-built plan):
+    # render "?" bars rather than a misleading full-occupancy bar.
+    cap = capacity_floats or plan.capacity_floats or 0
     rows = plan_timeline(plan, graph)
     lines = [
         f"{'step':28s} {'GPU memory':>{width}s} {'use':>9s}  host copies",
@@ -78,8 +80,11 @@ def render_timeline(
         gpu = ",".join(row.gpu_resident)
         if len(gpu) > width:
             gpu = gpu[: width - 2] + ".."
-        bar_len = min(int(10 * row.gpu_floats / cap), 10)
-        bar = "#" * bar_len + "." * (10 - bar_len)
+        if cap:
+            bar_len = min(int(10 * row.gpu_floats / cap), 10)
+            bar = "#" * bar_len + "." * (10 - bar_len)
+        else:
+            bar = "?" * 10
         host = ",".join(row.host_copies)
         lines.append(
             f"{row.step:28s} {gpu:>{width}s} [{bar}]  {host}"

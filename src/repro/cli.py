@@ -7,12 +7,15 @@ plan, run it on the simulated device, or emit the generated program.
     repro info    --template edge --size 4096x4096
     repro compile --template edge --size 10000x10000 --device geforce_8800_gtx
     repro run     --template small-cnn --size 640x480 --verify
+    repro run     --template edge --size 4096x4096 --trace-out trace.json
+    repro explain --template edge --size 2048x2048
     repro codegen --template edge --size 1024x1024 --lang cuda -o out.cu
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable
 
@@ -23,8 +26,9 @@ from repro.analysis.timeline import render_timeline
 from repro.codegen import generate_cuda, generate_python
 from repro.core import CompileOptions, Framework, PlanError
 from repro.core.serialize import save_plan
+from repro.obs import explain_to_dicts, render_explain, write_chrome_trace
 from repro.gpusim import FLOAT_BYTES, MB, PRESETS, XEON_WORKSTATION, device_by_name
-from repro.runtime import reference_execute
+from repro.runtime import reference_execute, simulate_plan
 from repro.templates import (
     LARGE_CNN,
     SMALL_CNN,
@@ -97,28 +101,57 @@ def cmd_info(args) -> int:
     return 0
 
 
+def _write_trace(args, compiled, profile=None, simulated_events=None) -> None:
+    write_chrome_trace(
+        args.trace_out,
+        spans=compiled.spans,
+        profile=profile,
+        simulated_events=simulated_events,
+        metadata={
+            "template": compiled.graph.name,
+            "device": compiled.device.name,
+        },
+    )
+
+
 def cmd_compile(args) -> int:
     graph, _ = _build(args)
     fw = _framework(args)
     compiled = fw.compile(graph)
-    for key, value in compiled.summary().items():
-        print(f"{key:20s}: {value}")
-    sim = fw.simulate(compiled)
-    print(f"{'simulated time':20s}: {sim.total_time:.3f} s "
-          f"({100 * sim.breakdown()['transfer']:.0f}% transfer)")
-    try:
-        base = fw.compile_baseline(graph)
-        bsim = fw.simulate(base)
-        print(f"{'baseline time':20s}: {bsim.total_time:.3f} s "
-              f"({bsim.total_time / sim.total_time:.1f}x slower)")
-    except PlanError:
-        print(f"{'baseline time':20s}: N/A (operator exceeds device memory)")
+    sim = simulate_plan(
+        compiled.plan, compiled.graph, fw.device, fw.host,
+        record_events=bool(args.trace_out),
+    )
+    if args.json:
+        print(json.dumps({
+            "summary": compiled.summary(),
+            "metrics": compiled.metrics,
+            "simulated_seconds": sim.total_time,
+            "breakdown": sim.breakdown(),
+        }, indent=1, default=str))
+    else:
+        for key, value in compiled.summary().items():
+            print(f"{key:20s}: {value}")
+        print(f"{'simulated time':20s}: {sim.total_time:.3f} s "
+              f"({100 * sim.breakdown()['transfer']:.0f}% transfer)")
+        try:
+            base = fw.compile_baseline(graph)
+            bsim = fw.simulate(base)
+            print(f"{'baseline time':20s}: {bsim.total_time:.3f} s "
+                  f"({bsim.total_time / sim.total_time:.1f}x slower)")
+        except PlanError:
+            print(f"{'baseline time':20s}: N/A (operator exceeds device memory)")
     if args.timeline:
         print()
         print(render_timeline(compiled.plan, compiled.graph))
+    # with --json, stdout must stay a single parseable document
+    notice = sys.stderr if args.json else sys.stdout
+    if args.trace_out:
+        _write_trace(args, compiled, simulated_events=sim.events)
+        print(f"chrome trace written to {args.trace_out}", file=notice)
     if args.save:
         save_plan(compiled, args.save)
-        print(f"plan written to {args.save}")
+        print(f"plan written to {args.save}", file=notice)
     return 0
 
 
@@ -128,13 +161,34 @@ def cmd_run(args) -> int:
     compiled = fw.compile(graph)
     inputs = make_inputs()
     result = fw.execute(compiled, inputs)
-    print(f"executed {len(compiled.plan.launches())} offload units in "
-          f"{result.elapsed * 1e3:.2f} simulated ms")
-    print(f"transferred {result.transfer_floats:,} floats "
-          f"(h2d {result.h2d_floats:,}, d2h {result.d2h_floats:,})")
-    for name, arr in sorted(result.outputs.items()):
-        print(f"  output {name}: shape {arr.shape}, "
-              f"mean {float(np.mean(arr)):.6f}")
+    if args.json:
+        print(json.dumps({
+            "summary": compiled.summary(),
+            "elapsed_seconds": result.elapsed,
+            "transfer_floats": result.transfer_floats,
+            "h2d_floats": result.h2d_floats,
+            "d2h_floats": result.d2h_floats,
+            "thrashed": result.thrashed,
+            "outputs": {
+                name: {"shape": list(arr.shape),
+                       "mean": float(np.mean(arr))}
+                for name, arr in sorted(result.outputs.items())
+            },
+            "metrics": {"compile": compiled.metrics,
+                        "execution": result.metrics},
+        }, indent=1, default=str))
+    else:
+        print(f"executed {len(compiled.plan.launches())} offload units in "
+              f"{result.elapsed * 1e3:.2f} simulated ms")
+        print(f"transferred {result.transfer_floats:,} floats "
+              f"(h2d {result.h2d_floats:,}, d2h {result.d2h_floats:,})")
+        for name, arr in sorted(result.outputs.items()):
+            print(f"  output {name}: shape {arr.shape}, "
+                  f"mean {float(np.mean(arr)):.6f}")
+    if args.trace_out:
+        _write_trace(args, compiled, profile=result.profile)
+        print(f"chrome trace written to {args.trace_out}",
+              file=sys.stderr if args.json else sys.stdout)
     if args.verify:
         reference = reference_execute(graph, inputs)
         for name in reference:
@@ -144,6 +198,24 @@ def cmd_run(args) -> int:
                 print(f"VERIFY FAILED for {name}")
                 return 1
         print(f"verified {len(reference)} outputs against host reference: OK")
+    return 0
+
+
+def cmd_explain(args) -> int:
+    graph, _ = _build(args)
+    fw = _framework(args)
+    compiled = fw.compile(graph)
+    if args.json:
+        print(json.dumps({
+            "template": compiled.graph.name,
+            "device": compiled.device.name,
+            "plan_label": compiled.plan.label,
+            "steps": explain_to_dicts(compiled.plan),
+        }, indent=1))
+        return 0
+    print(f"plan for {compiled.graph.name!r} on {compiled.device.name} "
+          f"({compiled.plan.label}):")
+    print(render_explain(compiled.plan))
     return 0
 
 
@@ -228,8 +300,15 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     p.set_defaults(func=cmd_info)
 
+    def obs_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--json", action="store_true",
+                       help="machine-readable JSON output (incl. metrics)")
+        p.add_argument("--trace-out", metavar="TRACE.json",
+                       help="write a Chrome trace-event / Perfetto JSON file")
+
     p = sub.add_parser("compile", help="compile and inspect the plan")
     common(p)
+    obs_flags(p)
     p.add_argument("--timeline", action="store_true",
                    help="print the Figure-6-style plan timeline")
     p.add_argument("--save", metavar="PLAN.json",
@@ -238,9 +317,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("run", help="execute on the simulated device")
     common(p)
+    obs_flags(p)
     p.add_argument("--verify", action="store_true",
                    help="check results against the host reference")
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "explain",
+        help="per-step provenance: why each transfer/eviction is in the plan",
+    )
+    common(p)
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable JSON output")
+    p.set_defaults(func=cmd_explain)
 
     p = sub.add_parser("dot", help="emit a Graphviz rendering of the template")
     common(p)

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import io
 
-from repro.core.graph import OperatorGraph, op_out_specs, op_slots
+from repro.core.graph import OperatorGraph
 from repro.core.plan import CopyToCPU, CopyToGPU, ExecutionPlan, Free, Launch
 from repro.gpusim import FLOAT_BYTES, GpuDevice
 

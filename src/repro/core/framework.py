@@ -23,6 +23,7 @@ from typing import Mapping
 import numpy as np
 
 from repro.gpusim import GpuDevice, HostSystem, SimRuntime
+from repro.obs import MetricsRegistry, Span, Tracer, provenance_summary
 from repro.runtime.executor import (
     ExecutionResult,
     SimulatedRun,
@@ -78,6 +79,10 @@ class CompiledTemplate:
     options: CompileOptions
     peak_device_floats: int = 0
     fused_units: int = 0
+    #: wall-clock trace spans of every compilation phase (repro.obs)
+    spans: list[Span] = field(default_factory=list)
+    #: metrics snapshot of the compilation (plan gauges, reason counters)
+    metrics: dict[str, object] = field(default_factory=dict)
 
     def transfer_floats(self) -> int:
         return self.plan.transfer_floats(self.graph)
@@ -123,45 +128,113 @@ class Framework:
         candidates = (
             self.options.headroom_candidates() if out_of_core else (1.0,)
         )
+        tracer = Tracer()
         best: CompiledTemplate | None = None
-        for headroom in candidates:
-            compiled = self._compile_once(template, capacity, headroom)
-            if best is None or (
-                compiled.transfer_floats(),
-                len(compiled.plan.launches()),
-            ) < (best.transfer_floats(), len(best.plan.launches())):
-                best = compiled
-        assert best is not None
+        best_headroom = candidates[0]
+        with tracer.span(
+            "compile",
+            template=template.name,
+            device=self.device.name,
+            out_of_core=out_of_core,
+            candidates=len(candidates),
+        ) as root:
+            for headroom in candidates:
+                compiled = self._compile_once(
+                    template, capacity, headroom, tracer
+                )
+                if best is None or (
+                    compiled.transfer_floats(),
+                    len(compiled.plan.launches()),
+                ) < (best.transfer_floats(), len(best.plan.launches())):
+                    best = compiled
+                    best_headroom = headroom
+            assert best is not None
+            root.set(
+                selected_headroom=best_headroom,
+                transfer_floats=best.transfer_floats(),
+                launches=len(best.plan.launches()),
+            )
+        best.spans = sorted(tracer.spans, key=lambda s: s.start)
+        best.metrics = self._compile_metrics(best, len(candidates), tracer)
         return best
+
+    @staticmethod
+    def _compile_metrics(
+        compiled: CompiledTemplate, candidates: int, tracer: Tracer
+    ) -> dict[str, object]:
+        metrics = MetricsRegistry()
+        metrics.counter("compile.candidates").inc(candidates)
+        metrics.counter("compile.split_ops").inc(
+            len(compiled.split_report.split_ops)
+        )
+        metrics.gauge("compile.split_rounds").set(compiled.split_report.rounds)
+        metrics.gauge("compile.wall_seconds").set(tracer.total_time())
+        for key, value in compiled.plan.summary(compiled.graph).items():
+            metrics.gauge(f"plan.{key}").set(value)
+        metrics.gauge("plan.peak_device_floats").set(
+            compiled.peak_device_floats
+        )
+        for reason, count in provenance_summary(compiled.plan).items():
+            metrics.counter(f"plan.reason.{reason}").inc(count)
+        return metrics.snapshot()
 
     def _compile_once(
         self,
         template: OperatorGraph,
         capacity: int,
         headroom: float,
+        tracer: Tracer | None = None,
     ) -> CompiledTemplate:
+        tracer = tracer or Tracer()
         opts = self.options
         graph = template.copy()
-        if opts.split:
-            split_cap = capacity
-            if headroom > 1.0 and graph.total_data_size() > capacity:
-                split_cap = max(1, int(capacity / headroom))
-            report = make_feasible(graph, split_cap)
-        else:
-            report = SplitReport()
+        with tracer.span("splitting", headroom=headroom) as sp:
+            if opts.split:
+                split_cap = capacity
+                if headroom > 1.0 and graph.total_data_size() > capacity:
+                    split_cap = max(1, int(capacity / headroom))
+                report = make_feasible(graph, split_cap)
+            else:
+                report = SplitReport()
+            sp.set(
+                split_ops=len(report.split_ops),
+                rounds=report.rounds,
+                ops_after=len(graph.ops),
+            )
         fused = 0
-        if opts.fuse_offload_units:
-            fused = identify_offload_units(graph, capacity)
-        scheduler = get_scheduler(opts.scheduler)
-        op_order = scheduler(graph)
-        plan = schedule_transfers(
-            graph,
-            op_order,
-            capacity,
+        with tracer.span("offload_units", headroom=headroom) as sp:
+            if opts.fuse_offload_units:
+                fused = identify_offload_units(graph, capacity)
+            sp.set(fused_units=fused)
+        with tracer.span(
+            "operator_scheduling", headroom=headroom, scheduler=opts.scheduler
+        ) as sp:
+            scheduler = get_scheduler(opts.scheduler)
+            op_order = scheduler(graph)
+            sp.set(ops=len(op_order))
+        with tracer.span(
+            "transfer_scheduling",
+            headroom=headroom,
             policy=opts.eviction_policy,
-            eager_free=opts.eager_free,
-        )
-        peak = validate_plan(plan, graph, capacity)
+        ) as sp:
+            plan = schedule_transfers(
+                graph,
+                op_order,
+                capacity,
+                policy=opts.eviction_policy,
+                eager_free=opts.eager_free,
+            )
+            sp.set(
+                steps=len(plan.steps),
+                transfer_floats=plan.transfer_floats(graph),
+                evictions=sum(
+                    n for r, n in provenance_summary(plan).items()
+                    if r == "evicted"
+                ),
+            )
+        with tracer.span("validate", headroom=headroom) as sp:
+            peak = validate_plan(plan, graph, capacity)
+            sp.set(peak_device_floats=peak)
         return CompiledTemplate(
             graph=graph,
             plan=plan,
@@ -178,10 +251,14 @@ class Framework:
         """The paper's baseline plan for the same template (unsplit)."""
         graph = template.copy()
         capacity = self.device.usable_memory_floats
-        plan = baseline_plan(graph, capacity)
-        op_order = plan.launches()
-        peak = validate_plan(plan, graph, capacity)
-        return CompiledTemplate(
+        tracer = Tracer()
+        with tracer.span(
+            "compile_baseline", template=template.name, device=self.device.name
+        ):
+            plan = baseline_plan(graph, capacity)
+            op_order = plan.launches()
+            peak = validate_plan(plan, graph, capacity)
+        compiled = CompiledTemplate(
             graph=graph,
             plan=plan,
             op_order=op_order,
@@ -191,6 +268,9 @@ class Framework:
             options=CompileOptions(split=False),
             peak_device_floats=peak,
         )
+        compiled.spans = sorted(tracer.spans, key=lambda s: s.start)
+        compiled.metrics = self._compile_metrics(compiled, 1, tracer)
+        return compiled
 
     # -- execution --------------------------------------------------------------
     def execute(

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from repro.ops import get_impl
 
-from .graph import GraphError, OperatorGraph
+from .graph import OperatorGraph
 
 
 def _fusable(graph: OperatorGraph, name: str) -> bool:

@@ -389,23 +389,43 @@ def pb_optimal_plan(
     fixed_order: list[str] | None = None,
     upper_bound_floats: int | None = None,
     seed_from_heuristic: bool = True,
+    tracer=None,
 ) -> PBScheduleResult:
     """Solve the Figure-5 formulation exactly (small templates only).
 
     By default the heuristic pipeline's transfer volume is computed first
     and used as the descent's upper bound, which is both the practical
-    MiniSAT+ usage pattern and a proof that PB <= heuristic.
+    MiniSAT+ usage pattern and a proof that PB <= heuristic.  Pass a
+    :class:`repro.obs.Tracer` to record the solve as a
+    ``pb_optimisation`` span carrying the solver statistics.
     """
-    if upper_bound_floats is None and seed_from_heuristic:
-        from .scheduling import dfs_schedule
-        from .transfers import schedule_transfers
+    from repro.obs import Tracer
 
-        order = fixed_order or dfs_schedule(graph)
-        plan = schedule_transfers(graph, order, capacity_floats)
-        upper_bound_floats = plan.transfer_floats(graph)
-    return PBScheduler(graph, capacity_floats, fixed_order).solve(
-        upper_bound_floats
-    )
+    tracer = tracer or Tracer()
+    with tracer.span(
+        "pb_optimisation",
+        capacity_floats=capacity_floats,
+        fixed_order=fixed_order is not None,
+    ) as sp:
+        if upper_bound_floats is None and seed_from_heuristic:
+            from .scheduling import dfs_schedule
+            from .transfers import schedule_transfers
+
+            with tracer.span("pb_upper_bound") as ub:
+                order = fixed_order or dfs_schedule(graph)
+                plan = schedule_transfers(graph, order, capacity_floats)
+                upper_bound_floats = plan.transfer_floats(graph)
+                ub.set(upper_bound_floats=upper_bound_floats)
+        result = PBScheduler(graph, capacity_floats, fixed_order).solve(
+            upper_bound_floats
+        )
+        sp.set(
+            solve_calls=result.solve_calls,
+            num_vars=result.num_vars,
+            num_constraints=result.num_constraints,
+            transfer_floats=result.transfer_floats,
+        )
+    return result
 
 
 def linear_extensions(graph: OperatorGraph, limit: int = 100_000):

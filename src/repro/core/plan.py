@@ -72,6 +72,10 @@ class ExecutionPlan:
     steps: list[Step] = field(default_factory=list)
     capacity_floats: int = 0
     label: str = ""
+    #: optional provenance, parallel to ``steps``: a machine-readable
+    #: reason for each step ("evicted: next use of X at step 41", ...).
+    #: Empty for plans built without provenance; see ``repro.obs``.
+    notes: list[str] = field(default_factory=list)
 
     def __iter__(self) -> Iterator[Step]:
         return iter(self.steps)

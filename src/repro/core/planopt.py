@@ -40,6 +40,8 @@ def hoist_uploads(
     """
     cap = capacity_floats if capacity_floats is not None else plan.capacity_floats
     steps = list(plan.steps)
+    # Provenance rides along with the reordered steps (when present).
+    notes = list(plan.notes) if len(plan.notes) == len(steps) else None
     # Occupancy after each step (floats).
     occ: list[int] = []
     used = 0
@@ -87,6 +89,9 @@ def hoist_uploads(
         if target < i:
             del steps[i]
             steps.insert(target, step)
+            if notes is not None:
+                note = notes.pop(i)
+                notes.insert(target, f"{note}; hoisted {i - target} steps")
             # Occupancy recompute for the reordered window (positions
             # outside [target, i] see the same multiset of prior steps).
             for k in range(target, i + 1):
@@ -108,6 +113,7 @@ def hoist_uploads(
         steps=steps,
         capacity_floats=plan.capacity_floats,
         label=(plan.label + "+prefetch") if plan.label else "prefetch",
+        notes=notes or [],
     )
     validate_plan(out, graph, cap)
     return out

@@ -16,8 +16,8 @@ from __future__ import annotations
 import json
 from typing import Any
 
-from .framework import CompiledTemplate, CompileOptions
-from .graph import DataStructure, OperatorGraph, OutSpec, Slot
+from .framework import CompiledTemplate
+from .graph import OperatorGraph, OutSpec, Slot
 from .plan import CopyToCPU, CopyToGPU, ExecutionPlan, Free, Launch, Step
 
 FORMAT_VERSION = 1
@@ -154,11 +154,14 @@ def plan_to_dict(plan: ExecutionPlan) -> dict[str, Any]:
             steps.append(["free", step.data])
         else:  # pragma: no cover - defensive
             raise TypeError(f"unknown step type {type(step).__name__}")
-    return {
+    out: dict[str, Any] = {
         "capacity_floats": plan.capacity_floats,
         "label": plan.label,
         "steps": steps,
     }
+    if plan.notes:
+        out["notes"] = list(plan.notes)
+    return out
 
 
 def plan_from_dict(raw: dict[str, Any]) -> ExecutionPlan:
@@ -170,6 +173,7 @@ def plan_from_dict(raw: dict[str, Any]) -> ExecutionPlan:
         steps=steps,
         capacity_floats=raw["capacity_floats"],
         label=raw.get("label", ""),
+        notes=list(raw.get("notes", [])),
     )
 
 

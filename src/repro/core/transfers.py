@@ -90,8 +90,13 @@ class TransferScheduler:
         counter = itertools.count()
 
         steps: list[Step] = []
+        notes: list[str] = []  # provenance, parallel to steps (repro.obs)
         resident: dict[str, _Resident] = {}
         used = 0
+
+        def emit(step: Step, reason: str) -> None:
+            steps.append(step)
+            notes.append(reason)
 
         def next_use(d: str, t: int) -> float:
             us = uses[d]
@@ -142,12 +147,35 @@ class TransferScheduler:
                 key=lambda d: (evict_key(d, t), resident[d].size, d),
             )
             entry = resident.pop(victim)
-            needed_later = next_use(victim, t) != _INF or (
+            nxt = next_use(victim, t)
+            where = (
+                f"next use at step {int(nxt)}" if nxt != _INF else "no future use"
+            )
+            needed_later = nxt != _INF or (
                 is_output.get(victim, False) and not entry.host_valid
             )
             if needed_later and not entry.host_valid:
-                steps.append(CopyToCPU(victim))
-            steps.append(Free(victim))
+                why = (
+                    "dirty, writeback needed"
+                    if nxt != _INF
+                    else "unsaved output, save was due anyway"
+                )
+                emit(
+                    CopyToCPU(victim),
+                    f"evicted: policy={self.policy}, {where}, {why}",
+                )
+                emit(Free(victim), f"evicted: policy={self.policy}, {where}")
+            elif nxt == _INF:
+                emit(
+                    Free(victim),
+                    f"evicted: dead value, d2h skipped ({where})",
+                )
+            else:
+                emit(
+                    Free(victim),
+                    f"evicted: policy={self.policy}, {where}, "
+                    "d2h skipped: host copy valid",
+                )
             used -= entry.size
 
         def free_dead(t: int) -> None:
@@ -158,9 +186,12 @@ class TransferScheduler:
                     continue
                 entry = resident[d]
                 if is_output.get(d, False) and not entry.host_valid:
-                    steps.append(CopyToCPU(d))
+                    emit(
+                        CopyToCPU(d),
+                        f"output save: last use passed at step {t}",
+                    )
                     entry.host_valid = True
-                steps.append(Free(d))
+                emit(Free(d), f"freed: dead after step {t} (eager free)")
                 used -= entry.size
                 del resident[d]
 
@@ -184,7 +215,12 @@ class TransferScheduler:
             while used + need > self.capacity:
                 evict_one(t, pinned)
             for d in missing:
-                steps.append(CopyToGPU(d))
+                nxt = last_use[d]
+                emit(
+                    CopyToGPU(d),
+                    f"upload: input of {op_name} (launch {t}), "
+                    f"last use at step {nxt}",
+                )
                 resident[d] = _Resident(
                     size=graph.data[d].size,
                     arrived=next(counter),
@@ -192,7 +228,7 @@ class TransferScheduler:
                     host_valid=True,
                 )
                 used += resident[d].size
-            steps.append(Launch(op_name))
+            emit(Launch(op_name), f"launch: scheduled position {t}")
             tick = next(counter)
             for d in ins:
                 resident[d].touched = tick
@@ -210,13 +246,14 @@ class TransferScheduler:
         for d in list(resident):
             entry = resident[d]
             if is_output.get(d, False) and not entry.host_valid:
-                steps.append(CopyToCPU(d))
-            steps.append(Free(d))
+                emit(CopyToCPU(d), "output save: end of plan")
+            emit(Free(d), "freed: end of plan drain")
             del resident[d]
         return ExecutionPlan(
             steps=steps,
             capacity_floats=self.capacity,
             label=f"{self.policy}+{'eager' if self.eager_free else 'lazy'}",
+            notes=notes,
         )
 
 

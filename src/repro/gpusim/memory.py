@@ -12,6 +12,10 @@ All sizes are in bytes.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.metrics import MetricsRegistry
 
 
 class OutOfDeviceMemoryError(RuntimeError):
@@ -36,13 +40,19 @@ class _Block:
 class DeviceAllocator:
     """First-fit allocator with coalescing frees."""
 
-    def __init__(self, capacity: int, alignment: int = 256) -> None:
+    def __init__(
+        self,
+        capacity: int,
+        alignment: int = 256,
+        metrics: "MetricsRegistry | None" = None,
+    ) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         if alignment <= 0 or alignment & (alignment - 1):
             raise ValueError("alignment must be a positive power of two")
         self.capacity = capacity
         self.alignment = alignment
+        self.metrics = metrics
         self._free: list[_Block] = [_Block(0, capacity)]
         self._allocated: dict[int, int] = {}  # offset -> size
         self.peak_in_use = 0
@@ -87,7 +97,15 @@ class DeviceAllocator:
                     block.size -= need
                 self._allocated[offset] = need
                 self.peak_in_use = max(self.peak_in_use, self.in_use)
+                if self.metrics is not None:
+                    self.metrics.counter("alloc.requests").inc()
+                    self.metrics.gauge("alloc.bytes_in_use").set(self.in_use)
+                    self.metrics.gauge("alloc.fragmentation").set(
+                        self.fragmentation()
+                    )
                 return offset
+        if self.metrics is not None:
+            self.metrics.counter("alloc.oom_events").inc()
         raise OutOfDeviceMemoryError(need, self.free_bytes, self.largest_free_block)
 
     def free(self, offset: int) -> None:
@@ -116,6 +134,10 @@ class DeviceAllocator:
             if prv.offset + prv.size == offset:
                 prv.size += self._free[lo].size
                 del self._free[lo]
+        if self.metrics is not None:
+            self.metrics.counter("alloc.releases").inc()
+            self.metrics.gauge("alloc.bytes_in_use").set(self.in_use)
+            self.metrics.gauge("alloc.fragmentation").set(self.fragmentation())
 
     def reset(self) -> None:
         self._free = [_Block(0, self.capacity)]

@@ -86,3 +86,10 @@ class Profile:
         for e in self.events:
             out[e.kind.value] = out.get(e.kind.value, 0) + 1
         return out
+
+    def bytes_by_kind(self) -> dict[str, int]:
+        """Bytes touched per event kind (transfers, kernel traffic, ...)."""
+        out: dict[str, int] = {}
+        for e in self.events:
+            out[e.kind.value] = out.get(e.kind.value, 0) + e.nbytes
+        return out

@@ -17,6 +17,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.metrics import MetricsRegistry
+
 from .device import FLOAT_BYTES, GpuDevice, HostSystem
 from .memory import DeviceAllocator, OutOfDeviceMemoryError
 from .profiler import Event, EventKind, Profile
@@ -41,15 +43,23 @@ class SimRuntime:
     when a real bounded-memory device would.
     """
 
-    def __init__(self, device: GpuDevice, host: HostSystem | None = None) -> None:
+    def __init__(
+        self,
+        device: GpuDevice,
+        host: HostSystem | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         self.device = device
         self.host = host
         self.cost = CostModel(device, host)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         # Float-granular alignment so the allocator's accounting matches
         # the planner's float-exact capacity model; coarser (CUDA-style
         # 256 B) alignment is the DeviceAllocator default for standalone
         # use and is covered by the fragmentation reserve on real sizes.
-        self.allocator = DeviceAllocator(device.memory_bytes, alignment=FLOAT_BYTES)
+        self.allocator = DeviceAllocator(
+            device.memory_bytes, alignment=FLOAT_BYTES, metrics=self.metrics
+        )
         self.buffers: dict[str, DeviceBuffer] = {}
         self.profile = Profile()
         self.clock = 0.0
@@ -81,17 +91,22 @@ class SimRuntime:
     def _compact(self) -> None:
         """Defragment device memory by sliding buffers down (DtoD copies)."""
         moved_bytes = 0
+        moves = 0
         self.allocator.reset()
         for buf in sorted(self.buffers.values(), key=lambda b: b.offset):
             new_offset = self.allocator.alloc(buf.nbytes)
             if new_offset != buf.offset:
                 moved_bytes += buf.nbytes
+                moves += 1
             buf.offset = new_offset
         dt = moved_bytes / self.device.internal_bandwidth
         self.profile.record(
             Event(EventKind.KERNEL, "defragment", self.clock, dt, moved_bytes)
         )
         self.clock += dt
+        self.metrics.counter("gpu.compactions").inc()
+        self.metrics.counter("gpu.compaction_moves").inc(moves)
+        self.metrics.counter("gpu.compaction_bytes").inc(moved_bytes)
 
     def free(self, name: str) -> None:
         buf = self.buffers.pop(name, None)
@@ -113,8 +128,10 @@ class SimRuntime:
         dt = self.cost.transfer_time(nbytes)
         if self.cost.thrashing(self.host_working_set):
             self.thrashed = True
+            self.metrics.counter("gpu.thrashed_transfers").inc()
             if self.host is not None:
                 dt *= self.host.paging_penalty
+        self.metrics.histogram("gpu.transfer_bytes").observe(nbytes)
         return dt
 
     def memcpy_h2d(self, name: str, array: np.ndarray) -> None:
@@ -128,6 +145,7 @@ class SimRuntime:
         dt = self._transfer_time(nbytes)
         self.profile.record(Event(EventKind.H2D, name, self.clock, dt, nbytes))
         self.clock += dt
+        self.metrics.counter("gpu.bytes_h2d").inc(nbytes)
         buf.data = np.ascontiguousarray(array, dtype=np.float32)
 
     def memcpy_d2h(self, name: str) -> np.ndarray:
@@ -139,6 +157,7 @@ class SimRuntime:
         dt = self._transfer_time(nbytes)
         self.profile.record(Event(EventKind.D2H, name, self.clock, dt, nbytes))
         self.clock += dt
+        self.metrics.counter("gpu.bytes_d2h").inc(nbytes)
         return buf.data.copy()
 
     # -- kernels ----------------------------------------------------------------
@@ -150,14 +169,28 @@ class SimRuntime:
     ) -> None:
         """Account for one kernel execution (compute happens in the executor)."""
         dt = self.cost.kernel_time(flops, bytes_accessed)
-        self.profile.record(Event(EventKind.KERNEL, kernel_name, self.clock, dt))
+        # nbytes carries the kernel's device-memory traffic so byte-level
+        # breakdowns (and gpu.bytes_kernel) include kernel accesses.
+        self.profile.record(
+            Event(
+                EventKind.KERNEL,
+                kernel_name,
+                self.clock,
+                dt,
+                int(bytes_accessed),
+            )
+        )
         self.clock += dt
+        self.metrics.counter("gpu.kernel_launches").inc()
+        self.metrics.counter("gpu.bytes_kernel").inc(int(bytes_accessed))
+        self.metrics.counter("gpu.kernel_flops").inc(flops)
 
     def host_work(self, label: str, nbytes: int) -> None:
         """Account for host-side staging work (split/concat, CPU fallback)."""
         dt = self.cost.host_copy_time(nbytes, self.host_working_set)
         self.profile.record(Event(EventKind.HOST, label, self.clock, dt, nbytes))
         self.clock += dt
+        self.metrics.counter("gpu.bytes_host").inc(nbytes)
 
     # -- accessors -----------------------------------------------------------------
     def _get(self, name: str) -> DeviceBuffer:

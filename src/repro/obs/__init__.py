@@ -1,0 +1,53 @@
+"""Observability: tracing, metrics, trace export, and plan provenance.
+
+The paper's whole evaluation rests on profiler evidence; ``repro.obs``
+makes the reproduction equally measurable end to end:
+
+* :mod:`repro.obs.trace` — structured wall-clock spans for every
+  compilation phase;
+* :mod:`repro.obs.metrics` — counters / gauges / histograms populated
+  by the simulated runtime, the allocator, and the executor;
+* :mod:`repro.obs.chrometrace` — Chrome trace-event / Perfetto JSON
+  export of compile spans and the simulated device timeline;
+* :mod:`repro.obs.provenance` — per-step reasons on execution plans,
+  surfaced by ``repro explain``.
+
+This package sits at the bottom of the import graph: it never imports
+``repro.core`` / ``repro.gpusim`` so every layer above can use it.
+"""
+
+from .chrometrace import (
+    chrome_trace,
+    profile_to_events,
+    simulated_to_events,
+    spans_to_events,
+    write_chrome_trace,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .provenance import (
+    StepExplanation,
+    explain_plan,
+    explain_to_dicts,
+    provenance_summary,
+    render_explain,
+)
+from .trace import Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "StepExplanation",
+    "Tracer",
+    "chrome_trace",
+    "explain_plan",
+    "explain_to_dicts",
+    "profile_to_events",
+    "provenance_summary",
+    "render_explain",
+    "simulated_to_events",
+    "spans_to_events",
+    "write_chrome_trace",
+]

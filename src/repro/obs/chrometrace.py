@@ -1,0 +1,193 @@
+"""Chrome trace-event (``about://tracing`` / Perfetto) JSON export.
+
+Serialises both sides of the system into one trace file:
+
+* **compile spans** (wall-clock, from :class:`~repro.obs.trace.Tracer`)
+  on their own process track, one complete ("X") event per phase, with
+  span attributes in ``args``;
+* the **gpusim timeline** (simulated time, from
+  :class:`~repro.gpusim.Profile`) as one thread per stream — H2D, D2H,
+  kernel, host — mirroring how the CUDA profiler the paper used lays
+  out memcpy vs. kernel rows.  Zero-duration alloc/free events become
+  instant ("i") markers on a bookkeeping track.
+
+Everything is emitted in microseconds (the trace-event unit) and sorted
+by timestamp, so the output loads directly in ``about://tracing``,
+``ui.perfetto.dev``, or ``chrome://tracing``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Sequence
+
+from .trace import Span
+
+#: process ids for the two time domains (wall clock vs. simulated time)
+COMPILE_PID = 1
+DEVICE_PID = 2
+
+#: stream (thread) layout of the simulated device timeline
+_KIND_TRACKS = {
+    "memcpy_h2d": (1, "H2D"),
+    "memcpy_d2h": (2, "D2H"),
+    "kernel": (3, "kernel"),
+    "host": (4, "host"),
+    "alloc": (5, "memory"),
+    "free": (5, "memory"),
+}
+_SEC_TO_US = 1e6
+
+
+def _meta(pid: int, name: str, tid: int | None = None) -> dict[str, Any]:
+    return {
+        "ph": "M",
+        "pid": pid,
+        "tid": 0 if tid is None else tid,
+        "ts": 0,
+        "name": "process_name" if tid is None else "thread_name",
+        "args": {"name": name},
+    }
+
+
+def spans_to_events(
+    spans: Iterable[Span], pid: int = COMPILE_PID
+) -> list[dict[str, Any]]:
+    """Compile-phase spans as complete ("X") events on one track."""
+    events: list[dict[str, Any]] = []
+    for span in spans:
+        events.append(
+            {
+                "name": span.name,
+                "cat": "compile",
+                "ph": "X",
+                "ts": span.start * _SEC_TO_US,
+                "dur": span.duration * _SEC_TO_US,
+                "pid": pid,
+                "tid": 1,
+                "args": {
+                    k: v for k, v in span.attrs.items() if _jsonable(v)
+                } | ({"parent": span.parent} if span.parent else {}),
+            }
+        )
+    return events
+
+
+def profile_to_events(profile, pid: int = DEVICE_PID) -> list[dict[str, Any]]:
+    """The gpusim ``Profile`` timeline, one thread per stream."""
+    events: list[dict[str, Any]] = []
+    for ev in profile.events:
+        kind = getattr(ev.kind, "value", str(ev.kind))
+        tid, _ = _KIND_TRACKS.get(kind, (6, "other"))
+        entry: dict[str, Any] = {
+            "name": ev.name,
+            "cat": kind,
+            "ts": ev.start * _SEC_TO_US,
+            "pid": pid,
+            "tid": tid,
+            "args": {"nbytes": ev.nbytes},
+        }
+        if ev.duration > 0:
+            entry["ph"] = "X"
+            entry["dur"] = ev.duration * _SEC_TO_US
+        else:
+            entry["ph"] = "i"
+            entry["s"] = "t"
+        events.append(entry)
+    return events
+
+
+def simulated_to_events(
+    step_events: Sequence[tuple[str, float]], pid: int = DEVICE_PID
+) -> list[dict[str, Any]]:
+    """Analytic ``simulate_plan(..., record_events=True)`` step timings.
+
+    The analytic walk is serialized, so step start times are the running
+    sum of durations.  Step labels ("h2d X", "exec op", ...) map onto
+    the same stream tracks as the numeric profile.
+    """
+    prefix_tracks = {"h2d": 1, "d2h": 2, "exec": 3, "free": 5}
+    events: list[dict[str, Any]] = []
+    clock = 0.0
+    for label, dt in step_events:
+        action, _, name = label.partition(" ")
+        tid = prefix_tracks.get(action, 6)
+        entry: dict[str, Any] = {
+            "name": name.strip() or label,
+            "cat": action,
+            "ts": clock * _SEC_TO_US,
+            "pid": pid,
+            "tid": tid,
+            "args": {},
+        }
+        if dt > 0:
+            entry["ph"] = "X"
+            entry["dur"] = dt * _SEC_TO_US
+        else:
+            entry["ph"] = "i"
+            entry["s"] = "t"
+        events.append(entry)
+        clock += dt
+    return events
+
+
+def chrome_trace(
+    spans: Iterable[Span] | None = None,
+    profile=None,
+    simulated_events: Sequence[tuple[str, float]] | None = None,
+    metadata: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Assemble a trace-event JSON object from any subset of sources."""
+    events: list[dict[str, Any]] = []
+    if spans is not None:
+        spans = list(spans)
+        if spans:
+            events.append(_meta(COMPILE_PID, "compile (wall clock)"))
+            events.append(_meta(COMPILE_PID, "phases", tid=1))
+            events.extend(spans_to_events(spans))
+    device_events: list[dict[str, Any]] = []
+    if profile is not None:
+        device_events.extend(profile_to_events(profile))
+    if simulated_events is not None:
+        device_events.extend(simulated_to_events(simulated_events))
+    if device_events:
+        events.append(_meta(DEVICE_PID, "gpusim (simulated time)"))
+        tracks = {tid: name for tid, name in _KIND_TRACKS.values()}
+        tracks.setdefault(6, "other")
+        for tid, name in sorted(tracks.items()):
+            events.append(_meta(DEVICE_PID, name, tid=tid))
+        events.extend(device_events)
+    # Stable, monotonically ordered timestamps (metadata events first).
+    events.sort(key=lambda e: (e["ph"] != "M", e["ts"]))
+    trace: dict[str, Any] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+    }
+    if metadata:
+        trace["metadata"] = metadata
+    return trace
+
+
+def write_chrome_trace(path: str, **kwargs: Any) -> None:
+    """Write :func:`chrome_trace` output to ``path`` as JSON."""
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(**kwargs), fh, indent=1)
+
+
+def _jsonable(value: Any) -> bool:
+    try:
+        json.dumps(value)
+        return True
+    except TypeError:
+        return False
+
+
+__all__ = [
+    "COMPILE_PID",
+    "DEVICE_PID",
+    "chrome_trace",
+    "profile_to_events",
+    "simulated_to_events",
+    "spans_to_events",
+    "write_chrome_trace",
+]

@@ -1,0 +1,127 @@
+"""Metrics registry: counters, gauges, and histograms.
+
+A process-local, dependency-free take on the usual metrics trio, sized
+for the simulator: `SimRuntime` counts bytes moved per direction and
+thrashing episodes, :class:`~repro.gpusim.DeviceAllocator` tracks peak
+usage and fragmentation, the transfer scheduler counts evictions by
+reason, and the executor snapshots everything into
+:class:`~repro.runtime.ExecutionResult`.  Snapshots are plain nested
+dicts so they serialize with ``json.dumps`` unmodified (the CLI's
+``--json`` output).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing count (events, bytes, moves)."""
+
+    value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """Last-written value, with the historical peak kept alongside."""
+
+    value: float = 0
+    peak: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.peak = max(self.peak, value)
+
+
+@dataclass
+class Histogram:
+    """Streaming summary of observations (count/sum/min/max/mean)."""
+
+    count: int = 0
+    total: float = 0.0
+    min: float = float("inf")
+    max: float = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict[str, float]:
+        if not self.count:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+@dataclass
+class MetricsRegistry:
+    """Named metrics, created lazily on first touch.
+
+    Names are dotted paths (``gpu.bytes_h2d``, ``plan.evictions``); the
+    snapshot groups them by family so downstream consumers need no
+    schema knowledge.
+    """
+
+    counters: dict[str, Counter] = field(default_factory=dict)
+    gauges: dict[str, Gauge] = field(default_factory=dict)
+    histograms: dict[str, Histogram] = field(default_factory=dict)
+
+    def counter(self, name: str) -> Counter:
+        return self.counters.setdefault(name, Counter())
+
+    def gauge(self, name: str) -> Gauge:
+        return self.gauges.setdefault(name, Gauge())
+
+    def histogram(self, name: str) -> Histogram:
+        return self.histograms.setdefault(name, Histogram())
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one (counters add, gauges keep
+        the other's last value, histograms combine)."""
+        for name, c in other.counters.items():
+            self.counter(name).inc(c.value)
+        for name, g in other.gauges.items():
+            gauge = self.gauge(name)
+            gauge.set(g.value)
+            gauge.peak = max(gauge.peak, g.peak)
+        for name, h in other.histograms.items():
+            mine = self.histogram(name)
+            if h.count:
+                mine.count += h.count
+                mine.total += h.total
+                mine.min = min(mine.min, h.min)
+                mine.max = max(mine.max, h.max)
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready nested dict of every metric's current value."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self.counters.items())},
+            "gauges": {
+                n: {"value": g.value, "peak": g.peak}
+                for n, g in sorted(self.gauges.items())
+            },
+            "histograms": {
+                n: h.to_dict() for n, h in sorted(self.histograms.items())
+            },
+        }
+
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]

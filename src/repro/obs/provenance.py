@@ -1,0 +1,100 @@
+"""Plan provenance: machine-readable reasons for every plan step.
+
+The transfer scheduler (and the eviction policy inside it) annotates
+each ``CopyToGPU`` / ``CopyToCPU`` / ``Free`` step with the reason it
+exists — "evicted: policy=belady, next use of X at step 41", "d2h
+skipped: host copy valid" — carried on ``ExecutionPlan.notes`` parallel
+to ``ExecutionPlan.steps``.  This module turns those annotations into
+the ``repro explain`` surface: structured records, an aligned text
+rendering, and JSON.
+
+Plans produced without provenance (baseline plans, deserialized legacy
+plans, PB-optimal plans) still explain: a generic reason is derived
+from the step itself so the rendering never has holes.
+
+This module deliberately does not import :mod:`repro.core` — plan steps
+are consumed through their ``str()`` form — so the observability layer
+sits below every other package in the import graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+_DEFAULT_REASONS = {
+    "h2d": "upload (no provenance recorded)",
+    "d2h": "download (no provenance recorded)",
+    "exec": "launch (no provenance recorded)",
+    "free": "free (no provenance recorded)",
+}
+
+
+@dataclass(frozen=True)
+class StepExplanation:
+    """One plan step with its provenance."""
+
+    index: int
+    step: str
+    reason: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"index": self.index, "step": self.step, "reason": self.reason}
+
+
+def explain_plan(plan) -> list[StepExplanation]:
+    """Pair every plan step with its recorded (or derived) reason."""
+    notes = list(getattr(plan, "notes", None) or [])
+    out: list[StepExplanation] = []
+    for i, step in enumerate(plan.steps):
+        text = str(step)
+        if i < len(notes) and notes[i]:
+            reason = notes[i]
+        else:
+            action = text.split(None, 1)[0] if text else ""
+            reason = _DEFAULT_REASONS.get(action, "(no provenance recorded)")
+        out.append(StepExplanation(index=i, step=text, reason=reason))
+    return out
+
+
+def render_explain(plan) -> str:
+    """Human-readable ``repro explain`` table."""
+    rows = explain_plan(plan)
+    if not rows:
+        return "(empty plan)"
+    step_w = max(len(r.step) for r in rows)
+    idx_w = len(str(rows[-1].index))
+    lines = [
+        f"{'#':>{idx_w}s}  {'step':{step_w}s}  reason",
+        "-" * (idx_w + step_w + 30),
+    ]
+    for r in rows:
+        lines.append(f"{r.index:>{idx_w}d}  {r.step:{step_w}s}  {r.reason}")
+    return "\n".join(lines)
+
+
+def explain_to_dicts(plan) -> list[dict[str, Any]]:
+    """JSON-ready provenance records (the ``repro explain --json`` body)."""
+    return [r.to_dict() for r in explain_plan(plan)]
+
+
+def provenance_summary(plan) -> dict[str, int]:
+    """Tally of provenance reason classes (the part before the first ':').
+
+    Gives the metrics layer its "evictions by policy reason" counters
+    without re-parsing free text downstream.
+    """
+    out: dict[str, int] = {}
+    for note in getattr(plan, "notes", None) or []:
+        key = note.split(":", 1)[0].strip() if note else "unknown"
+        out[key] = out.get(key, 0) + 1
+    return out
+
+
+__all__ = [
+    "StepExplanation",
+    "explain_plan",
+    "explain_to_dicts",
+    "provenance_summary",
+    "render_explain",
+]

@@ -14,7 +14,7 @@ from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
-from repro.core.graph import Operator, OperatorGraph, OutSpec, Slot, op_out_specs, op_slots
+from repro.core.graph import Operator, OperatorGraph, Slot, op_out_specs
 
 
 def gather_slot(

@@ -23,6 +23,8 @@ import numpy as np
 from repro.core.graph import OperatorGraph, op_slots
 from repro.core.plan import CopyToCPU, CopyToGPU, ExecutionPlan, Free, Launch
 from repro.gpusim import FLOAT_BYTES, CostModel, GpuDevice, HostSystem, SimRuntime
+from repro.gpusim.profiler import Profile
+from repro.obs.provenance import provenance_summary
 from repro.ops import get_impl
 
 from .assemble import assemble_root, gather_slot, input_chunk_array, scatter_outputs
@@ -39,6 +41,10 @@ class ExecutionResult:
     h2d_floats: int
     d2h_floats: int
     thrashed: bool
+    #: the full simulated-device event timeline (Chrome-trace exportable)
+    profile: Profile | None = None
+    #: metrics snapshot: runtime/allocator counters plus plan provenance
+    metrics: dict[str, object] = field(default_factory=dict)
 
     @property
     def transfer_floats(self) -> int:
@@ -109,6 +115,12 @@ def execute_plan(
         if ds.is_output and ds.parent is None
     }
     prof = runtime.profile
+    metrics = getattr(runtime, "metrics", None)
+    if metrics is not None:
+        metrics.counter("exec.steps").inc(len(plan.steps))
+        metrics.gauge("exec.elapsed_seconds").set(runtime.clock)
+        for reason, count in provenance_summary(plan).items():
+            metrics.counter(f"plan.reason.{reason}").inc(count)
     return ExecutionResult(
         outputs=outputs,
         elapsed=runtime.clock,
@@ -117,6 +129,8 @@ def execute_plan(
         h2d_floats=plan.h2d_floats(graph),
         d2h_floats=plan.d2h_floats(graph),
         thrashed=getattr(runtime, "thrashed", False),
+        profile=prof,
+        metrics=metrics.snapshot() if metrics is not None else {},
     )
 
 

@@ -32,7 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.graph import OperatorGraph
-from repro.core.plan import CopyToCPU, CopyToGPU, ExecutionPlan, Free, Launch
+from repro.core.plan import CopyToCPU, CopyToGPU, ExecutionPlan, Launch
 from repro.gpusim import CostModel, GpuDevice, HostSystem
 from repro.ops import get_impl
 

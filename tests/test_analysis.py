@@ -11,7 +11,7 @@ from repro.analysis import (
     sweep_memory,
 )
 from repro.core import Framework, dfs_schedule, schedule_transfers
-from repro.gpusim import MB, TESLA_C870, XEON_WORKSTATION
+from repro.gpusim import TESLA_C870, XEON_WORKSTATION
 from repro.templates import find_edges_graph
 
 

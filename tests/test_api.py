@@ -13,7 +13,6 @@ from repro.templates import (
     cnn_inputs,
     edge_filter,
     find_edges,
-    find_edges_graph,
     rotated_kernel,
 )
 

@@ -156,3 +156,63 @@ class TestNewCommands:
         ])
         assert rc == 0
         assert "verified" in capsys.readouterr().out
+
+
+class TestObservability:
+    def test_explain(self, capsys):
+        rc = main(["explain", "--template", "edge", "--size", "128x128",
+                   "--kernel", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "reason" in out
+        assert "upload: input of" in out
+        assert "launch: scheduled position" in out
+
+    def test_explain_json_covers_every_step(self, capsys):
+        rc = main(["explain", "--size", "128x128", "--kernel", "5", "--json"])
+        assert rc == 0
+        raw = json.loads(capsys.readouterr().out)
+        assert raw["steps"]
+        assert all(r["reason"] for r in raw["steps"])
+        assert [r["index"] for r in raw["steps"]] == list(
+            range(len(raw["steps"]))
+        )
+
+    def test_compile_json(self, capsys):
+        rc = main(["compile", "--size", "128x128", "--json"])
+        assert rc == 0
+        raw = json.loads(capsys.readouterr().out)
+        assert raw["summary"]["transfer_floats"] > 0
+        assert "counters" in raw["metrics"]
+        assert raw["simulated_seconds"] > 0
+
+    def test_run_json_exposes_metrics(self, capsys):
+        rc = main(["run", "--size", "96x96", "--kernel", "5", "--json"])
+        assert rc == 0
+        raw = json.loads(capsys.readouterr().out)
+        counters = raw["metrics"]["execution"]["counters"]
+        assert counters["gpu.bytes_h2d"] == raw["h2d_floats"] * 4
+        assert raw["metrics"]["compile"]["counters"]["compile.candidates"] >= 1
+
+    def test_run_trace_out(self, capsys, tmp_path):
+        path = os.fspath(tmp_path / "trace.json")
+        rc = main(["run", "--size", "96x96", "--kernel", "5",
+                   "--trace-out", path])
+        assert rc == 0
+        raw = json.load(open(path))
+        evs = raw["traceEvents"]
+        assert all({"ph", "ts", "pid", "tid"} <= set(e) for e in evs)
+        # both compile-phase spans and simulated device events present
+        assert any(e["pid"] == 1 and e["ph"] == "X" for e in evs)
+        assert any(e["pid"] == 2 and e["ph"] == "X" for e in evs)
+        ts = [e["ts"] for e in evs if e["ph"] != "M"]
+        assert ts == sorted(ts)
+
+    def test_compile_trace_out_has_simulated_timeline(self, capsys, tmp_path):
+        path = os.fspath(tmp_path / "trace.json")
+        rc = main(["compile", "--size", "128x128", "--trace-out", path])
+        assert rc == 0
+        raw = json.load(open(path))
+        assert any(
+            e["pid"] == 2 and e["ph"] == "X" for e in raw["traceEvents"]
+        )

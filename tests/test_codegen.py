@@ -1,7 +1,6 @@
 """Tests for the code generators (Python + CUDA C)."""
 
 import numpy as np
-import pytest
 
 from repro.codegen import generate_cuda, generate_python
 from repro.core import (

@@ -6,7 +6,6 @@ with reduced sizes via their CLI arguments where supported.
 """
 
 import pathlib
-import runpy
 import subprocess
 import sys
 

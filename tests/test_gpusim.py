@@ -5,7 +5,6 @@ import pytest
 
 from repro.gpusim import (
     CORE2_DESKTOP,
-    FLOAT_BYTES,
     GEFORCE_8800_GTX,
     MB,
     TESLA_C870,

@@ -9,7 +9,6 @@ from repro.core import (
     GraphError,
     Operator,
     OperatorGraph,
-    OutSpec,
     Slot,
     op_out_specs,
     op_slots,

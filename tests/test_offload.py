@@ -1,7 +1,6 @@
 """Tests for offload-unit identification (chain fusion)."""
 
 import numpy as np
-import pytest
 
 from repro.core import (
     Framework,

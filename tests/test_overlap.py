@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import Framework, dfs_schedule, schedule_transfers
-from repro.gpusim import GpuDevice, TESLA_C870, XEON_WORKSTATION
+from repro.gpusim import TESLA_C870, XEON_WORKSTATION
 from repro.runtime import simulate_plan, simulate_plan_overlap
 from repro.templates import find_edges_graph
 

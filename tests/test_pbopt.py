@@ -4,10 +4,8 @@ import pytest
 
 from repro.core import (
     OperatorGraph,
-    OutSpec,
     PBInfeasibleError,
     PBScheduler,
-    Slot,
     dfs_schedule,
     linear_extensions,
     pb_joint_optimum,

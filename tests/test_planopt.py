@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import Framework, hoist_uploads, validate_plan
-from repro.core.plan import CopyToGPU, Launch
+from repro.core.plan import CopyToGPU
 from repro.gpusim import GpuDevice, SimRuntime
 from repro.runtime import execute_plan, reference_execute, simulate_plan_overlap
 from repro.templates import find_edges_graph, find_edges_inputs

@@ -1,0 +1,100 @@
+"""Profile aggregate semantics + Chrome-trace export of the timeline.
+
+Satellite coverage from the observability PR: empty profiles, breakdown
+normalisation, bytes_transferred excluding kernel/alloc traffic (kernel
+events now carry their bytes_accessed), and the trace-event export.
+"""
+
+import json
+
+from repro.gpusim import Event, EventKind, GpuDevice, Profile, SimRuntime
+from repro.obs import chrome_trace
+
+DEV = GpuDevice(name="agg-dev", memory_bytes=1 << 20)
+
+
+def sample_profile() -> Profile:
+    p = Profile()
+    p.record(Event(EventKind.ALLOC, "A", 0.0, 0.0, 400))
+    p.record(Event(EventKind.H2D, "A", 0.0, 1.0, 400))
+    p.record(Event(EventKind.KERNEL, "k", 1.0, 2.0, 1200))
+    p.record(Event(EventKind.D2H, "B", 3.0, 0.5, 160))
+    p.record(Event(EventKind.HOST, "stage", 3.5, 0.25, 80))
+    p.record(Event(EventKind.FREE, "A", 3.75, 0.0, 400))
+    return p
+
+
+class TestAggregates:
+    def test_empty_profile(self):
+        p = Profile()
+        assert p.total_time() == 0.0
+        assert p.transfer_time == 0.0
+        assert p.bytes_transferred() == 0
+        assert p.breakdown() == {
+            "transfer": 0.0, "compute": 0.0, "host": 0.0,
+        }
+        assert p.counts() == {}
+        assert p.bytes_by_kind() == {}
+
+    def test_breakdown_sums_to_one(self):
+        b = sample_profile().breakdown()
+        assert abs(sum(b.values()) - 1.0) < 1e-12
+        assert b["compute"] > b["host"]
+
+    def test_bytes_transferred_excludes_kernel_and_alloc(self):
+        p = sample_profile()
+        # only H2D + D2H, even though kernel/alloc/free carry nbytes
+        assert p.bytes_transferred() == 400 + 160
+
+    def test_bytes_by_kind(self):
+        by_kind = sample_profile().bytes_by_kind()
+        assert by_kind["kernel"] == 1200
+        assert by_kind["memcpy_h2d"] == 400
+        assert by_kind["alloc"] == 400
+
+    def test_total_time_is_last_end(self):
+        assert sample_profile().total_time() == 3.75
+
+
+class TestKernelBytesRecorded:
+    def test_launch_records_bytes_accessed(self):
+        rt = SimRuntime(DEV)
+        rt.launch("k1", flops=1000.0, bytes_accessed=4096.0)
+        [ev] = rt.profile.events
+        assert ev.kind is EventKind.KERNEL
+        assert ev.nbytes == 4096
+        assert rt.profile.bytes_by_kind()["kernel"] == 4096
+        # and the metrics registry saw the same traffic
+        assert rt.metrics.snapshot()["counters"]["gpu.bytes_kernel"] == 4096
+
+    def test_kernel_bytes_not_in_transfer_totals(self):
+        rt = SimRuntime(DEV)
+        rt.launch("k1", flops=10.0, bytes_accessed=512.0)
+        assert rt.profile.bytes_transferred() == 0
+
+
+class TestChromeExportRoundTrip:
+    def test_valid_json_and_ordered_ts(self, tmp_path):
+        trace = chrome_trace(profile=sample_profile())
+        text = json.dumps(trace)
+        raw = json.loads(text)
+        evs = raw["traceEvents"]
+        assert evs
+        for e in evs:
+            assert {"ph", "ts", "pid", "tid", "name"} <= set(e)
+        ts = [e["ts"] for e in evs if e["ph"] != "M"]
+        assert ts == sorted(ts)
+
+    def test_durations_match_profile(self):
+        p = sample_profile()
+        evs = chrome_trace(profile=p)["traceEvents"]
+        xs = [e for e in evs if e["ph"] == "X"]
+        total_us = sum(e["dur"] for e in xs)
+        expected = (p.transfer_time + p.compute_time + p.host_time) * 1e6
+        assert abs(total_us - expected) < 1e-6
+
+    def test_zero_duration_events_become_instants(self):
+        evs = chrome_trace(profile=sample_profile())["traceEvents"]
+        instants = [e for e in evs if e["ph"] == "i"]
+        assert {e["name"] for e in instants} == {"A"}  # alloc + free
+        assert all(e["s"] == "t" for e in instants)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import Framework, make_feasible, Operator
+from repro.core import Framework, Operator
 from repro.gpusim import GpuDevice
 from repro.ops import get_impl
 from repro.runtime import reference_execute

@@ -75,3 +75,19 @@ class TestRender:
         plan = schedule_transfers(g, dfs_schedule(g), 10**9)
         text = render_timeline(plan, g, width=10)
         assert ".." in text
+
+    def test_unknown_capacity_renders_question_bars(self):
+        # A plan without capacity_floats must not fake full occupancy.
+        from repro.core.plan import ExecutionPlan
+
+        g = find_edges_graph(20, 16, 3, 2)
+        scheduled = schedule_transfers(g, dfs_schedule(g), 10**9)
+        plan = ExecutionPlan(steps=list(scheduled.steps))  # capacity 0
+        for line in render_timeline(plan, g).splitlines()[2:]:
+            bar = line.split("[")[1].split("]")[0]
+            assert bar == "?" * 10
+
+    def test_known_capacity_keeps_hash_bars(self):
+        c = build()
+        text = render_timeline(c.plan, c.graph)
+        assert "#" in text and "?" not in text

@@ -8,7 +8,6 @@ bracketing (I/O bound <= plan volume <= baseline volume).
 
 import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
