@@ -1,0 +1,101 @@
+"""Figure 8 companion — multi-GPU strong scaling of the paper's templates.
+
+The paper executes on one GPU; the `repro.multigpu` subsystem asks what
+the same planning machinery buys on a small device group: split
+operators' row bands are cost-partitioned across devices, inter-device
+movement becomes explicit plan steps, and per-device timelines come out
+of the same simulator.
+
+Shape claims checked (the PR's acceptance bar):
+
+* simulated execution time decreases monotonically from 1 -> 2 -> 4
+  devices for the edge-detection template;
+* total host<->device transfer volume of every multi-device plan stays
+  within 1.25x of the single-device plan — the partitioner may not buy
+  speedup by thrashing the host bus (peer copies don't count: they ride
+  the PCIe switch, not host memory);
+* the CNN template also scales monotonically at the benchmark
+  configuration, with the same transfer bound.
+
+Devices are memory-constrained (8 MB) so the planner is in the
+out-of-core regime where row-band parallelism actually exists; with
+whole-template residency there is nothing to distribute.
+"""
+
+from paper import write_report
+from repro.analysis import scaling_report
+from repro.gpusim import MB, TESLA_C870, XEON_WORKSTATION
+from repro.templates import SMALL_CNN, cnn_graph, find_edges_graph
+
+DEVICE = TESLA_C870.with_memory(8 * MB)
+COUNTS = (1, 2, 4)
+
+
+def regenerate():
+    reports = {}
+    reports["edge"] = scaling_report(
+        find_edges_graph(1024, 1024, 16, 4),
+        DEVICE,
+        device_counts=COUNTS,
+        host=XEON_WORKSTATION,
+    )
+    reports["cnn"] = scaling_report(
+        cnn_graph(SMALL_CNN, 1024, 1024),
+        DEVICE,
+        device_counts=COUNTS,
+        host=XEON_WORKSTATION,
+    )
+    return reports
+
+
+def check_shape(reports):
+    for name, report in reports.items():
+        assert [r.num_devices for r in report.rows] == list(COUNTS), name
+        # Monotone speedup: more devices, strictly less simulated time.
+        assert report.monotonic_time, (
+            f"{name}: times {[r.total_time for r in report.rows]} "
+            "not strictly decreasing with device count"
+        )
+        # No host-transfer blow-up vs. the single-device plan.
+        ratio = report.transfer_ratio()
+        assert ratio <= 1.25, (
+            f"{name}: host transfer volume inflated {ratio:.2f}x "
+            "over the single-device plan"
+        )
+        # Sanity: the partition actually spread work out.
+        for row in report.rows[1:]:
+            assert sum(t > 0 for t in row.device_times) == row.num_devices, (
+                f"{name}: idle device at n={row.num_devices}"
+            )
+
+
+def render(reports):
+    lines = ["Figure 8 companion - multi-GPU strong scaling (8 MB devices)"]
+    for name, report in reports.items():
+        lines.append("")
+        lines.append(f"[{name}] {report.template} on {report.device}")
+        lines.append(
+            f"{'gpus':>4s} {'time (s)':>9s} {'speedup':>8s} "
+            f"{'h<->d floats':>13s} {'peer floats':>12s} {'imbalance':>10s}"
+        )
+        for r in report.rows:
+            lines.append(
+                f"{r.num_devices:4d} {r.total_time:9.4f} {r.speedup:7.2f}x "
+                f"{r.transfer_floats:13d} {r.peer_floats:12d} "
+                f"{r.imbalance:10.2f}"
+            )
+        lines.append(
+            f"  host-transfer ratio vs 1 device: "
+            f"{report.transfer_ratio():.3f} (bound 1.25)"
+        )
+    return lines
+
+
+def test_fig8_multigpu(benchmark):
+    reports = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    check_shape(reports)
+    lines = render(reports)
+    path = write_report("fig8_multigpu.txt", lines)
+    print()
+    print("\n".join(lines))
+    print(f"[written to {path}]")

@@ -13,6 +13,12 @@ from .memory import (
     memory_profile,
     sweep_memory,
 )
+from .multigpu import (
+    ScalingReport,
+    ScalingRow,
+    render_scaling,
+    scaling_report,
+)
 from .timeline import TimelineRow, plan_timeline, render_timeline
 from .transfers import (
     BestPossible,
@@ -25,6 +31,8 @@ from .transfers import (
 __all__ = [
     "BestPossible",
     "MemoryProfile",
+    "ScalingReport",
+    "ScalingRow",
     "StrategyRegions",
     "TimelineRow",
     "TransferComparison",
@@ -35,6 +43,8 @@ __all__ = [
     "io_lower_bound_floats",
     "memory_profile",
     "plan_timeline",
+    "render_scaling",
     "render_timeline",
+    "scaling_report",
     "sweep_memory",
 ]

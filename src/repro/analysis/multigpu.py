@@ -1,0 +1,108 @@
+"""Multi-GPU scalability analysis (the fig8-style device-count sweep).
+
+Compiles one template against 1..N identical devices and reports, per
+device count: simulated total time, aggregate speedup over the
+single-device plan, host<->device transfer volume (the paper's Table 1
+metric — peer traffic excluded), peer volume, and partition imbalance.
+The sweep is what the ``benchmarks/test_fig8_multigpu.py`` benchmark
+renders and what ``cli.py --num-devices`` prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.framework import CompileOptions
+from repro.core.graph import OperatorGraph
+from repro.gpusim import GpuDevice, HostSystem, homogeneous_group
+from repro.multigpu import compile_multi, simulate_multi
+
+
+@dataclass
+class ScalingRow:
+    """One device count of a scaling sweep."""
+
+    num_devices: int
+    total_time: float
+    speedup: float
+    transfer_floats: int
+    peer_floats: int
+    device_times: list[float]
+    imbalance: float
+    launches: int
+
+
+@dataclass
+class ScalingReport:
+    """Simulated strong-scaling behaviour of one template."""
+
+    template: str
+    device: str
+    rows: list[ScalingRow]
+
+    @property
+    def monotonic_time(self) -> bool:
+        """True when simulated time strictly decreases with device count."""
+        times = [r.total_time for r in self.rows]
+        return all(a > b for a, b in zip(times, times[1:]))
+
+    def transfer_ratio(self) -> float:
+        """Worst host-transfer inflation vs. the single-device plan."""
+        base = self.rows[0].transfer_floats
+        if not base:
+            return 1.0
+        return max(r.transfer_floats / base for r in self.rows)
+
+
+def scaling_report(
+    template: OperatorGraph,
+    device: GpuDevice,
+    device_counts: Sequence[int] = (1, 2, 4),
+    host: HostSystem | None = None,
+    options: CompileOptions | None = None,
+    *,
+    shared_bus: bool = False,
+    transfer_mode: str = "peer",
+) -> ScalingReport:
+    """Sweep device counts; speedups are against the first count's time."""
+    rows: list[ScalingRow] = []
+    base_time: float | None = None
+    for n in device_counts:
+        group = homogeneous_group(device, n, shared_bus=shared_bus)
+        compiled = compile_multi(
+            template, group, host, options, transfer_mode=transfer_mode
+        )
+        sim = simulate_multi(compiled)
+        if base_time is None:
+            base_time = sim.total_time
+        rows.append(
+            ScalingRow(
+                num_devices=n,
+                total_time=sim.total_time,
+                speedup=(base_time / sim.total_time) if sim.total_time else 0.0,
+                transfer_floats=sim.transfer_floats,
+                peer_floats=sim.peer_floats,
+                device_times=list(sim.device_times),
+                imbalance=compiled.partition.imbalance,
+                launches=sim.launches,
+            )
+        )
+    return ScalingReport(
+        template=template.name, device=device.name, rows=rows
+    )
+
+
+def render_scaling(report: ScalingReport) -> str:
+    """Fixed-width table of a scaling report (CLI / benchmark output)."""
+    lines = [
+        f"{report.template} on {report.device}",
+        f"{'gpus':>4} {'time (s)':>10} {'speedup':>8} "
+        f"{'h<->d floats':>13} {'peer floats':>12} {'imbalance':>10}",
+    ]
+    for r in report.rows:
+        lines.append(
+            f"{r.num_devices:>4} {r.total_time:>10.4f} {r.speedup:>7.2f}x "
+            f"{r.transfer_floats:>13} {r.peer_floats:>12} {r.imbalance:>10.2f}"
+        )
+    return "\n".join(lines)

@@ -21,13 +21,21 @@ from typing import Callable
 
 import numpy as np
 
-from repro.analysis import memory_profile
+from repro.analysis import memory_profile, render_scaling, scaling_report
 from repro.analysis.timeline import render_timeline
 from repro.codegen import generate_cuda, generate_python
 from repro.core import CompileOptions, Framework, PlanError
 from repro.core.serialize import save_plan
 from repro.obs import explain_to_dicts, render_explain, write_chrome_trace
-from repro.gpusim import FLOAT_BYTES, MB, PRESETS, XEON_WORKSTATION, device_by_name
+from repro.gpusim import (
+    FLOAT_BYTES,
+    MB,
+    PRESETS,
+    XEON_WORKSTATION,
+    device_by_name,
+    homogeneous_group,
+)
+from repro.multigpu import compile_multi, execute_multi, simulate_multi
 from repro.runtime import reference_execute, simulate_plan
 from repro.templates import (
     LARGE_CNN,
@@ -72,16 +80,26 @@ def _build(args) -> tuple:
     return graph, inputs
 
 
-def _framework(args) -> Framework:
-    device = device_by_name(args.device)
-    options = CompileOptions(
+def _options(args) -> CompileOptions:
+    return CompileOptions(
         scheduler=args.scheduler,
         eviction_policy=args.eviction,
         split_headroom=(
             "auto" if args.headroom == "auto" else float(args.headroom)
         ),
     )
-    return Framework(device, XEON_WORKSTATION, options)
+
+
+def _framework(args) -> Framework:
+    return Framework(device_by_name(args.device), XEON_WORKSTATION, _options(args))
+
+
+def _group(args):
+    return homogeneous_group(
+        device_by_name(args.device),
+        args.num_devices,
+        shared_bus=args.shared_bus,
+    )
 
 
 def cmd_info(args) -> int:
@@ -114,7 +132,53 @@ def _write_trace(args, compiled, profile=None, simulated_events=None) -> None:
     )
 
 
+def cmd_compile_multi(args) -> int:
+    graph, _ = _build(args)
+    compiled = compile_multi(
+        graph,
+        _group(args),
+        XEON_WORKSTATION,
+        _options(args),
+        transfer_mode=args.transfer_mode,
+    )
+    sim = simulate_multi(compiled)
+    report = scaling_report(
+        graph,
+        device_by_name(args.device),
+        device_counts=sorted({1, args.num_devices}),
+        host=XEON_WORKSTATION,
+        options=_options(args),
+        shared_bus=args.shared_bus,
+        transfer_mode=args.transfer_mode,
+    )
+    if args.json:
+        print(json.dumps({
+            "summary": compiled.summary(),
+            "simulated_seconds": sim.total_time,
+            "device_seconds": sim.device_times,
+            "peer_floats": sim.peer_floats,
+            "speedup_vs_1gpu": report.rows[-1].speedup,
+        }, indent=1, default=str))
+    else:
+        for key, value in compiled.summary().items():
+            print(f"{key:20s}: {value}")
+        print(f"{'simulated time':20s}: {sim.total_time:.3f} s")
+        print()
+        print(render_scaling(report))
+    notice = sys.stderr if args.json else sys.stdout
+    if args.trace_out:
+        write_chrome_trace(
+            args.trace_out,
+            spans=compiled.spans,
+            metadata={"template": graph.name, "devices": args.num_devices},
+        )
+        print(f"chrome trace written to {args.trace_out}", file=notice)
+    return 0
+
+
 def cmd_compile(args) -> int:
+    if args.num_devices > 1:
+        return cmd_compile_multi(args)
     graph, _ = _build(args)
     fw = _framework(args)
     compiled = fw.compile(graph)
@@ -155,7 +219,65 @@ def cmd_compile(args) -> int:
     return 0
 
 
+def cmd_run_multi(args) -> int:
+    graph, make_inputs = _build(args)
+    compiled = compile_multi(
+        graph,
+        _group(args),
+        XEON_WORKSTATION,
+        _options(args),
+        transfer_mode=args.transfer_mode,
+    )
+    inputs = make_inputs()
+    result = execute_multi(compiled, inputs)
+    if args.json:
+        print(json.dumps({
+            "summary": compiled.summary(),
+            "elapsed_seconds": result.elapsed,
+            "device_seconds": result.device_clocks,
+            "transfer_floats": result.transfer_floats,
+            "peer_floats": result.peer_floats,
+            "thrashed": result.thrashed,
+            "outputs": {
+                name: {"shape": list(arr.shape), "mean": float(np.mean(arr))}
+                for name, arr in sorted(result.outputs.items())
+            },
+        }, indent=1, default=str))
+    else:
+        print(f"executed {len(compiled.plan.launches())} offload units on "
+              f"{result.num_devices} devices in "
+              f"{result.elapsed * 1e3:.2f} simulated ms")
+        print(f"transferred {result.transfer_floats:,} floats host<->device, "
+              f"{result.peer_floats:,} floats device<->device")
+        for dev, clock in enumerate(result.device_clocks):
+            print(f"  gpu{dev}: finished at {clock * 1e3:.2f} ms")
+        for name, arr in sorted(result.outputs.items()):
+            print(f"  output {name}: shape {arr.shape}, "
+                  f"mean {float(np.mean(arr)):.6f}")
+    if args.trace_out:
+        write_chrome_trace(
+            args.trace_out,
+            spans=compiled.spans,
+            profiles=[
+                (f"gpu{i}", prof) for i, prof in enumerate(result.profiles)
+            ],
+            metadata={"template": graph.name, "devices": args.num_devices},
+        )
+        print(f"chrome trace written to {args.trace_out}",
+              file=sys.stderr if args.json else sys.stdout)
+    if args.verify:
+        reference = reference_execute(graph, inputs)
+        for name in reference:
+            if not np.array_equal(result.outputs[name], reference[name]):
+                print(f"VERIFY FAILED for {name}")
+                return 1
+        print(f"verified {len(reference)} outputs against host reference: OK")
+    return 0
+
+
 def cmd_run(args) -> int:
+    if args.num_devices > 1:
+        return cmd_run_multi(args)
     graph, make_inputs = _build(args)
     fw = _framework(args)
     compiled = fw.compile(graph)
@@ -295,6 +417,15 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["belady", "cost", "ltu", "lru", "fifo"])
         p.add_argument("--headroom", default="auto",
                        help="split headroom factor or 'auto'")
+        p.add_argument("--num-devices", type=int, default=1,
+                       help="simulated GPUs; >1 uses the multi-GPU planner")
+        p.add_argument("--transfer-mode", choices=["peer", "staged"],
+                       default="peer",
+                       help="inter-device transfers: direct peer copies "
+                            "or staged through host memory")
+        p.add_argument("--shared-bus", action="store_true",
+                       help="serialize all host<->device transfers over "
+                            "one shared PCIe link")
 
     p = sub.add_parser("info", help="template statistics")
     common(p)

@@ -41,6 +41,10 @@ class PBInfeasibleError(RuntimeError):
     """The formulation admits no schedule (within the given bound)."""
 
 
+class PBTimeoutError(RuntimeError):
+    """The conflict budget ran out before any feasible model was found."""
+
+
 @dataclass
 class PBScheduleResult:
     """Optimal plan plus solver statistics."""
@@ -51,6 +55,13 @@ class PBScheduleResult:
     solve_calls: int
     num_vars: int
     num_constraints: int
+    #: "pb" (proven optimal), "pb-incumbent" (budget ran out, best model
+    #: kept) or "heuristic" (fell back to the DFS + Belady pipeline)
+    source: str = "pb"
+
+    @property
+    def optimal(self) -> bool:
+        return self.source == "pb"
 
 
 @dataclass
@@ -275,11 +286,18 @@ class PBScheduler:
                 s.add_clause([v.dead[j, t], v.c[j, t], v.g[j, t]])
 
     # ------------------------------------------------------------------
-    def solve(self, upper_bound_floats: int | None = None) -> PBScheduleResult:
+    def solve(
+        self,
+        upper_bound_floats: int | None = None,
+        conflict_budget: int | None = None,
+    ) -> PBScheduleResult:
         """Minimise total transfer volume; decode the optimal model.
 
         ``upper_bound_floats`` (e.g. the heuristic plan's volume) seeds
-        the descent.
+        the descent.  ``conflict_budget`` caps total solver effort: if it
+        runs out with an incumbent the (feasible, possibly sub-optimal)
+        incumbent is decoded with ``source="pb-incumbent"``; if it runs
+        out before any model, :class:`PBTimeoutError` is raised.
         """
         v, datas = self.v, self.datas
         objective = []
@@ -302,8 +320,15 @@ class PBScheduler:
             name_idx = {o: i for i, o in enumerate(self.ops)}
             for t, o in enumerate(hint, start=1):
                 self.solver.suggest(v.x[name_idx[o], t], weight=2.0)
-        result = self.solver.minimize(objective, upper_bound=ub)
-        if not result.satisfiable:
+        result = self.solver.minimize(
+            objective, upper_bound=ub, conflict_budget=conflict_budget
+        )
+        if result.status == "timeout" and result.model is None:
+            raise PBTimeoutError(
+                f"PB solve exhausted its conflict budget ({conflict_budget}) "
+                "before finding any feasible schedule"
+            )
+        if result.status == "unsat":
             raise PBInfeasibleError(
                 "PB formulation unsatisfiable: template cannot execute "
                 f"within {self.capacity} floats of device memory"
@@ -318,6 +343,7 @@ class PBScheduler:
             solve_calls=result.solve_calls,
             num_vars=self.solver.num_vars,
             num_constraints=self.solver.num_constraints,
+            source="pb" if result.status == "optimal" else "pb-incumbent",
         )
 
     def _decode(self, model: dict[int, bool]) -> tuple[ExecutionPlan, list[str]]:
@@ -426,6 +452,73 @@ def pb_optimal_plan(
             transfer_floats=result.transfer_floats,
         )
     return result
+
+
+def pb_plan_or_heuristic(
+    graph: OperatorGraph,
+    capacity_floats: int,
+    *,
+    conflict_budget: int | None = None,
+    fixed_order: list[str] | None = None,
+    tracer=None,
+) -> PBScheduleResult:
+    """PB-optimal plan with a guaranteed heuristic fallback.
+
+    The production-safe entry point to the Figure-5 solver: try the
+    exact formulation under ``conflict_budget``; on timeout keep the
+    feasible incumbent if one exists; on timeout-without-model or on an
+    infeasible *formulation* (the time-indexed encoding is more rigid
+    than the greedy pipeline, e.g. its whole-data-structure residency
+    can exceed capacity where chunk-wise streaming fits), fall back to
+    the heuristic DFS + Belady schedule.  Check ``result.source`` for
+    which path produced the plan.
+    """
+    from repro.obs import Tracer
+
+    tracer = tracer or Tracer()
+    try:
+        with tracer.span(
+            "pb_or_heuristic", capacity_floats=capacity_floats
+        ) as sp:
+            if conflict_budget is None:
+                result = pb_optimal_plan(
+                    graph, capacity_floats, fixed_order=fixed_order,
+                    tracer=tracer,
+                )
+            else:
+                from .scheduling import dfs_schedule
+                from .transfers import schedule_transfers
+
+                order = fixed_order or dfs_schedule(graph)
+                seed = schedule_transfers(graph, order, capacity_floats)
+                result = PBScheduler(
+                    graph, capacity_floats, fixed_order
+                ).solve(
+                    seed.transfer_floats(graph),
+                    conflict_budget=conflict_budget,
+                )
+            sp.set(source=result.source)
+            return result
+    except (PBInfeasibleError, PBTimeoutError) as exc:
+        from .scheduling import dfs_schedule
+        from .transfers import schedule_transfers
+
+        with tracer.span(
+            "pb_fallback_heuristic", reason=type(exc).__name__
+        ) as sp:
+            order = fixed_order or dfs_schedule(graph)
+            plan = schedule_transfers(graph, order, capacity_floats)
+            validate_plan(plan, graph, capacity_floats)
+            sp.set(transfer_floats=plan.transfer_floats(graph))
+        return PBScheduleResult(
+            plan=plan,
+            transfer_floats=plan.transfer_floats(graph),
+            op_order=list(order),
+            solve_calls=0,
+            num_vars=0,
+            num_constraints=0,
+            source="heuristic",
+        )
 
 
 def linear_extensions(graph: OperatorGraph, limit: int = 100_000):

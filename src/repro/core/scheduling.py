@@ -15,6 +15,16 @@ from collections import deque
 from .graph import GraphError, OperatorGraph
 
 
+def row_band(graph: OperatorGraph, op_name: str) -> tuple[int, int] | None:
+    """The output row range a (split) operator produces, or ``None``.
+
+    Split parts carry ``params["out_range"]``; unsplit operators have no
+    band.  The multi-GPU partitioner keys its device assignment on this.
+    """
+    rng = graph.ops[op_name].params.get("out_range")
+    return (rng[0], rng[1]) if rng else None
+
+
 def _row_band_key(graph: OperatorGraph, op_name: str) -> tuple[int, int]:
     """Sort key grouping split parts by the row band they produce.
 

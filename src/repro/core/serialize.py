@@ -18,7 +18,7 @@ from typing import Any
 
 from .framework import CompiledTemplate
 from .graph import OperatorGraph, OutSpec, Slot
-from .plan import CopyToCPU, CopyToGPU, ExecutionPlan, Free, Launch, Step
+from .plan import CopyToCPU, CopyToGPU, ExecutionPlan, Free, Launch, PeerCopy, Step
 
 FORMAT_VERSION = 1
 
@@ -152,6 +152,8 @@ def plan_to_dict(plan: ExecutionPlan) -> dict[str, Any]:
             steps.append(["d2h", step.data])
         elif isinstance(step, Free):
             steps.append(["free", step.data])
+        elif isinstance(step, PeerCopy):
+            steps.append(["p2p", step.data, step.src, step.dst])
         else:  # pragma: no cover - defensive
             raise TypeError(f"unknown step type {type(step).__name__}")
     out: dict[str, Any] = {
@@ -161,19 +163,25 @@ def plan_to_dict(plan: ExecutionPlan) -> dict[str, Any]:
     }
     if plan.notes:
         out["notes"] = list(plan.notes)
+    if plan.devices:
+        out["devices"] = list(plan.devices)
     return out
 
 
 def plan_from_dict(raw: dict[str, Any]) -> ExecutionPlan:
     steps: list[Step] = []
-    for kind, arg in raw["steps"]:
-        cls = _STEP_TYPES[kind]
-        steps.append(cls(arg))
+    for entry in raw["steps"]:
+        kind, arg = entry[0], entry[1]
+        if kind == "p2p":
+            steps.append(PeerCopy(arg, entry[2], entry[3]))
+        else:
+            steps.append(_STEP_TYPES[kind](arg))
     return ExecutionPlan(
         steps=steps,
         capacity_floats=raw["capacity_floats"],
         label=raw.get("label", ""),
         notes=list(raw.get("notes", [])),
+        devices=list(raw.get("devices", [])),
     )
 
 

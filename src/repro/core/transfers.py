@@ -45,11 +45,20 @@ _INF = float("inf")
 
 
 @dataclass
-class _Resident:
+class Resident:
+    """Book-keeping for one device-resident data structure.
+
+    Shared by the single-device :class:`TransferScheduler` and the
+    per-device residency maps of ``repro.multigpu.transfers``.
+    """
+
     size: int
     arrived: int  # step counter, for FIFO
     touched: int  # step counter, for LRU
     host_valid: bool  # an identical copy exists in host memory
+
+
+_Resident = Resident  # backward-compatible alias
 
 
 class TransferScheduler:

@@ -19,14 +19,16 @@ from .device import (
     SYSTEM_2,
     TESLA_C870,
     XEON_WORKSTATION,
+    DeviceGroup,
     GpuDevice,
     HostSystem,
     device_by_name,
+    homogeneous_group,
 )
 from .memory import DeviceAllocator, OutOfDeviceMemoryError
 from .profiler import Event, EventKind, Profile
 from .runtime import DeviceBuffer, SimRuntime
-from .timing import CostModel
+from .timing import CostModel, SharedBus
 
 __all__ = [
     "CORE2_DESKTOP",
@@ -34,6 +36,7 @@ __all__ = [
     "CostModel",
     "DeviceAllocator",
     "DeviceBuffer",
+    "DeviceGroup",
     "Event",
     "EventKind",
     "FLOAT_BYTES",
@@ -48,9 +51,11 @@ __all__ = [
     "Profile",
     "SYSTEM_1",
     "SYSTEM_2",
+    "SharedBus",
     "SimRuntime",
     "TESLA_C870",
     "XEON_WORKSTATION",
     "calibrate",
     "device_by_name",
+    "homogeneous_group",
 ]

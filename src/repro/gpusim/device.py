@@ -96,6 +96,55 @@ class HostSystem:
         return self.memory_bytes // FLOAT_BYTES
 
 
+@dataclass(frozen=True)
+class DeviceGroup:
+    """A multi-GPU installation: N devices behind one host.
+
+    ``shared_bus=True`` models all devices sharing a single PCIe link to
+    host memory (transfers serialize); ``False`` gives each device its
+    own full-bandwidth link — the paper-era workstation topology with one
+    card per x16 slot.  Peer copies run at ``peer_bandwidth`` regardless
+    (device-to-device DMA does not cross host memory).
+    """
+
+    devices: tuple[GpuDevice, ...]
+    shared_bus: bool = False
+    #: device-to-device copy bandwidth (through the PCIe switch)
+    peer_bandwidth: float = 3.0e9
+    #: fixed per-peer-transfer latency
+    peer_latency: float = 10e-6
+
+    def __post_init__(self) -> None:
+        if not self.devices:
+            raise ValueError("DeviceGroup needs at least one device")
+
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    def __getitem__(self, i: int) -> GpuDevice:
+        return self.devices[i]
+
+    @property
+    def usable_memory_floats(self) -> list[int]:
+        """Per-device planner-visible capacity."""
+        return [d.usable_memory_floats for d in self.devices]
+
+    def peer_time(self, nbytes: int) -> float:
+        """Device-to-device copy time in seconds."""
+        if nbytes <= 0:
+            return 0.0
+        return self.peer_latency + nbytes / self.peer_bandwidth
+
+
+def homogeneous_group(
+    device: GpuDevice, n: int, *, shared_bus: bool = False
+) -> DeviceGroup:
+    """N identical devices (the common multi-GPU configuration)."""
+    if n < 1:
+        raise ValueError("need at least one device")
+    return DeviceGroup(devices=(device,) * n, shared_bus=shared_bus)
+
+
 TESLA_C870 = GpuDevice(name="Tesla C870", memory_bytes=1536 * MB)
 GEFORCE_8800_GTX = GpuDevice(name="GeForce 8800 GTX", memory_bytes=768 * MB)
 

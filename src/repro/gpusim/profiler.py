@@ -15,6 +15,7 @@ from enum import Enum
 class EventKind(str, Enum):
     H2D = "memcpy_h2d"
     D2H = "memcpy_d2h"
+    P2P = "memcpy_p2p"
     KERNEL = "kernel"
     ALLOC = "alloc"
     FREE = "free"
@@ -55,7 +56,13 @@ class Profile:
 
     @property
     def transfer_time(self) -> float:
+        """Host<->device transfer time (peer copies excluded)."""
         return self.time_in(EventKind.H2D, EventKind.D2H)
+
+    @property
+    def peer_time(self) -> float:
+        """Device-to-device copy time (multi-GPU runs)."""
+        return self.time_in(EventKind.P2P)
 
     @property
     def compute_time(self) -> float:

@@ -66,3 +66,26 @@ class CostModel:
     def thrashing(self, working_set_bytes: int) -> bool:
         """True when the host working set no longer fits in RAM."""
         return self.host is not None and working_set_bytes > self.host.memory_bytes
+
+
+class SharedBus:
+    """Serialization point for N devices sharing one PCIe link.
+
+    A transfer requested at time ``ready`` begins no earlier than the
+    bus is free; ``acquire`` returns the actual (begin, end) window and
+    advances the bus.  With one device this degenerates to the
+    unshared-link behaviour (begin == ready whenever requests don't
+    overlap), so :class:`~repro.multigpu.runtime.MultiSimRuntime` can use
+    it unconditionally when contention modelling is on.
+    """
+
+    def __init__(self) -> None:
+        self.busy_until = 0.0
+        self.total_busy = 0.0
+
+    def acquire(self, ready: float, duration: float) -> tuple[float, float]:
+        begin = max(ready, self.busy_until)
+        end = begin + duration
+        self.busy_until = end
+        self.total_busy += duration
+        return begin, end

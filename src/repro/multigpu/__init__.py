@@ -1,0 +1,51 @@
+"""Multi-GPU execution planning.
+
+Scales the paper's single-device framework *out*: the operator graph
+(after operator splitting) is partitioned across N simulated GPUs by
+row band, inter-device data movement is planned explicitly (peer
+device-to-device copies, or staged through host memory), and a
+:class:`MultiSimRuntime` coordinates N :class:`~repro.gpusim.SimRuntime`
+instances over a shared PCIe cost model to produce per-device timelines
+and an aggregate speedup report.
+
+Pipeline: ``partition_graph`` assigns every operator to a device
+(load-balanced by modeled kernel cost), ``MultiTransferScheduler``
+turns (op order × assignment) into a device-tagged
+:class:`~repro.core.plan.ExecutionPlan`, and ``execute_multi_plan`` /
+``simulate_multi_plan`` run it.  ``compile_multi`` wires the whole
+pipeline behind one call; see docs/MULTIGPU.md.
+"""
+
+from .framework import (
+    MultiCompiledTemplate,
+    compile_multi,
+    execute_multi,
+    run_multi_template,
+    simulate_multi,
+)
+from .partition import Partition, partition_graph
+from .runtime import (
+    MultiExecutionResult,
+    MultiSimRuntime,
+    MultiSimulatedRun,
+    execute_multi_plan,
+    simulate_multi_plan,
+)
+from .transfers import MultiTransferScheduler, schedule_multi_transfers
+
+__all__ = [
+    "MultiCompiledTemplate",
+    "MultiExecutionResult",
+    "MultiSimRuntime",
+    "MultiSimulatedRun",
+    "MultiTransferScheduler",
+    "Partition",
+    "compile_multi",
+    "execute_multi",
+    "execute_multi_plan",
+    "partition_graph",
+    "run_multi_template",
+    "schedule_multi_transfers",
+    "simulate_multi",
+    "simulate_multi_plan",
+]

@@ -1,0 +1,198 @@
+"""Compilation pipeline for multi-device execution.
+
+Mirrors :class:`repro.core.framework.Framework` with two multi-GPU
+twists:
+
+* **Splitting for parallelism.**  Single-device compilation splits
+  operators only when they do not fit; with N devices, splitting is also
+  what *creates* the row bands the partitioner distributes.  The split
+  capacity is therefore lowered to roughly ``max-op-footprint / N`` so
+  every heavyweight operator decomposes into at least N bands (never
+  above the smallest device's real capacity; if the finer split is
+  infeasible — halo floors, minimum rows — it falls back to the plain
+  capacity split).
+
+* **Partition + device-tagged plan.**  After the usual operator
+  scheduling, :func:`~repro.multigpu.partition.partition_graph` assigns
+  devices and :class:`~repro.multigpu.transfers.MultiTransferScheduler`
+  emits a plan with the device dimension and explicit peer/staged
+  inter-device transfers, validated per device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.framework import CompileOptions
+from repro.core.graph import OperatorGraph
+from repro.core.plan import ExecutionPlan, validate_plan
+from repro.core.scheduling import get_scheduler
+from repro.core.splitting import SplitReport, make_feasible
+from repro.gpusim import DeviceGroup, HostSystem
+from repro.obs import Span, Tracer
+
+from .partition import Partition, partition_graph, partition_summary
+from .runtime import (
+    MultiExecutionResult,
+    MultiSimRuntime,
+    MultiSimulatedRun,
+    execute_multi_plan,
+    simulate_multi_plan,
+)
+from .transfers import schedule_multi_transfers
+
+
+@dataclass
+class MultiCompiledTemplate:
+    """Result of compiling one template for a device group."""
+
+    graph: OperatorGraph
+    plan: ExecutionPlan
+    op_order: list[str]
+    partition: Partition
+    split_report: SplitReport
+    group: DeviceGroup
+    host: HostSystem | None
+    options: CompileOptions
+    transfer_mode: str = "peer"
+    peak_device_floats: int = 0
+    spans: list[Span] = field(default_factory=list)
+
+    def transfer_floats(self) -> int:
+        return self.plan.transfer_floats(self.graph)
+
+    def summary(self) -> dict[str, object]:
+        s: dict[str, object] = dict(self.plan.summary(self.graph))
+        s.update(
+            devices=len(self.group),
+            operators=len(self.graph.ops),
+            split_ops=len(self.split_report.split_ops),
+            peak_device_floats=self.peak_device_floats,
+            partition=partition_summary(self.graph, self.partition),
+        )
+        return s
+
+
+def _max_op_footprint(graph: OperatorGraph) -> int:
+    """Largest single-operator working set (distinct inputs + outputs)."""
+    worst = 0
+    for op in graph.ops.values():
+        names = dict.fromkeys(list(op.inputs) + list(op.outputs))
+        worst = max(worst, sum(graph.data[d].size for d in names))
+    return worst
+
+
+def compile_multi(
+    template: OperatorGraph,
+    group: DeviceGroup,
+    host: HostSystem | None = None,
+    options: CompileOptions | None = None,
+    *,
+    transfer_mode: str = "peer",
+) -> MultiCompiledTemplate:
+    """Compile a template into a validated device-tagged execution plan."""
+    opts = options or CompileOptions()
+    n = len(group)
+    caps = group.usable_memory_floats
+    cap_min = min(caps)
+    # The multi-device eviction set omits the single-device-only "cost"
+    # refinement; fall back to the Belady rule it refines.
+    policy = "belady" if opts.eviction_policy == "cost" else opts.eviction_policy
+    tracer = Tracer()
+    with tracer.span(
+        "compile_multi",
+        template=template.name,
+        devices=n,
+        transfer_mode=transfer_mode,
+    ):
+        graph = template.copy()
+        report = SplitReport()
+        with tracer.span("splitting", devices=n) as sp:
+            if opts.split:
+                split_cap = cap_min
+                if n > 1:
+                    split_cap = min(
+                        cap_min, max(1, _max_op_footprint(graph) // n)
+                    )
+                try:
+                    report = make_feasible(graph, split_cap)
+                except Exception:
+                    # Finer-than-necessary split infeasible (halo floors,
+                    # minimum rows): fall back to the plain capacity split.
+                    graph = template.copy()
+                    report = make_feasible(graph, cap_min)
+            sp.set(split_ops=len(report.split_ops), ops_after=len(graph.ops))
+        with tracer.span("operator_scheduling", scheduler=opts.scheduler) as sp:
+            op_order = get_scheduler(opts.scheduler)(graph)
+            sp.set(ops=len(op_order))
+        with tracer.span("partition", devices=n) as sp:
+            part = partition_graph(graph, op_order, group, host)
+            sp.set(imbalance=part.imbalance)
+        with tracer.span("transfer_scheduling", policy=policy) as sp:
+            plan = schedule_multi_transfers(
+                graph,
+                op_order,
+                group,
+                part,
+                policy=policy,
+                eager_free=opts.eager_free,
+                transfer_mode=transfer_mode,
+            )
+            sp.set(
+                steps=len(plan.steps),
+                transfer_floats=plan.transfer_floats(graph),
+                peer_floats=plan.peer_floats(graph),
+            )
+        with tracer.span("validate") as sp:
+            peak = validate_plan(plan, graph, caps)
+            sp.set(peak_device_floats=peak)
+    return MultiCompiledTemplate(
+        graph=graph,
+        plan=plan,
+        op_order=op_order,
+        partition=part,
+        split_report=report,
+        group=group,
+        host=host,
+        options=opts,
+        transfer_mode=transfer_mode,
+        peak_device_floats=peak,
+        spans=sorted(tracer.spans, key=lambda s: s.start),
+    )
+
+
+def execute_multi(
+    compiled: MultiCompiledTemplate,
+    template_inputs: Mapping[str, np.ndarray],
+) -> MultiExecutionResult:
+    """Numerically run a compiled template on the simulated device group."""
+    mrt = MultiSimRuntime(compiled.group, compiled.host)
+    return execute_multi_plan(
+        compiled.plan, compiled.graph, mrt, template_inputs
+    )
+
+
+def simulate_multi(compiled: MultiCompiledTemplate) -> MultiSimulatedRun:
+    """Analytically time a compiled template on the device group."""
+    return simulate_multi_plan(
+        compiled.plan, compiled.graph, compiled.group, compiled.host
+    )
+
+
+def run_multi_template(
+    template: OperatorGraph,
+    template_inputs: Mapping[str, np.ndarray],
+    group: DeviceGroup,
+    host: HostSystem | None = None,
+    options: CompileOptions | None = None,
+    *,
+    transfer_mode: str = "peer",
+) -> MultiExecutionResult:
+    """One-call convenience API: compile + execute on a device group."""
+    compiled = compile_multi(
+        template, group, host, options, transfer_mode=transfer_mode
+    )
+    return execute_multi(compiled, template_inputs)

@@ -31,11 +31,13 @@ DEVICE_PID = 2
 _KIND_TRACKS = {
     "memcpy_h2d": (1, "H2D"),
     "memcpy_d2h": (2, "D2H"),
-    "kernel": (3, "kernel"),
-    "host": (4, "host"),
-    "alloc": (5, "memory"),
-    "free": (5, "memory"),
+    "memcpy_p2p": (3, "P2P"),
+    "kernel": (4, "kernel"),
+    "host": (5, "host"),
+    "alloc": (6, "memory"),
+    "free": (6, "memory"),
 }
+_OTHER_TRACK = 7
 _SEC_TO_US = 1e6
 
 
@@ -78,7 +80,7 @@ def profile_to_events(profile, pid: int = DEVICE_PID) -> list[dict[str, Any]]:
     events: list[dict[str, Any]] = []
     for ev in profile.events:
         kind = getattr(ev.kind, "value", str(ev.kind))
-        tid, _ = _KIND_TRACKS.get(kind, (6, "other"))
+        tid, _ = _KIND_TRACKS.get(kind, (_OTHER_TRACK, "other"))
         entry: dict[str, Any] = {
             "name": ev.name,
             "cat": kind,
@@ -106,12 +108,12 @@ def simulated_to_events(
     sum of durations.  Step labels ("h2d X", "exec op", ...) map onto
     the same stream tracks as the numeric profile.
     """
-    prefix_tracks = {"h2d": 1, "d2h": 2, "exec": 3, "free": 5}
+    prefix_tracks = {"h2d": 1, "d2h": 2, "p2p": 3, "exec": 4, "free": 6}
     events: list[dict[str, Any]] = []
     clock = 0.0
     for label, dt in step_events:
         action, _, name = label.partition(" ")
-        tid = prefix_tracks.get(action, 6)
+        tid = prefix_tracks.get(action, _OTHER_TRACK)
         entry: dict[str, Any] = {
             "name": name.strip() or label,
             "cat": action,
@@ -131,13 +133,29 @@ def simulated_to_events(
     return events
 
 
+def _device_track_meta(pid: int, label: str) -> list[dict[str, Any]]:
+    out = [_meta(pid, label)]
+    tracks = {tid: name for tid, name in _KIND_TRACKS.values()}
+    tracks.setdefault(_OTHER_TRACK, "other")
+    for tid, name in sorted(tracks.items()):
+        out.append(_meta(pid, name, tid=tid))
+    return out
+
+
 def chrome_trace(
     spans: Iterable[Span] | None = None,
     profile=None,
     simulated_events: Sequence[tuple[str, float]] | None = None,
     metadata: dict[str, Any] | None = None,
+    profiles: Sequence[tuple[str, Any]] | None = None,
 ) -> dict[str, Any]:
-    """Assemble a trace-event JSON object from any subset of sources."""
+    """Assemble a trace-event JSON object from any subset of sources.
+
+    ``profiles`` accepts multiple named timelines — e.g. one per device
+    of a multi-GPU run — and lays each out as its own process (pid
+    ``DEVICE_PID``, ``DEVICE_PID + 1``, ...) with the standard stream
+    tracks, so Perfetto shows the devices as parallel swimlane groups.
+    """
     events: list[dict[str, Any]] = []
     if spans is not None:
         spans = list(spans)
@@ -151,12 +169,16 @@ def chrome_trace(
     if simulated_events is not None:
         device_events.extend(simulated_to_events(simulated_events))
     if device_events:
-        events.append(_meta(DEVICE_PID, "gpusim (simulated time)"))
-        tracks = {tid: name for tid, name in _KIND_TRACKS.values()}
-        tracks.setdefault(6, "other")
-        for tid, name in sorted(tracks.items()):
-            events.append(_meta(DEVICE_PID, name, tid=tid))
+        events.extend(_device_track_meta(DEVICE_PID, "gpusim (simulated time)"))
         events.extend(device_events)
+    if profiles:
+        base = DEVICE_PID if not device_events else DEVICE_PID + 1
+        for i, (label, prof) in enumerate(profiles):
+            pid = base + i
+            events.extend(
+                _device_track_meta(pid, f"{label} (simulated time)")
+            )
+            events.extend(profile_to_events(prof, pid=pid))
     # Stable, monotonically ordered timestamps (metadata events first).
     events.sort(key=lambda e: (e["ph"] != "M", e["ts"]))
     trace: dict[str, Any] = {

@@ -28,9 +28,16 @@ from .solver import Solver
 
 @dataclass
 class OptResult:
-    """Outcome of a minimisation run."""
+    """Outcome of a minimisation run.
 
-    status: str  # "optimal", "unsat"
+    ``status`` is ``"optimal"`` (descent ran to UNSAT, the value is
+    proven minimal), ``"timeout"`` (the conflict budget ran out; ``value``
+    / ``model`` hold the best incumbent found so far, or ``None`` if the
+    budget died before any model), or ``"unsat"`` (no feasible
+    assignment exists at all).
+    """
+
+    status: str  # "optimal", "timeout", "unsat"
     value: int | None = None
     model: dict[int, bool] | None = None
     solve_calls: int = 0
@@ -38,6 +45,11 @@ class OptResult:
     @property
     def satisfiable(self) -> bool:
         return self.status == "optimal"
+
+    @property
+    def has_model(self) -> bool:
+        """A witnessing model exists (optimal, or timeout with incumbent)."""
+        return self.model is not None
 
 
 class PBSolver:
@@ -141,8 +153,17 @@ class PBSolver:
             self._solver._heap_up(self._solver._heap_pos[v])
 
     # -- solving ----------------------------------------------------------
-    def solve(self, assumptions: Sequence[int] = ()) -> bool:
-        return self._solver.solve(assumptions)
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        conflict_limit: int | None = None,
+    ) -> bool:
+        return self._solver.solve(assumptions, conflict_limit=conflict_limit)
+
+    @property
+    def interrupted(self) -> bool:
+        """The last solve hit its conflict limit (not a refutation)."""
+        return self._solver.interrupted
 
     def model(self) -> dict[int, bool]:
         return self._solver.model()
@@ -151,6 +172,7 @@ class PBSolver:
         self,
         objective: Sequence[Term],
         upper_bound: int | None = None,
+        conflict_budget: int | None = None,
     ) -> OptResult:
         """Minimise a linear objective.
 
@@ -158,7 +180,12 @@ class PBSolver:
         search: a known-achievable value (e.g. from a heuristic plan)
         constrains the very first solve, which vastly prunes the descent.
 
-        Returns the optimal value and a witnessing model, or ``unsat``.
+        ``conflict_budget`` caps the *total* CDCL conflicts across the
+        whole descent; when it runs out the result carries status
+        ``"timeout"`` with the best model found so far (or none).
+
+        Returns the optimal value and a witnessing model, or ``unsat``
+        / ``timeout``.
         """
         objective, shift = normalize_leq(objective, 0)
         # ``shift`` tracks the constant folded out by normalisation:
@@ -174,19 +201,33 @@ class PBSolver:
             outs = build_counter(scaled, ub_u + 1, self.new_var, self._add_raw)
             if ub_u < len(outs):
                 self._add_raw([-outs[ub_u]])
+        budget = conflict_budget
+
+        def bounded_solve() -> bool:
+            nonlocal budget
+            before = self._solver.conflicts
+            sat = self.solve(conflict_limit=budget)
+            if budget is not None:
+                budget = max(0, budget - (self._solver.conflicts - before))
+            return sat
+
         calls = 1
-        if not self.solve():
+        if not bounded_solve():
+            if self.interrupted:
+                return OptResult(status="timeout", solve_calls=calls)
             return OptResult(status="unsat", solve_calls=calls)
         best_model = self.model()
         best = evaluate_terms(objective, best_model)
         best_u = best // g
         if len(outs) < best_u:
             outs = build_counter(scaled, best_u, self.new_var, self._add_raw)
+        timed_out = False
         while best_u > 0:
             # Assert objective <= best - 1 via the counter output column.
             self._add_raw([-outs[best_u - 1]])
             calls += 1
-            if not self.solve():
+            if not bounded_solve():
+                timed_out = self.interrupted
                 break
             model = self.model()
             value = evaluate_terms(objective, model)
@@ -194,7 +235,7 @@ class PBSolver:
             best, best_model = value, model
             best_u = best // g
         return OptResult(
-            status="optimal",
+            status="timeout" if timed_out else "optimal",
             value=best - shift,
             model=best_model,
             solve_calls=calls,

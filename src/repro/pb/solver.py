@@ -88,6 +88,8 @@ class Solver:
         self.conflicts = 0
         self.decisions = 0
         self.propagations = 0
+        #: last solve() call hit its conflict_limit (not a refutation)
+        self.interrupted = False
         # Order heap (binary max-heap on activity) with lazy position map.
         self._heap: list[int] = []
         self._heap_pos: dict[int, int] = {}
@@ -432,13 +434,25 @@ class Solver:
     # ------------------------------------------------------------------
     # Main search
     # ------------------------------------------------------------------
-    def solve(self, assumptions: Sequence[int] = ()) -> bool:
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        conflict_limit: int | None = None,
+    ) -> bool:
         """Search for a satisfying assignment.
 
         Returns True and leaves a complete model readable through
         :meth:`value` / :meth:`model`, or False if UNSAT (under the
         assumptions).
+
+        ``conflict_limit`` bounds the search effort: when this call has
+        analysed that many conflicts without an answer, the search stops,
+        :attr:`interrupted` is set and False is returned — *without*
+        marking the instance UNSAT (``ok`` stays True, so the caller can
+        retry or fall back).  Check ``interrupted`` to distinguish a
+        timeout from a refutation.
         """
+        self.interrupted = False
         if not self.ok:
             return False
         self._cancel_until(0)
@@ -448,11 +462,17 @@ class Solver:
         restart_round = 0
         conflict_budget = _LUBY_UNIT * luby(1)
         conflicts_here = 0
+        conflicts_total = 0
         while True:
             confl = self._propagate()
             if confl is not None:
                 self.conflicts += 1
                 conflicts_here += 1
+                conflicts_total += 1
+                if conflict_limit is not None and conflicts_total > conflict_limit:
+                    self.interrupted = True
+                    self._cancel_until(0)
+                    return False
                 if not self.trail_lim:
                     self.ok = False
                     return False

@@ -51,6 +51,29 @@ class ExecutionResult:
         return self.h2d_floats + self.d2h_floats
 
 
+def run_launch(graph: OperatorGraph, op_name: str, runtime: SimRuntime) -> None:
+    """Execute one ``Launch`` step's numeric work on a ``SimRuntime``.
+
+    Gathers the operator's input slots from device buffers, runs the
+    library impl, scatters outputs into freshly-allocated device buffers
+    and charges the kernel to the runtime clock.  Shared by the
+    single-device executor and ``repro.multigpu``'s per-device executors.
+    """
+    op = graph.ops[op_name]
+    impl = get_impl(op.kind)
+    inputs = [
+        gather_slot(graph, s, runtime.read_device) for s in op_slots(op, graph)
+    ]
+    results = impl.execute(op, inputs)
+
+    def put(name: str, array: np.ndarray) -> None:
+        runtime.malloc(name, graph.data[name].size * FLOAT_BYTES)
+        runtime.write_device(name, array)
+
+    scatter_outputs(graph, op, results, put)
+    runtime.launch(op_name, impl.flops(op, graph), impl.bytes_accessed(op, graph))
+
+
 def execute_plan(
     plan: ExecutionPlan,
     graph: OperatorGraph,
@@ -91,22 +114,7 @@ def execute_plan(
         elif isinstance(step, Free):
             runtime.free(step.data)
         elif isinstance(step, Launch):
-            op = graph.ops[step.op]
-            impl = get_impl(op.kind)
-            inputs = [
-                gather_slot(graph, s, runtime.read_device)
-                for s in op_slots(op, graph)
-            ]
-            results = impl.execute(op, inputs)
-
-            def put(name: str, array: np.ndarray) -> None:
-                runtime.malloc(name, graph.data[name].size * FLOAT_BYTES)
-                runtime.write_device(name, array)
-
-            scatter_outputs(graph, op, results, put)
-            runtime.launch(
-                step.op, impl.flops(op, graph), impl.bytes_accessed(op, graph)
-            )
+            run_launch(graph, step.op, runtime)
         else:  # pragma: no cover - defensive
             raise TypeError(f"unknown step {step!r}")
     outputs = {

@@ -1,0 +1,193 @@
+"""Differential-testing harness: every executor against the reference.
+
+The framework now has four ways to run a template — the host-only
+reference interpreter, the statically planned simulator, the dynamic
+run-time orchestrator, and the multi-GPU executor.  All of them run the
+same float32 numpy operator implementations over row-chunked graphs, so
+their outputs must agree *bitwise*, not merely within tolerance: any
+drift means an executor gathered the wrong slot, scattered to the wrong
+rows, or dropped a transfer.
+
+This module is a library (no tests); test_differential.py drives it
+across the (template x device x planner x executor) matrix and over
+seeded random operator graphs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.core import CompileOptions, Framework, OperatorGraph
+from repro.gpusim import GpuDevice, SimRuntime, homogeneous_group
+from repro.multigpu import compile_multi, execute_multi
+from repro.runtime import dynamic_execute, reference_execute
+
+Outputs = dict[str, np.ndarray]
+
+#: Planner configurations worth differentiating: the default pipeline,
+#: a deliberately different scheduler+policy pair, and a lazy-free
+#: minimal-split variant.  Correctness must be invariant to all of them.
+PLANNERS: dict[str, CompileOptions] = {
+    "default": CompileOptions(),
+    "bfs-lru": CompileOptions(
+        scheduler="bfs", eviction_policy="lru", split_headroom=1.0
+    ),
+    "topo-fifo-lazy": CompileOptions(
+        scheduler="topo", eviction_policy="fifo", eager_free=False
+    ),
+}
+
+
+def run_static(
+    template: OperatorGraph,
+    inputs: Mapping[str, np.ndarray],
+    device: GpuDevice,
+    options: CompileOptions,
+) -> Outputs:
+    """Compile a static plan and execute it on the simulator."""
+    fw = Framework(device, options=options)
+    compiled = fw.compile(template)
+    return dict(fw.execute(compiled, inputs).outputs)
+
+
+def run_dynamic(
+    template: OperatorGraph,
+    inputs: Mapping[str, np.ndarray],
+    device: GpuDevice,
+    options: CompileOptions,
+) -> Outputs:
+    """Execute the compiled (split) graph through the dynamic runtime."""
+    compiled = Framework(device, options=options).compile(template)
+    result = dynamic_execute(
+        compiled.graph, SimRuntime(device), inputs, op_order=compiled.op_order
+    )
+    return dict(result.outputs)
+
+
+def make_multi_runner(
+    num_devices: int, transfer_mode: str = "peer"
+) -> Callable[..., Outputs]:
+    """An executor closure for an N-device group in the given mode."""
+
+    def run_multi(
+        template: OperatorGraph,
+        inputs: Mapping[str, np.ndarray],
+        device: GpuDevice,
+        options: CompileOptions,
+    ) -> Outputs:
+        group = homogeneous_group(device, num_devices)
+        compiled = compile_multi(
+            template, group, options=options, transfer_mode=transfer_mode
+        )
+        return dict(execute_multi(compiled, inputs).outputs)
+
+    run_multi.__name__ = f"run_multi{num_devices}_{transfer_mode}"
+    return run_multi
+
+
+#: name -> callable(template, inputs, device, options) -> outputs
+EXECUTORS: dict[str, Callable[..., Outputs]] = {
+    "static": run_static,
+    "dynamic": run_dynamic,
+    "multi2-peer": make_multi_runner(2, "peer"),
+    "multi3-staged": make_multi_runner(3, "staged"),
+}
+
+
+def assert_bitwise_equal(
+    reference: Mapping[str, np.ndarray], got: Mapping[str, np.ndarray], label: str
+) -> None:
+    """Outputs must match the reference exactly, key for key."""
+    assert set(got) == set(reference), (
+        f"{label}: output names {sorted(got)} != {sorted(reference)}"
+    )
+    for name, ref in reference.items():
+        arr = got[name]
+        assert arr.shape == ref.shape, (
+            f"{label}: {name} shape {arr.shape} != {ref.shape}"
+        )
+        if not np.array_equal(arr, ref):
+            bad = int(np.sum(arr != ref))
+            raise AssertionError(
+                f"{label}: {name} differs from reference in {bad}/{ref.size} "
+                f"elements (max abs err "
+                f"{float(np.max(np.abs(arr - ref))):.3e})"
+            )
+
+
+def differential_check(
+    template: OperatorGraph,
+    inputs: Mapping[str, np.ndarray],
+    device: GpuDevice,
+    options: CompileOptions,
+    executors: Mapping[str, Callable[..., Outputs]] | None = None,
+) -> Outputs:
+    """Run every executor and compare each bitwise against the reference.
+
+    Returns the reference outputs (handy for extra assertions).
+    """
+    reference = reference_execute(template.copy(), inputs)
+    for name, runner in (executors or EXECUTORS).items():
+        got = runner(template.copy(), inputs, device, options)
+        assert_bitwise_equal(reference, got, name)
+    return reference
+
+
+# ---------------------------------------------------------------------------
+# Seeded random operator graphs
+# ---------------------------------------------------------------------------
+def random_operator_graph(
+    seed: int, n_layers: int = 3, width: int = 3
+) -> OperatorGraph:
+    """A random layered DAG over shape-preserving library operators.
+
+    Every data structure in one graph shares a shape so any subset of
+    predecessors is a valid multi-input; kinds are drawn from the real
+    operator library so all executors use the same numpy impls.
+    """
+    rng = random.Random(seed)
+    rows = rng.choice([16, 24, 32])
+    cols = rng.choice([8, 16])
+    g = OperatorGraph(f"rand{seed}")
+    prev: list[str] = []
+    for i in range(width):
+        g.add_data(f"in{i}", (rows, cols), is_input=True)
+        prev.append(f"in{i}")
+    unary = ["remap", "relu", "tanh", "scale"]
+    binary = ["add", "sub", "mul", "max"]
+    for layer in range(n_layers):
+        cur: list[str] = []
+        for i in range(width):
+            name = f"d{layer}_{i}"
+            is_last = layer == n_layers - 1
+            g.add_data(name, (rows, cols), is_output=is_last)
+            if rng.random() < 0.5 or len(prev) < 2:
+                kind = rng.choice(unary)
+                src = [rng.choice(prev)]
+            else:
+                kind = rng.choice(binary)
+                src = rng.sample(prev, k=2)
+            g.add_operator(f"o{layer}_{i}", kind, src, [name])
+            cur.append(name)
+        prev = cur
+    # Dead intermediates become outputs so every plan must save them.
+    for d, ds in g.data.items():
+        if not ds.is_input and not ds.is_output and not g.consumers.get(d):
+            ds.is_output = True
+    g.validate()
+    return g
+
+
+def random_inputs(
+    graph: OperatorGraph, seed: int
+) -> dict[str, np.ndarray]:
+    """Deterministic float32 arrays for every root input of the graph."""
+    rng = np.random.default_rng(seed)
+    out: dict[str, np.ndarray] = {}
+    for name, ds in graph.data.items():
+        if ds.is_input and ds.parent is None:
+            out[name] = rng.standard_normal(ds.shape).astype(np.float32)
+    return out

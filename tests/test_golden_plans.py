@@ -1,0 +1,133 @@
+"""Golden-plan regression tests for the two paper templates.
+
+The compilation pipeline is deterministic: the same template, device
+and options must always produce the same plan.  These tests pin the
+serialized plans (tests/golden/*.json) so an accidental change anywhere
+in the pipeline — scheduling order, eviction choice, splitting
+granularity, device assignment — shows up as a readable unified diff
+rather than a silent perf or correctness drift.
+
+To bless an *intentional* pipeline change, regenerate with:
+
+    REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden_plans.py
+
+and commit the updated JSON together with the change that caused it.
+"""
+
+import difflib
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core import CompileOptions, Framework, plan_from_dict, plan_to_dict
+from repro.core.plan import validate_plan
+from repro.gpusim import GpuDevice, homogeneous_group
+from repro.multigpu import compile_multi
+from repro.templates import cnn_graph, find_edges_graph
+from repro.templates.cnn import CNNArch, ConvLayerSpec
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+KB = 1024
+
+#: pinned compilation configs; changing these invalidates the goldens
+DEVICE = GpuDevice(name="golden-dev", memory_bytes=256 * KB)
+OPTIONS = CompileOptions(split_headroom=1.0)
+
+
+def _edge_compiled():
+    return Framework(DEVICE, options=OPTIONS).compile(
+        find_edges_graph(64, 64, 5, 4)
+    )
+
+
+#: the paper's 11-layer CNN shape with narrow planes — SMALL_CNN's
+#: ~1000 operators would make the golden diff unreadable, and the
+#: pipeline behaviour being pinned is identical
+GOLDEN_CNN = CNNArch(
+    name="golden_cnn",
+    conv1=ConvLayerSpec(1, 2),
+    conv2=ConvLayerSpec(2, 3),
+    conv3=ConvLayerSpec(3, 3),
+    conv4=ConvLayerSpec(3, 2),
+)
+
+
+def _cnn_compiled():
+    return Framework(DEVICE, options=OPTIONS).compile(
+        cnn_graph(GOLDEN_CNN, 48, 48)
+    )
+
+
+def _edge_multi():
+    group = homogeneous_group(DEVICE, 2)
+    return compile_multi(
+        find_edges_graph(64, 64, 5, 4), group, options=OPTIONS
+    )
+
+
+CASES = {
+    "edge_plan": _edge_compiled,
+    "cnn_plan": _cnn_compiled,
+    "edge_multi2_plan": _edge_multi,
+}
+
+
+def _golden_dict(compiled) -> dict:
+    """The serialized plan, minus free-text notes (wording may evolve)."""
+    out = plan_to_dict(compiled.plan)
+    out.pop("notes", None)
+    return out
+
+
+def _render(d: dict) -> list[str]:
+    return json.dumps(d, indent=2, sort_keys=True).splitlines(keepends=True)
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_golden(name):
+    compiled = CASES[name]()
+    got = _golden_dict(compiled)
+    path = GOLDEN_DIR / f"{name}.json"
+    if os.environ.get("REGEN_GOLDEN"):
+        path.write_text(json.dumps(got, indent=2, sort_keys=True) + "\n")
+    assert path.exists(), (
+        f"golden file {path} missing; run with REGEN_GOLDEN=1 to create it"
+    )
+    want = json.loads(path.read_text())
+    if got != want:
+        diff = "".join(
+            difflib.unified_diff(
+                _render(want),
+                _render(got),
+                fromfile=f"golden/{name}.json (committed)",
+                tofile=f"golden/{name}.json (recompiled)",
+                n=3,
+            )
+        )
+        raise AssertionError(
+            f"plan for {name!r} drifted from its golden copy.\n"
+            "If this change is intentional, regenerate with REGEN_GOLDEN=1 "
+            "and commit the JSON.\n" + diff
+        )
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_golden_roundtrips_and_validates(name):
+    """The committed goldens themselves deserialize into valid plans."""
+    path = GOLDEN_DIR / f"{name}.json"
+    assert path.exists()
+    plan = plan_from_dict(json.loads(path.read_text()))
+    compiled = CASES[name]()
+    caps: object = compiled.plan.capacity_floats
+    if plan.devices:
+        caps = [DEVICE.usable_memory_floats] * plan.num_devices
+    validate_plan(plan, compiled.graph, caps)
+
+
+def test_compilation_is_deterministic():
+    """Two fresh compiles of the same config agree exactly."""
+    a = _golden_dict(_edge_compiled())
+    b = _golden_dict(_edge_compiled())
+    assert a == b

@@ -1,0 +1,305 @@
+"""Unit tests for the multi-GPU execution planning subsystem.
+
+Covers the pieces end to end: device groups and the shared-bus model,
+cost-balanced partitioning, the multi-device transfer scheduler in both
+transfer modes, plan serialization with a device dimension, the
+coordinated runtime, the analytic simulator, the scaling report, the
+per-device Chrome-trace export, and the CLI surface.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core import CompileOptions
+from repro.core.plan import Free, Launch, PeerCopy, PlanError, validate_plan
+from repro.core.scheduling import dfs_schedule, row_band
+from repro.core.serialize import plan_from_dict, plan_to_dict
+from repro.gpusim import (
+    DeviceGroup,
+    GpuDevice,
+    SharedBus,
+    homogeneous_group,
+)
+from repro.multigpu import (
+    compile_multi,
+    execute_multi,
+    partition_graph,
+    schedule_multi_transfers,
+    simulate_multi,
+)
+from repro.obs.chrometrace import chrome_trace
+from repro.runtime import reference_execute
+from repro.templates import find_edges_graph, find_edges_inputs
+
+KB = 1024
+DEV = GpuDevice(name="mg-dev", memory_bytes=256 * KB)
+
+
+def _edge():
+    g = find_edges_graph(48, 40, 5, 4)
+    return g, find_edges_inputs(48, 40, 5, 4, seed=9)
+
+
+class TestDeviceGroup:
+    def test_basic_properties(self):
+        group = homogeneous_group(DEV, 3)
+        assert len(group) == 3
+        assert group[1].name == DEV.name
+        assert group.usable_memory_floats == [DEV.usable_memory_floats] * 3
+
+    def test_requires_a_device(self):
+        with pytest.raises(ValueError):
+            DeviceGroup(devices=())
+
+    def test_peer_time_scales_with_size(self):
+        group = homogeneous_group(DEV, 2)
+        assert group.peer_time(0) == 0.0
+        small, big = group.peer_time(4 * KB), group.peer_time(4 * KB * KB)
+        assert 0.0 < small < big
+
+    def test_shared_bus_serializes(self):
+        bus = SharedBus()
+        b1, e1 = bus.acquire(0.0, 1.0)
+        b2, e2 = bus.acquire(0.5, 1.0)  # ready before the bus frees
+        assert (b1, e1) == (0.0, 1.0)
+        assert b2 == pytest.approx(1.0)
+        assert e2 == pytest.approx(2.0)
+        assert bus.total_busy == pytest.approx(2.0)
+
+
+class TestPartition:
+    def test_single_device_fast_path(self):
+        g, _ = _edge()
+        order = dfs_schedule(g)
+        part = partition_graph(g, order, homogeneous_group(DEV, 1))
+        assert set(part.assignment.values()) == {0}
+        assert part.imbalance == pytest.approx(1.0)
+
+    def test_band_contiguity(self):
+        """Parts of the same row band land on the same device."""
+        g, _ = _edge()
+        from repro.core.splitting import make_feasible
+
+        make_feasible(g, g.total_data_size() // 4)
+        order = dfs_schedule(g)
+        group = homogeneous_group(DEV, 2)
+        part = partition_graph(g, order, group)
+        # Band-major order means each device owns a contiguous range of
+        # band-start rows; the maximum band start on device 0 is at most
+        # the minimum on device 1 (ties allowed at the boundary).
+        starts = [[], []]
+        for op in g.ops:
+            band = row_band(g, op)
+            if band is not None:
+                starts[part.device_of(op)].append(band[0])
+        if starts[0] and starts[1]:
+            assert max(starts[0]) <= min(starts[1]) or (
+                part.imbalance < 1.5
+            )
+
+    def test_rejects_wrong_order(self):
+        g, _ = _edge()
+        with pytest.raises(ValueError):
+            partition_graph(g, ["nope"], homogeneous_group(DEV, 2))
+
+
+class TestScheduler:
+    def _parts(self, n):
+        g, _ = _edge()
+        order = dfs_schedule(g)
+        group = homogeneous_group(DEV, n)
+        return g, order, group, partition_graph(g, order, group)
+
+    def test_peer_mode_emits_peer_copies(self):
+        g, order, group, part = self._parts(2)
+        plan = schedule_multi_transfers(g, order, group, part)
+        assert plan.num_devices == 2
+        assert len(plan.devices) == len(plan.steps)
+        validate_plan(plan, g, group.usable_memory_floats)
+
+    def test_staged_mode_never_peers(self):
+        g, order, group, part = self._parts(2)
+        plan = schedule_multi_transfers(
+            g, order, group, part, transfer_mode="staged"
+        )
+        assert not any(isinstance(s, PeerCopy) for s in plan.steps)
+        validate_plan(plan, g, group.usable_memory_floats)
+
+    def test_peer_floats_accounting(self):
+        g, order, group, part = self._parts(2)
+        peer = schedule_multi_transfers(g, order, group, part)
+        staged = schedule_multi_transfers(
+            g, order, group, part, transfer_mode="staged"
+        )
+        if any(isinstance(s, PeerCopy) for s in peer.steps):
+            assert peer.peer_floats(g) > 0
+            # Staging routes the same bytes through the host instead.
+            assert staged.transfer_floats(g) > peer.transfer_floats(g)
+
+    def test_rejects_unknown_policy_and_mode(self):
+        g, order, group, part = self._parts(2)
+        from repro.multigpu import MultiTransferScheduler
+
+        with pytest.raises(ValueError):
+            MultiTransferScheduler(g, group, part, policy="magic")
+        with pytest.raises(ValueError):
+            MultiTransferScheduler(g, group, part, transfer_mode="wires")
+
+    def test_capacity_overflow_raises(self):
+        g, order, group, part = self._parts(2)
+        from repro.multigpu import MultiTransferScheduler
+
+        with pytest.raises(PlanError):
+            MultiTransferScheduler(
+                g, group, part, capacities=[64, 64]
+            ).schedule(order)
+
+
+class TestSerialization:
+    def test_device_dimension_round_trips(self):
+        g, _ = _edge()
+        order = dfs_schedule(g)
+        group = homogeneous_group(DEV, 2)
+        part = partition_graph(g, order, group)
+        plan = schedule_multi_transfers(g, order, group, part)
+        raw = plan_to_dict(plan)
+        back = plan_from_dict(raw)
+        assert back.devices == plan.devices
+        assert [type(s) for s in back.steps] == [type(s) for s in plan.steps]
+        for a, b in zip(plan.steps, back.steps):
+            if isinstance(a, PeerCopy):
+                assert (a.data, a.src, a.dst) == (b.data, b.src, b.dst)
+
+    def test_validate_rejects_length_mismatch(self):
+        g, _ = _edge()
+        order = dfs_schedule(g)
+        group = homogeneous_group(DEV, 2)
+        part = partition_graph(g, order, group)
+        plan = schedule_multi_transfers(g, order, group, part)
+        plan.devices.append(0)
+        with pytest.raises(PlanError):
+            validate_plan(plan, g, group.usable_memory_floats)
+
+
+class TestExecution:
+    @pytest.mark.parametrize("n", [1, 2, 4])
+    @pytest.mark.parametrize("mode", ["peer", "staged"])
+    def test_outputs_match_reference(self, n, mode):
+        g, inputs = _edge()
+        ref = reference_execute(g.copy(), inputs)
+        compiled = compile_multi(
+            g.copy(), homogeneous_group(DEV, n), transfer_mode=mode
+        )
+        result = execute_multi(compiled, inputs)
+        assert result.num_devices == n
+        for name, arr in ref.items():
+            assert np.array_equal(result.outputs[name], arr)
+
+    def test_per_device_profiles_and_clocks(self):
+        g, inputs = _edge()
+        compiled = compile_multi(g.copy(), homogeneous_group(DEV, 2))
+        result = execute_multi(compiled, inputs)
+        assert len(result.profiles) == 2
+        assert len(result.device_clocks) == 2
+        assert result.elapsed == pytest.approx(max(result.device_clocks))
+        assert result.transfer_floats == result.h2d_floats + result.d2h_floats
+
+    def test_shared_bus_never_faster(self):
+        g, inputs = _edge()
+        free = compile_multi(g.copy(), homogeneous_group(DEV, 2))
+        shared = compile_multi(
+            g.copy(), homogeneous_group(DEV, 2, shared_bus=True)
+        )
+        t_free = execute_multi(free, inputs).elapsed
+        t_shared = execute_multi(shared, inputs).elapsed
+        assert t_shared >= t_free - 1e-12
+
+    def test_simulate_respects_capacity(self):
+        g, _ = _edge()
+        compiled = compile_multi(g.copy(), homogeneous_group(DEV, 2))
+        sim = simulate_multi(compiled)
+        assert sim.total_time > 0
+        assert len(sim.device_times) == 2
+        assert sim.total_time == pytest.approx(max(sim.device_times))
+        for peak in sim.peak_device_floats:
+            assert peak <= DEV.usable_memory_floats
+
+
+class TestScalingReport:
+    def test_report_rows(self):
+        from repro.analysis import render_scaling, scaling_report
+
+        report = scaling_report(
+            find_edges_graph(64, 64, 5, 4), DEV, device_counts=(1, 2)
+        )
+        assert [r.num_devices for r in report.rows] == [1, 2]
+        assert report.rows[0].total_time > 0
+        assert report.rows[0].speedup == pytest.approx(1.0)
+        assert report.transfer_ratio() >= 0.0
+        text = render_scaling(report)
+        assert "gpus" in text and "speedup" in text
+
+
+class TestChromeTrace:
+    def test_per_device_tracks(self, tmp_path):
+        g, inputs = _edge()
+        compiled = compile_multi(g.copy(), homogeneous_group(DEV, 2))
+        result = execute_multi(compiled, inputs)
+        trace = chrome_trace(
+            profiles=[(f"gpu{i}", p) for i, p in enumerate(result.profiles)]
+        )
+        events = trace["traceEvents"]
+        pids = {e["pid"] for e in events if e.get("ph") == "X"}
+        assert len(pids) == 2, "expected one track group per device"
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps(trace))
+        assert json.loads(path.read_text())["traceEvents"]
+
+
+class TestCli:
+    def test_compile_multi(self, capsys):
+        assert (
+            main(
+                [
+                    "compile",
+                    "--template", "edge",
+                    "--size", "64x64",
+                    "--num-devices", "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "devices" in out
+
+    def test_run_multi_verify(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "--template", "edge",
+                    "--size", "64x64",
+                    "--num-devices", "2",
+                    "--verify",
+                ]
+            )
+            == 0
+        )
+
+    def test_run_multi_staged_bus(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "--template", "edge",
+                    "--size", "48x48",
+                    "--num-devices", "3",
+                    "--transfer-mode", "staged",
+                    "--shared-bus",
+                ]
+            )
+            == 0
+        )
