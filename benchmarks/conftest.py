@@ -4,6 +4,14 @@ Each module regenerates one table or figure from the paper's evaluation.
 Run with ``pytest benchmarks/ --benchmark-only``; regenerated artifacts
 are also written to ``benchmarks/results/`` and the shape assertions run
 as part of the benchmark bodies.
+
+Modules that report headline numbers additionally record a
+machine-readable ``BENCH_<name>.json`` (schema of :mod:`repro.obs.bench`)
+next to the text artifact.  ``repro bench-compare benchmarks/baselines
+benchmarks/results`` diffs a run against the blessed baselines and exits
+nonzero on a >=10% regression; CI runs that gate after the smoke subset.
+To bless new numbers, rerun the benchmarks and copy the fresh
+``results/BENCH_*.json`` into ``benchmarks/baselines/``.
 """
 
 import sys

@@ -22,10 +22,12 @@ from repro.gpusim import (
     GpuDevice,
     HostSystem,
 )
+from repro.obs.bench import BenchRecorder
 from repro.runtime import SimulatedRun
 from repro.templates import LARGE_CNN, SMALL_CNN, cnn_graph, find_edges_graph
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+BASELINES_DIR = os.path.join(os.path.dirname(__file__), "baselines")
 
 #: The two evaluation systems of Section 4.
 SYSTEMS: list[tuple[GpuDevice, HostSystem]] = [
@@ -127,12 +129,26 @@ def evaluate(graph: OperatorGraph, device: GpuDevice, host: HostSystem) -> RunRo
     )
 
 
-def write_report(name: str, lines: list[str]) -> str:
-    """Persist a regenerated table/figure next to the benchmarks."""
+def write_report(
+    name: str,
+    lines: list[str],
+    metrics: dict[str, float] | None = None,
+    config: dict | None = None,
+) -> str:
+    """Persist a regenerated table/figure next to the benchmarks.
+
+    When ``metrics`` is given, a machine-readable companion
+    ``BENCH_<stem>.json`` (schema of :mod:`repro.obs.bench`) is written
+    alongside the human-readable text; ``repro bench-compare`` diffs it
+    against the blessed copy in ``benchmarks/baselines/``.
+    """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, name)
     with open(path, "w") as fh:
         fh.write("\n".join(lines) + "\n")
+    if metrics is not None:
+        stem = os.path.splitext(name)[0]
+        BenchRecorder(RESULTS_DIR).record(stem, metrics, config=config or {})
     return path
 
 

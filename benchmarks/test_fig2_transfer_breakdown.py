@@ -16,6 +16,8 @@ Shape claims checked (Section 2.2):
   holds somewhere in the sweep.
 """
 
+import time
+
 import pytest
 
 from paper import write_report
@@ -85,10 +87,22 @@ def render(rows):
 
 
 def test_fig2(benchmark):
+    t0 = time.perf_counter()
     rows = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    wall = time.perf_counter() - t0
     check_shape(rows)
     lines = render(rows)
-    path = write_report("fig2.txt", lines)
+    path = write_report(
+        "fig2.txt",
+        lines,
+        metrics={
+            "transfer_pct_k2": rows[0]["transfer_pct"],
+            "transfer_pct_k20": rows[-1]["transfer_pct"],
+            "total_seconds": sum(r["total_s"] for r in rows),
+            "wall_seconds": wall,
+        },
+        config={"side": SIDE, "kernels": list(KERNELS)},
+    )
     print()
     print("\n".join(lines))
     print(f"[written to {path}]")

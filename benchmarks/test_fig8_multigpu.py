@@ -22,6 +22,8 @@ out-of-core regime where row-band parallelism actually exists; with
 whole-template residency there is nothing to distribute.
 """
 
+import time
+
 from paper import write_report
 from repro.analysis import scaling_report
 from repro.gpusim import MB, TESLA_C870, XEON_WORKSTATION
@@ -91,11 +93,30 @@ def render(reports):
     return lines
 
 
+def metrics(reports):
+    out = {}
+    for name, report in reports.items():
+        last = report.rows[-1]
+        out[f"{name}_seconds_n{last.num_devices}"] = last.total_time
+        out[f"{name}_speedup_n{last.num_devices}"] = last.speedup
+        out[f"{name}_transfer_floats_n{last.num_devices}"] = last.transfer_floats
+        out[f"{name}_peer_floats_n{last.num_devices}"] = last.peer_floats
+        out[f"{name}_transfer_ratio"] = report.transfer_ratio()
+    return out
+
+
 def test_fig8_multigpu(benchmark):
+    t0 = time.perf_counter()
     reports = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    wall = time.perf_counter() - t0
     check_shape(reports)
     lines = render(reports)
-    path = write_report("fig8_multigpu.txt", lines)
+    path = write_report(
+        "fig8_multigpu.txt",
+        lines,
+        metrics=metrics(reports) | {"wall_seconds": wall},
+        config={"device_counts": list(COUNTS), "device_memory_mb": 8},
+    )
     print()
     print("\n".join(lines))
     print(f"[written to {path}]")

@@ -21,6 +21,8 @@ because the paper's proprietary network differs from our reconstruction,
 but every ordering/feasibility claim above holds.
 """
 
+import time
+
 import pytest
 
 from paper import (
@@ -100,11 +102,34 @@ def check_shape(rows):
     assert edge_large[2][0].baseline_transfers is None  # the paper's N/A
 
 
+def metrics(rows):
+    out = {
+        "opt_transfer_floats_c870": 0,
+        "opt_transfer_floats_8800": 0,
+        "baseline_transfer_floats_c870": 0,
+        "lower_bound_floats": 0,
+    }
+    for _cfg, _graph, (c870, gtx) in rows:
+        out["opt_transfer_floats_c870"] += c870.compiled_transfers
+        out["opt_transfer_floats_8800"] += gtx.compiled_transfers
+        out["lower_bound_floats"] += c870.lower_bound
+        if c870.baseline_transfers is not None:
+            out["baseline_transfer_floats_c870"] += c870.baseline_transfers
+    return out
+
+
 def test_table1(benchmark):
+    t0 = time.perf_counter()
     rows = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    wall = time.perf_counter() - t0
     check_shape(rows)
     lines = render(rows)
-    path = write_report("table1.txt", lines)
+    path = write_report(
+        "table1.txt",
+        lines,
+        metrics=metrics(rows) | {"wall_seconds": wall},
+        config={"configs": [f"{c.label} {c.input_label}" for c in CONFIGS]},
+    )
     print()
     print("\n".join(lines))
     print(f"[written to {path}]")

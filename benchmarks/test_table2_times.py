@@ -22,6 +22,8 @@ substrate is an analytic simulator, not the authors' testbed):
   out-of-core workloads.
 """
 
+import time
+
 import pytest
 
 from paper import (
@@ -112,11 +114,40 @@ def render(rows):
     return lines
 
 
+def metrics(rows):
+    out = {
+        "opt_seconds_c870": 0.0,
+        "opt_seconds_8800": 0.0,
+        "baseline_seconds_c870": 0.0,
+    }
+    speedups = []
+    for _cfg, _graph, (c870, gtx) in rows:
+        b1, o1 = _times(c870)
+        _b2, o2 = _times(gtx)
+        if o1 is not None:
+            out["opt_seconds_c870"] += o1
+        if o2 is not None:
+            out["opt_seconds_8800"] += o2
+        if b1 is not None:
+            out["baseline_seconds_c870"] += b1
+            if o1 is not None:
+                speedups.append(b1 / o1)
+    out["speedup_max"] = max(speedups) if speedups else 0.0
+    return out
+
+
 def test_table2(benchmark):
+    t0 = time.perf_counter()
     rows = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    wall = time.perf_counter() - t0
     check_shape(rows)
     lines = render(rows)
-    path = write_report("table2.txt", lines)
+    path = write_report(
+        "table2.txt",
+        lines,
+        metrics=metrics(rows) | {"wall_seconds": wall},
+        config={"configs": [f"{c.label} {c.input_label}" for c in CONFIGS]},
+    )
     print()
     print("\n".join(lines))
     print(f"[written to {path}]")

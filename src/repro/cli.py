@@ -9,6 +9,8 @@ plan, run it on the simulated device, or emit the generated program.
     repro run     --template small-cnn --size 640x480 --verify
     repro run     --template edge --size 4096x4096 --trace-out trace.json
     repro explain --template edge --size 2048x2048
+    repro report  --template edge --size 512x512 --num-devices 2
+    repro bench-compare benchmarks/baselines benchmarks/results
     repro codegen --template edge --size 1024x1024 --lang cuda -o out.cu
 """
 
@@ -16,6 +18,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Callable
 
@@ -26,7 +29,20 @@ from repro.analysis.timeline import render_timeline
 from repro.codegen import generate_cuda, generate_python
 from repro.core import CompileOptions, Framework, PlanError
 from repro.core.serialize import save_plan
-from repro.obs import explain_to_dicts, render_explain, write_chrome_trace
+from repro.obs import (
+    analyze_run,
+    explain_to_dicts,
+    render_explain,
+    render_report,
+    write_chrome_trace,
+)
+from repro.obs.bench import (
+    DEFAULT_THRESHOLD,
+    compare_dirs,
+    compare_results,
+    load_bench,
+    render_comparisons,
+)
 from repro.gpusim import (
     FLOAT_BYTES,
     MB,
@@ -325,20 +341,97 @@ def cmd_run(args) -> int:
 
 def cmd_explain(args) -> int:
     graph, _ = _build(args)
-    fw = _framework(args)
-    compiled = fw.compile(graph)
+    if args.num_devices > 1:
+        compiled = compile_multi(
+            graph,
+            _group(args),
+            XEON_WORKSTATION,
+            _options(args),
+            transfer_mode=args.transfer_mode,
+        )
+        device_label = f"{args.num_devices}x {compiled.group[0].name}"
+    else:
+        compiled = _framework(args).compile(graph)
+        device_label = compiled.device.name
     if args.json:
         print(json.dumps({
             "template": compiled.graph.name,
-            "device": compiled.device.name,
+            "device": device_label,
             "plan_label": compiled.plan.label,
             "steps": explain_to_dicts(compiled.plan),
         }, indent=1))
         return 0
-    print(f"plan for {compiled.graph.name!r} on {compiled.device.name} "
+    print(f"plan for {compiled.graph.name!r} on {device_label} "
           f"({compiled.plan.label}):")
     print(render_explain(compiled.plan))
     return 0
+
+
+def cmd_report(args) -> int:
+    graph, make_inputs = _build(args)
+    if args.num_devices > 1:
+        compiled = compile_multi(
+            graph,
+            _group(args),
+            XEON_WORKSTATION,
+            _options(args),
+            transfer_mode=args.transfer_mode,
+        )
+        result = execute_multi(compiled, make_inputs())
+        profiles = result.profiles
+        device_label = f"{args.num_devices}x {compiled.group[0].name}"
+    else:
+        fw = _framework(args)
+        compiled = fw.compile(graph)
+        result = fw.execute(compiled, make_inputs())
+        profiles = [result.profile]
+        device_label = compiled.device.name
+    analysis = analyze_run(
+        profiles,
+        plan=compiled.plan,
+        graph=compiled.graph,
+        label=f"{graph.name} on {device_label}",
+        metadata={
+            "template": graph.name,
+            "device": device_label,
+            "plan": compiled.plan.label,
+            "num_devices": args.num_devices,
+            "elapsed_seconds": result.elapsed,
+        },
+    )
+    if args.format == "json":
+        text = json.dumps(analysis.to_dict(), indent=1)
+    else:
+        text = render_report(analysis, fmt=args.format)
+    _emit(text, args.output)
+    return 0
+
+
+def cmd_bench_compare(args) -> int:
+    if os.path.isdir(args.baseline) and os.path.isdir(args.candidate):
+        comparisons, base_only, cand_only = compare_dirs(
+            args.baseline, args.candidate, threshold=args.threshold
+        )
+    else:
+        comparisons = [
+            compare_results(
+                load_bench(args.baseline),
+                load_bench(args.candidate),
+                threshold=args.threshold,
+            )
+        ]
+        base_only = cand_only = []
+    regressed = any(c.regressed for c in comparisons)
+    if args.json:
+        print(json.dumps({
+            "regressed": regressed,
+            "comparisons": [c.to_dict() for c in comparisons],
+            "baseline_only": base_only,
+            "candidate_only": cand_only,
+        }, indent=1))
+    else:
+        print(render_comparisons(comparisons, base_only, cand_only))
+    return 1 if regressed else 0
 
 
 def _emit(text: str, output: str) -> None:
@@ -461,6 +554,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="machine-readable JSON output")
     p.set_defaults(func=cmd_explain)
+
+    p = sub.add_parser(
+        "report",
+        help="run and analyze: residency, idle gaps, transfer attribution",
+    )
+    common(p)
+    p.add_argument("--format", choices=["md", "html", "json"], default="md",
+                   help="report format (default markdown)")
+    p.add_argument("-o", "--output", default="-",
+                   help="output file ('-' for stdout)")
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
+        "bench-compare",
+        help="regression gate: compare BENCH_*.json results (exit 1 on "
+             "regression beyond threshold)",
+    )
+    p.add_argument("baseline",
+                   help="baseline BENCH_*.json file or directory")
+    p.add_argument("candidate",
+                   help="candidate BENCH_*.json file or directory")
+    p.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                   help="relative regression threshold (default 0.10)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable JSON output")
+    p.set_defaults(func=cmd_bench_compare)
 
     p = sub.add_parser("dot", help="emit a Graphviz rendering of the template")
     common(p)

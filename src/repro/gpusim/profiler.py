@@ -77,6 +77,29 @@ class Profile:
             e.nbytes for e in self.events if e.kind in (EventKind.H2D, EventKind.D2H)
         )
 
+    def transfer_events(self) -> list[Event]:
+        """Host<->device transfer events, in recorded (plan) order."""
+        return [
+            e for e in self.events if e.kind in (EventKind.H2D, EventKind.D2H)
+        ]
+
+    def bytes_by_buffer(self) -> dict[str, int]:
+        """Host-transfer bytes per buffer name (the attribution ground truth)."""
+        out: dict[str, int] = {}
+        for e in self.transfer_events():
+            out[e.name] = out.get(e.name, 0) + e.nbytes
+        return out
+
+    def peer_bytes_in(self) -> int:
+        """Incoming peer-copy bytes (each P2P copy is recorded on both
+        endpoints; the destination side — ``"<-"`` in the event name —
+        counts the physical bytes once)."""
+        return sum(
+            e.nbytes
+            for e in self.events
+            if e.kind is EventKind.P2P and "<-" in e.name
+        )
+
     def breakdown(self) -> dict[str, float]:
         """Fractional split of busy time, as plotted in Figure 2."""
         busy = self.transfer_time + self.compute_time + self.host_time

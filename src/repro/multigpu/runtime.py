@@ -144,6 +144,14 @@ class MultiExecutionResult:
         """Host<->device volume only — comparable to single-device plans."""
         return self.h2d_floats + self.d2h_floats
 
+    def bytes_transferred(self) -> int:
+        """Recorded host<->device bytes across every device's timeline."""
+        return sum(p.bytes_transferred() for p in self.profiles)
+
+    def peer_bytes(self) -> int:
+        """Physical device-to-device bytes (destination side, counted once)."""
+        return sum(p.peer_bytes_in() for p in self.profiles)
+
 
 def execute_multi_plan(
     plan: ExecutionPlan,

@@ -10,12 +10,40 @@ makes the reproduction equally measurable end to end:
 * :mod:`repro.obs.chrometrace` — Chrome trace-event / Perfetto JSON
   export of compile spans and the simulated device timeline;
 * :mod:`repro.obs.provenance` — per-step reasons on execution plans,
-  surfaced by ``repro explain``.
+  surfaced by ``repro explain``;
+* :mod:`repro.obs.analyze` — the diagnosis layer: residency timelines,
+  occupancy curves, idle-gap/overlap/critical-path analysis, multi-GPU
+  imbalance, and byte-exact transfer attribution;
+* :mod:`repro.obs.report` — self-contained Markdown/HTML rendering of a
+  run analysis (``repro report``);
+* :mod:`repro.obs.bench` — versioned benchmark-result schema, recorder,
+  and the regression comparator behind ``repro bench-compare``.
 
 This package sits at the bottom of the import graph: it never imports
 ``repro.core`` / ``repro.gpusim`` so every layer above can use it.
 """
 
+from .analyze import (
+    RunAnalysis,
+    TransferAttribution,
+    TransferRecord,
+    analyze_run,
+    attribute_transfers,
+    critical_path,
+    imbalance_stats,
+    residency_timelines,
+    timeline_stats,
+)
+from .bench import (
+    BenchComparison,
+    BenchRecorder,
+    BenchResult,
+    compare_dirs,
+    compare_results,
+    load_bench,
+    render_comparisons,
+    validate_bench_dict,
+)
 from .chrometrace import (
     chrome_trace,
     profile_to_events,
@@ -31,23 +59,43 @@ from .provenance import (
     provenance_summary,
     render_explain,
 )
+from .report import render_report, report_to_dict
 from .trace import Span, Tracer
 
 __all__ = [
+    "BenchComparison",
+    "BenchRecorder",
+    "BenchResult",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "RunAnalysis",
     "Span",
     "StepExplanation",
     "Tracer",
+    "TransferAttribution",
+    "TransferRecord",
+    "analyze_run",
+    "attribute_transfers",
     "chrome_trace",
+    "compare_dirs",
+    "compare_results",
+    "critical_path",
     "explain_plan",
     "explain_to_dicts",
+    "imbalance_stats",
+    "load_bench",
     "profile_to_events",
     "provenance_summary",
+    "render_comparisons",
     "render_explain",
+    "render_report",
+    "report_to_dict",
+    "residency_timelines",
     "simulated_to_events",
     "spans_to_events",
+    "timeline_stats",
+    "validate_bench_dict",
     "write_chrome_trace",
 ]

@@ -1,0 +1,607 @@
+"""Run analysis: structured findings from recorded telemetry.
+
+The paper's evaluation is entirely profiler-driven — transfer volumes
+(Table 1), timeline breakdowns (Figure 2), schedule impact (Figure 3).
+This module is the diagnosis layer that turns the raw telemetry the
+rest of ``repro.obs`` records (a :class:`~repro.gpusim.Profile` per
+device, plan provenance notes) into the findings those figures are made
+of:
+
+* **residency timelines** — per-buffer alloc..free intervals and the
+  device-memory occupancy step curve derived from alloc/free events;
+* **idle-gap / overlap analysis** — span vs. busy (union) vs.
+  serialized (sum) time of the event timeline, the gaps in between,
+  and how much transfer time is hidden under compute;
+* **critical path** — which device finishes last and what its time is
+  spent on;
+* **imbalance** — per-device busy/finish times for multi-GPU runs;
+* **transfer attribution** — every H2D/D2H/P2P byte blamed on the
+  (operator, buffer, provenance reason) that caused it, by joining the
+  plan's transfer steps with the recorded transfer events per device.
+
+Like the rest of the package, this module never imports ``repro.core``
+or ``repro.gpusim``: profiles are consumed through the ``events`` /
+``kind.value`` duck-type and plans through ``str(step)`` + ``notes`` +
+``device_of`` — so the observability layer stays at the bottom of the
+import graph.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+# Event-kind strings (mirrors repro.gpusim.profiler.EventKind values).
+H2D = "memcpy_h2d"
+D2H = "memcpy_d2h"
+P2P = "memcpy_p2p"
+KERNEL = "kernel"
+HOST = "host"
+ALLOC = "alloc"
+FREE = "free"
+
+_TRANSFER_KINDS = (H2D, D2H)
+_STEP_DIRECTIONS = {"h2d": H2D, "d2h": D2H}
+
+#: provenance note shapes that name the operator a transfer feeds
+_OP_PATTERNS = (
+    re.compile(r"input of (\S+) \(launch \d+\)"),
+    re.compile(r"stage: (\S+) \(launch \d+\)"),
+)
+_P2P_ROUTE = re.compile(r"gpu(\d+)->gpu(\d+)")
+
+
+def _kind(event) -> str:
+    return getattr(event.kind, "value", str(event.kind))
+
+
+def _durations(profile):
+    """Events with positive duration (the busy timeline)."""
+    return [e for e in profile.events if e.duration > 0]
+
+
+# ---------------------------------------------------------------------------
+# Residency timelines & occupancy curves
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ResidencyInterval:
+    """One alloc..free lifetime of a device buffer."""
+
+    buffer: str
+    start: float
+    end: float | None  # None: still allocated at the end of the run
+    nbytes: int
+
+    def length(self, horizon: float) -> float:
+        return (horizon if self.end is None else self.end) - self.start
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "buffer": self.buffer,
+            "start": self.start,
+            "end": self.end,
+            "nbytes": self.nbytes,
+        }
+
+
+@dataclass
+class ResidencySummary:
+    """Per-buffer lifetimes plus the device occupancy curve they induce."""
+
+    intervals: list[ResidencyInterval]
+    #: step curve: (time, bytes in use *after* the alloc/free at `time`)
+    curve: list[tuple[float, int]]
+    peak_bytes: int
+    mean_bytes: float  # time-weighted over the run
+    horizon: float
+
+    def byte_seconds(self) -> dict[str, float]:
+        """Resident bytes x seconds per buffer (who occupies the device)."""
+        out: dict[str, float] = {}
+        for iv in self.intervals:
+            out[iv.buffer] = out.get(iv.buffer, 0.0) + (
+                iv.nbytes * iv.length(self.horizon)
+            )
+        return out
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "peak_bytes": self.peak_bytes,
+            "mean_bytes": self.mean_bytes,
+            "horizon": self.horizon,
+            "curve": [[t, b] for t, b in self.curve],
+            "intervals": [iv.to_dict() for iv in self.intervals],
+        }
+
+
+def residency_timelines(profile) -> ResidencySummary:
+    """Buffer lifetimes and the occupancy step curve from alloc/free events.
+
+    Buffers allocated more than once (evicted then re-uploaded) produce
+    one interval per lifetime.  Buffers never freed stay open
+    (``end=None``) and are charged to the run horizon.
+    """
+    horizon = profile.total_time()
+    open_at: dict[str, tuple[float, int]] = {}
+    intervals: list[ResidencyInterval] = []
+    curve: list[tuple[float, int]] = []
+    in_use = 0
+    peak = 0
+    # time-weighted mean: integrate the step curve
+    area = 0.0
+    last_t = 0.0
+    for ev in profile.events:
+        kind = _kind(ev)
+        if kind not in (ALLOC, FREE):
+            continue
+        area += in_use * (ev.start - last_t)
+        last_t = ev.start
+        if kind == ALLOC:
+            open_at[ev.name] = (ev.start, ev.nbytes)
+            in_use += ev.nbytes
+        else:
+            start, nbytes = open_at.pop(ev.name, (ev.start, ev.nbytes))
+            intervals.append(
+                ResidencyInterval(ev.name, start, ev.start, nbytes)
+            )
+            in_use -= nbytes
+        peak = max(peak, in_use)
+        if curve and curve[-1][0] == ev.start:
+            curve[-1] = (ev.start, in_use)
+        else:
+            curve.append((ev.start, in_use))
+    area += in_use * (horizon - last_t)
+    for name, (start, nbytes) in sorted(open_at.items()):
+        intervals.append(ResidencyInterval(name, start, None, nbytes))
+    intervals.sort(key=lambda iv: (iv.start, iv.buffer))
+    mean = area / horizon if horizon > 0 else 0.0
+    return ResidencySummary(
+        intervals=intervals,
+        curve=curve,
+        peak_bytes=peak,
+        mean_bytes=mean,
+        horizon=horizon,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Idle gaps / overlap efficiency
+# ---------------------------------------------------------------------------
+@dataclass
+class TimelineStats:
+    """How one device's timeline spends (and wastes) its span."""
+
+    span: float  # first start .. last end
+    busy: float  # union of event intervals
+    idle: float  # span - busy
+    serialized: float  # sum of event durations
+    overlap: float  # serialized - busy (time >= 2 streams were active)
+    overlap_efficiency: float  # overlap / min(transfer, compute), in [0, 1]
+    largest_gap: float
+    gaps: list[tuple[float, float]]
+    by_kind: dict[str, float]  # serialized seconds per event kind
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "span": self.span,
+            "busy": self.busy,
+            "idle": self.idle,
+            "serialized": self.serialized,
+            "overlap": self.overlap,
+            "overlap_efficiency": self.overlap_efficiency,
+            "largest_gap": self.largest_gap,
+            "gaps": [[a, b] for a, b in self.gaps],
+            "by_kind": dict(self.by_kind),
+        }
+
+
+def timeline_stats(profile) -> TimelineStats:
+    """Idle-gap and overlap analysis of one profile's busy timeline."""
+    events = _durations(profile)
+    by_kind: dict[str, float] = {}
+    for e in events:
+        k = _kind(e)
+        by_kind[k] = by_kind.get(k, 0.0) + e.duration
+    if not events:
+        return TimelineStats(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, [], by_kind)
+    intervals = sorted((e.start, e.end) for e in events)
+    first, last = intervals[0][0], max(end for _, end in intervals)
+    span = last - first
+    busy = 0.0
+    gaps: list[tuple[float, float]] = []
+    cur_start, cur_end = intervals[0]
+    for start, end in intervals[1:]:
+        if start > cur_end:
+            gaps.append((cur_end, start))
+            busy += cur_end - cur_start
+            cur_start, cur_end = start, end
+        else:
+            cur_end = max(cur_end, end)
+    busy += cur_end - cur_start
+    serialized = sum(e.duration for e in events)
+    overlap = serialized - busy
+    transfer = sum(by_kind.get(k, 0.0) for k in (H2D, D2H, P2P))
+    compute = by_kind.get(KERNEL, 0.0)
+    potential = min(transfer, compute)
+    efficiency = min(1.0, overlap / potential) if potential > 0 else 0.0
+    gaps.sort(key=lambda g: g[0] - g[1])  # largest first
+    return TimelineStats(
+        span=span,
+        busy=busy,
+        idle=span - busy,
+        serialized=serialized,
+        overlap=overlap,
+        overlap_efficiency=efficiency,
+        largest_gap=max((b - a for a, b in gaps), default=0.0),
+        gaps=gaps[:10],
+        by_kind=by_kind,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Critical path & multi-device imbalance
+# ---------------------------------------------------------------------------
+@dataclass
+class CriticalPath:
+    """The device chain that determines the makespan."""
+
+    device: int
+    finish: float
+    by_kind: dict[str, float]
+    idle: float
+    dominant: str  # event kind the critical device spends most time in
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "device": self.device,
+            "finish": self.finish,
+            "by_kind": dict(self.by_kind),
+            "idle": self.idle,
+            "dominant": self.dominant,
+        }
+
+
+def critical_path(profiles: Sequence) -> CriticalPath:
+    """Blame the makespan on the last-finishing device's timeline."""
+    finishes = [p.total_time() for p in profiles]
+    dev = max(range(len(profiles)), key=lambda i: finishes[i]) if profiles else 0
+    stats = timeline_stats(profiles[dev]) if profiles else None
+    by_kind = stats.by_kind if stats else {}
+    dominant = max(by_kind, key=by_kind.get) if by_kind else "none"
+    return CriticalPath(
+        device=dev,
+        finish=finishes[dev] if profiles else 0.0,
+        by_kind=by_kind,
+        idle=stats.idle if stats else 0.0,
+        dominant=dominant,
+    )
+
+
+@dataclass
+class ImbalanceStats:
+    """Per-device load spread for a multi-GPU run."""
+
+    busy: list[float]
+    finish: list[float]
+    makespan: float
+    imbalance: float  # max busy / mean busy; 1.0 = perfectly balanced
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "busy": list(self.busy),
+            "finish": list(self.finish),
+            "makespan": self.makespan,
+            "imbalance": self.imbalance,
+        }
+
+
+def imbalance_stats(profiles: Sequence) -> ImbalanceStats:
+    busy = [timeline_stats(p).busy for p in profiles]
+    finish = [p.total_time() for p in profiles]
+    mean = sum(busy) / len(busy) if busy else 0.0
+    return ImbalanceStats(
+        busy=busy,
+        finish=finish,
+        makespan=max(finish, default=0.0),
+        imbalance=max(busy) / mean if mean > 0 else 1.0,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Transfer attribution
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class TransferRecord:
+    """One transfer's bytes, blamed on the step that caused it."""
+
+    step_index: int
+    device: int
+    direction: str  # "h2d" | "d2h" | "p2p"
+    buffer: str
+    nbytes: int
+    operator: str | None  # consuming operator, when provenance names one
+    reason_class: str  # "upload", "evicted", "output save", ...
+    reason: str
+    peer_src: int | None = None  # p2p only
+    peer_dst: int | None = None  # p2p only
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "step_index": self.step_index,
+            "device": self.device,
+            "direction": self.direction,
+            "buffer": self.buffer,
+            "nbytes": self.nbytes,
+            "operator": self.operator,
+            "reason_class": self.reason_class,
+            "reason": self.reason,
+        }
+        if self.direction == "p2p":
+            out["peer_src"] = self.peer_src
+            out["peer_dst"] = self.peer_dst
+        return out
+
+
+@dataclass
+class TransferAttribution:
+    """Every moved byte with its cause; sums match the profiles exactly."""
+
+    records: list[TransferRecord]
+
+    def host_bytes(self) -> int:
+        """H2D + D2H bytes — must equal ``Profile.bytes_transferred()``."""
+        return sum(r.nbytes for r in self.records if r.direction != "p2p")
+
+    def peer_bytes(self) -> int:
+        return sum(r.nbytes for r in self.records if r.direction == "p2p")
+
+    def by_buffer(self) -> dict[str, int]:
+        """Host-transfer bytes per buffer (peer copies excluded)."""
+        out: dict[str, int] = {}
+        for r in self.records:
+            if r.direction == "p2p":
+                continue
+            out[r.buffer] = out.get(r.buffer, 0) + r.nbytes
+        return out
+
+    def by_operator(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for r in self.records:
+            key = r.operator or "(none)"
+            out[key] = out.get(key, 0) + r.nbytes
+        return out
+
+    def by_reason(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for r in self.records:
+            out[r.reason_class] = out.get(r.reason_class, 0) + r.nbytes
+        return out
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "host_bytes": self.host_bytes(),
+            "peer_bytes": self.peer_bytes(),
+            "by_buffer": self.by_buffer(),
+            "by_operator": self.by_operator(),
+            "by_reason": self.by_reason(),
+            "records": [r.to_dict() for r in self.records],
+        }
+
+
+def _parse_operator(note: str) -> str | None:
+    for pat in _OP_PATTERNS:
+        m = pat.search(note)
+        if m:
+            return m.group(1)
+    return None
+
+
+def _reason_class(note: str) -> str:
+    return note.split(":", 1)[0].strip() if note else "unknown"
+
+
+def attribute_transfers(
+    plan,
+    profiles: Sequence | None = None,
+    graph=None,
+) -> TransferAttribution:
+    """Blame every transferred byte on its plan step.
+
+    With ``profiles`` (one :class:`Profile` per device, in device order)
+    the bytes come from the recorded events: the executor walks the plan
+    in order, so each device's H2D/D2H events align 1:1 — in order, per
+    direction — with that device's transfer steps.  A mismatch (profile
+    from a different plan) raises ``ValueError`` rather than guessing.
+
+    Without profiles, ``graph`` supplies analytic sizes
+    (``graph.data[name].size`` floats, 4 bytes each).
+
+    ``PeerCopy`` steps are attributed from the destination device's
+    incoming P2P events (each peer copy records an event on both
+    endpoints; counting one side keeps byte totals physical).
+    """
+    if profiles is None and graph is None:
+        raise ValueError("attribute_transfers needs profiles or a graph")
+    notes = list(getattr(plan, "notes", None) or [])
+    ndev = plan.num_devices
+
+    # Per-device transfer steps, split by direction.
+    step_queues: list[dict[str, list[tuple[int, str, str]]]] = [
+        {H2D: [], D2H: [], P2P: []} for _ in range(ndev)
+    ]
+    for i, step in enumerate(plan.steps):
+        text = str(step)
+        action = text.split(None, 1)[0] if text else ""
+        note = notes[i] if i < len(notes) else ""
+        dev = plan.device_of(i)
+        if action in _STEP_DIRECTIONS:
+            step_queues[dev][_STEP_DIRECTIONS[action]].append((i, text, note))
+        elif action == "p2p":
+            # PeerCopy steps are device-tagged with their destination.
+            step_queues[dev][P2P].append((i, text, note))
+
+    # Matching event queues, when profiles are given.
+    event_queues: list[dict[str, list]] | None = None
+    if profiles is not None:
+        if len(profiles) < ndev:
+            raise ValueError(
+                f"plan uses {ndev} devices but only "
+                f"{len(profiles)} profiles were given"
+            )
+        event_queues = [{H2D: [], D2H: [], P2P: []} for _ in range(ndev)]
+        for dev, prof in enumerate(profiles[:ndev]):
+            for e in prof.events:
+                kind = _kind(e)
+                if kind in _TRANSFER_KINDS:
+                    event_queues[dev][kind].append(e)
+                elif kind == P2P and "<-" in e.name:
+                    event_queues[dev][P2P].append(e)  # incoming side only
+
+    records: list[TransferRecord] = []
+    for dev in range(ndev):
+        for kind, steps in step_queues[dev].items():
+            events = event_queues[dev][kind] if event_queues else None
+            if events is not None and len(events) != len(steps):
+                raise ValueError(
+                    f"device {dev}: plan has {len(steps)} {kind} steps but "
+                    f"profile recorded {len(events)} events — profile does "
+                    "not correspond to this plan"
+                )
+            for j, (i, text, note) in enumerate(steps):
+                parts = text.split()
+                buffer = parts[1] if len(parts) > 1 else text
+                src = dst = None
+                if kind == P2P:
+                    m = _P2P_ROUTE.search(text)
+                    if m:
+                        src, dst = int(m.group(1)), int(m.group(2))
+                if events is not None:
+                    ev = events[j]
+                    if not ev.name.startswith(buffer):
+                        raise ValueError(
+                            f"device {dev}: step {i} moves {buffer!r} but "
+                            f"the matching event is {ev.name!r}"
+                        )
+                    nbytes = ev.nbytes
+                else:
+                    nbytes = graph.data[buffer].size * 4
+                direction = {H2D: "h2d", D2H: "d2h", P2P: "p2p"}[kind]
+                records.append(
+                    TransferRecord(
+                        step_index=i,
+                        device=dev,
+                        direction=direction,
+                        buffer=buffer,
+                        nbytes=nbytes,
+                        operator=_parse_operator(note),
+                        reason_class=_reason_class(note),
+                        reason=note or "(no provenance recorded)",
+                        peer_src=src,
+                        peer_dst=dst,
+                    )
+                )
+    records.sort(key=lambda r: r.step_index)
+    return TransferAttribution(records=records)
+
+
+# ---------------------------------------------------------------------------
+# Whole-run analysis
+# ---------------------------------------------------------------------------
+@dataclass
+class DeviceAnalysis:
+    """One device's residency + timeline findings."""
+
+    device: int
+    residency: ResidencySummary
+    timeline: TimelineStats
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "device": self.device,
+            "residency": self.residency.to_dict(),
+            "timeline": self.timeline.to_dict(),
+        }
+
+
+@dataclass
+class RunAnalysis:
+    """Every finding ``repro report`` renders, in one machine-readable bag."""
+
+    label: str
+    num_devices: int
+    devices: list[DeviceAnalysis]
+    imbalance: ImbalanceStats
+    critical: CriticalPath
+    attribution: TransferAttribution | None = None
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "label": self.label,
+            "num_devices": self.num_devices,
+            "metadata": dict(self.metadata),
+            "devices": [d.to_dict() for d in self.devices],
+            "imbalance": self.imbalance.to_dict(),
+            "critical_path": self.critical.to_dict(),
+            "attribution": (
+                self.attribution.to_dict() if self.attribution else None
+            ),
+        }
+
+
+def analyze_run(
+    profiles: Sequence,
+    plan=None,
+    graph=None,
+    label: str = "",
+    metadata: dict[str, Any] | None = None,
+) -> RunAnalysis:
+    """Analyze one run: per-device findings plus cross-device diagnosis.
+
+    ``profiles`` is one :class:`Profile` per device (a single-element
+    sequence for single-GPU runs).  ``plan`` enables transfer
+    attribution; without it the attribution section is ``None``.
+    """
+    profiles = list(profiles)
+    devices = [
+        DeviceAnalysis(
+            device=i,
+            residency=residency_timelines(p),
+            timeline=timeline_stats(p),
+        )
+        for i, p in enumerate(profiles)
+    ]
+    attribution = (
+        attribute_transfers(plan, profiles=profiles, graph=graph)
+        if plan is not None
+        else None
+    )
+    return RunAnalysis(
+        label=label,
+        num_devices=len(profiles),
+        devices=devices,
+        imbalance=imbalance_stats(profiles),
+        critical=critical_path(profiles),
+        attribution=attribution,
+        metadata=metadata or {},
+    )
+
+
+__all__ = [
+    "CriticalPath",
+    "DeviceAnalysis",
+    "ImbalanceStats",
+    "ResidencyInterval",
+    "ResidencySummary",
+    "RunAnalysis",
+    "TimelineStats",
+    "TransferAttribution",
+    "TransferRecord",
+    "analyze_run",
+    "attribute_transfers",
+    "critical_path",
+    "imbalance_stats",
+    "residency_timelines",
+    "timeline_stats",
+]

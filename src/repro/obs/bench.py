@@ -1,0 +1,347 @@
+"""Machine-readable benchmark trajectory: schema, recorder, comparator.
+
+The paper's evaluation is a set of measured tables; this module makes
+the reproduction's own numbers first-class artifacts instead of
+free-form ``.txt`` renderings.  Every benchmark run writes one
+``BENCH_<name>.json`` per table/figure:
+
+* a **versioned schema** (``schema_version``) with the benchmark name,
+  a numeric ``metrics`` map (transfer floats, simulated seconds, ...),
+  the run ``config`` (template, device, planner), and an ``env``
+  fingerprint (python / platform / numpy);
+* a **recorder** (:class:`BenchRecorder`) used by ``benchmarks/`` next
+  to the human-readable report writer;
+* a **comparator** with relative-threshold regression verdicts —
+  ``repro bench-compare <baseline> <candidate>`` is the CI gate.
+
+Metrics are lower-is-better by default (bytes, floats, seconds).  Names
+containing ``speedup`` invert the direction; names starting with
+``wall_`` are wall-clock measurements and therefore *informational* —
+reported, never gated (they vary across machines).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import platform
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+SCHEMA_VERSION = 1
+
+#: metric-name prefixes that are reported but never fail the gate
+INFORMATIONAL_PREFIXES = ("wall_",)
+#: substrings marking higher-is-better metrics
+HIGHER_IS_BETTER = ("speedup",)
+
+DEFAULT_THRESHOLD = 0.10
+
+
+def env_fingerprint() -> dict[str, str]:
+    """Where a result was produced (schema ``env`` block)."""
+    try:
+        import numpy
+
+        numpy_version = numpy.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dependency
+        numpy_version = "unavailable"
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "system": platform.system(),
+        "machine": platform.machine(),
+        "numpy": numpy_version,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Result schema
+# ---------------------------------------------------------------------------
+@dataclass
+class BenchResult:
+    """One benchmark's recorded numbers (the ``BENCH_*.json`` schema)."""
+
+    name: str
+    metrics: dict[str, float]
+    config: dict[str, Any] = field(default_factory=dict)
+    env: dict[str, str] = field(default_factory=env_fingerprint)
+    schema_version: int = SCHEMA_VERSION
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema_version": self.schema_version,
+            "name": self.name,
+            "config": dict(self.config),
+            "env": dict(self.env),
+            "metrics": {k: self.metrics[k] for k in sorted(self.metrics)},
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict[str, Any]) -> "BenchResult":
+        validate_bench_dict(raw)
+        return cls(
+            name=raw["name"],
+            metrics=dict(raw["metrics"]),
+            config=dict(raw.get("config", {})),
+            env=dict(raw.get("env", {})),
+            schema_version=raw["schema_version"],
+        )
+
+
+def validate_bench_dict(raw: Any) -> None:
+    """Raise ``ValueError`` unless ``raw`` is a valid benchmark result."""
+    if not isinstance(raw, dict):
+        raise ValueError(f"benchmark result must be an object, got {type(raw).__name__}")
+    version = raw.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported benchmark schema_version {version!r} "
+            f"(this build reads version {SCHEMA_VERSION})"
+        )
+    name = raw.get("name")
+    if not isinstance(name, str) or not name:
+        raise ValueError("benchmark result needs a non-empty string 'name'")
+    metrics = raw.get("metrics")
+    if not isinstance(metrics, dict):
+        raise ValueError("benchmark result needs a 'metrics' object")
+    for key, value in metrics.items():
+        if not isinstance(key, str):
+            raise ValueError(f"metric names must be strings, got {key!r}")
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ValueError(f"metric {key!r} must be a number, got {value!r}")
+        if isinstance(value, float) and not math.isfinite(value):
+            raise ValueError(f"metric {key!r} must be finite, got {value!r}")
+    for block in ("config", "env"):
+        if block in raw and not isinstance(raw[block], dict):
+            raise ValueError(f"benchmark {block!r} must be an object")
+
+
+def load_bench(path: str) -> BenchResult:
+    """Read and schema-validate one ``BENCH_*.json`` file."""
+    with open(path) as fh:
+        raw = json.load(fh)
+    try:
+        return BenchResult.from_dict(raw)
+    except ValueError as exc:
+        raise ValueError(f"{path}: {exc}") from None
+
+
+class BenchRecorder:
+    """Writes schema-versioned ``BENCH_<name>.json`` files to one directory."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+
+    def path_for(self, name: str) -> str:
+        return os.path.join(self.directory, f"BENCH_{name}.json")
+
+    def record(
+        self,
+        name: str,
+        metrics: dict[str, float],
+        config: dict[str, Any] | None = None,
+    ) -> str:
+        result = BenchResult(
+            name=name, metrics=dict(metrics), config=dict(config or {})
+        )
+        raw = result.to_dict()
+        validate_bench_dict(raw)  # never write what we would refuse to read
+        os.makedirs(self.directory, exist_ok=True)
+        path = self.path_for(name)
+        with open(path, "w") as fh:
+            json.dump(raw, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        return path
+
+
+# ---------------------------------------------------------------------------
+# Comparator
+# ---------------------------------------------------------------------------
+VERDICT_OK = "ok"
+VERDICT_REGRESSION = "regression"
+VERDICT_IMPROVEMENT = "improvement"
+VERDICT_INFO = "info"
+VERDICT_NEW = "new"
+VERDICT_MISSING = "missing"
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric's baseline-vs-candidate verdict."""
+
+    metric: str
+    baseline: float | None
+    candidate: float | None
+    rel_change: float | None  # signed; positive = candidate is larger
+    verdict: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "metric": self.metric,
+            "baseline": self.baseline,
+            "candidate": self.candidate,
+            "rel_change": self.rel_change,
+            "verdict": self.verdict,
+        }
+
+
+@dataclass
+class BenchComparison:
+    """All metric verdicts for one benchmark pair."""
+
+    name: str
+    threshold: float
+    deltas: list[MetricDelta]
+
+    @property
+    def regressions(self) -> list[MetricDelta]:
+        return [d for d in self.deltas if d.verdict == VERDICT_REGRESSION]
+
+    @property
+    def regressed(self) -> bool:
+        return bool(self.regressions)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "threshold": self.threshold,
+            "regressed": self.regressed,
+            "deltas": [d.to_dict() for d in self.deltas],
+        }
+
+
+def _informational(metric: str) -> bool:
+    return metric.startswith(INFORMATIONAL_PREFIXES)
+
+
+def _higher_is_better(metric: str) -> bool:
+    return any(tag in metric for tag in HIGHER_IS_BETTER)
+
+
+def _verdict(metric: str, base: float, cand: float, threshold: float) -> tuple[float, str]:
+    if base == 0:
+        rel = 0.0 if cand == 0 else math.inf
+    else:
+        rel = (cand - base) / abs(base)
+    if _informational(metric):
+        return rel, VERDICT_INFO
+    worse = -rel if _higher_is_better(metric) else rel
+    if worse >= threshold:
+        return rel, VERDICT_REGRESSION
+    if worse <= -threshold:
+        return rel, VERDICT_IMPROVEMENT
+    return rel, VERDICT_OK
+
+
+def compare_results(
+    baseline: BenchResult,
+    candidate: BenchResult,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> BenchComparison:
+    """Relative-threshold comparison of two results of one benchmark.
+
+    A metric regresses when it is worse than the baseline by *at least*
+    ``threshold`` (relative), so the default 0.10 flags an exactly-10%
+    transfer-bytes increase.  Metrics present on only one side are
+    reported as ``new`` / ``missing`` but never gate.
+    """
+    deltas: list[MetricDelta] = []
+    names = sorted(set(baseline.metrics) | set(candidate.metrics))
+    for name in names:
+        base = baseline.metrics.get(name)
+        cand = candidate.metrics.get(name)
+        if base is None:
+            deltas.append(MetricDelta(name, None, cand, None, VERDICT_NEW))
+        elif cand is None:
+            deltas.append(MetricDelta(name, base, None, None, VERDICT_MISSING))
+        else:
+            rel, verdict = _verdict(name, base, cand, threshold)
+            deltas.append(MetricDelta(name, base, cand, rel, verdict))
+    return BenchComparison(
+        name=candidate.name, threshold=threshold, deltas=deltas
+    )
+
+
+def _bench_files(directory: str) -> dict[str, str]:
+    out = {}
+    for entry in sorted(os.listdir(directory)):
+        if entry.startswith("BENCH_") and entry.endswith(".json"):
+            out[entry] = os.path.join(directory, entry)
+    return out
+
+
+def compare_dirs(
+    baseline_dir: str,
+    candidate_dir: str,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> tuple[list[BenchComparison], list[str], list[str]]:
+    """Pair ``BENCH_*.json`` files by name and compare each pair.
+
+    Returns ``(comparisons, baseline_only, candidate_only)``; unpaired
+    files are listed, not failed — a smoke run regenerating a subset of
+    the suite gates only on what it produced.
+    """
+    base_files = _bench_files(baseline_dir)
+    cand_files = _bench_files(candidate_dir)
+    comparisons = [
+        compare_results(
+            load_bench(base_files[name]), load_bench(cand_files[name]), threshold
+        )
+        for name in sorted(set(base_files) & set(cand_files))
+    ]
+    return (
+        comparisons,
+        sorted(set(base_files) - set(cand_files)),
+        sorted(set(cand_files) - set(base_files)),
+    )
+
+
+def render_comparisons(
+    comparisons: Iterable[BenchComparison],
+    baseline_only: Iterable[str] = (),
+    candidate_only: Iterable[str] = (),
+) -> str:
+    """Human-readable verdict table (the ``repro bench-compare`` output)."""
+    lines: list[str] = []
+    any_rows = False
+    for comp in comparisons:
+        any_rows = True
+        flag = "REGRESSED" if comp.regressed else "ok"
+        lines.append(f"[{flag}] {comp.name} (threshold {comp.threshold:.0%})")
+        width = max((len(d.metric) for d in comp.deltas), default=6)
+        for d in comp.deltas:
+            if d.rel_change is None:
+                detail = d.verdict
+            else:
+                rel = (
+                    f"{d.rel_change:+.2%}"
+                    if math.isfinite(d.rel_change)
+                    else "+inf"
+                )
+                detail = f"{d.baseline:g} -> {d.candidate:g} ({rel}) {d.verdict}"
+            lines.append(f"  {d.metric:{width}s}  {detail}")
+    if not any_rows:
+        lines.append("(no benchmark pairs to compare)")
+    for name in baseline_only:
+        lines.append(f"  baseline only (not regenerated): {name}")
+    for name in candidate_only:
+        lines.append(f"  candidate only (no baseline committed): {name}")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "DEFAULT_THRESHOLD",
+    "SCHEMA_VERSION",
+    "BenchComparison",
+    "BenchRecorder",
+    "BenchResult",
+    "MetricDelta",
+    "compare_dirs",
+    "compare_results",
+    "env_fingerprint",
+    "load_bench",
+    "render_comparisons",
+    "validate_bench_dict",
+]

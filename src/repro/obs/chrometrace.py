@@ -76,8 +76,14 @@ def spans_to_events(
 
 
 def profile_to_events(profile, pid: int = DEVICE_PID) -> list[dict[str, Any]]:
-    """The gpusim ``Profile`` timeline, one thread per stream."""
+    """The gpusim ``Profile`` timeline, one thread per stream.
+
+    Alloc/free events additionally drive a counter ("C") series named
+    ``device memory`` so Perfetto renders the per-device residency curve
+    alongside the instant markers.
+    """
     events: list[dict[str, Any]] = []
+    bytes_in_use = 0
     for ev in profile.events:
         kind = getattr(ev.kind, "value", str(ev.kind))
         tid, _ = _KIND_TRACKS.get(kind, (_OTHER_TRACK, "other"))
@@ -96,6 +102,19 @@ def profile_to_events(profile, pid: int = DEVICE_PID) -> list[dict[str, Any]]:
             entry["ph"] = "i"
             entry["s"] = "t"
         events.append(entry)
+        if kind in ("alloc", "free"):
+            bytes_in_use += ev.nbytes if kind == "alloc" else -ev.nbytes
+            events.append(
+                {
+                    "name": "device memory",
+                    "cat": "memory",
+                    "ph": "C",
+                    "ts": ev.start * _SEC_TO_US,
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"bytes_in_use": bytes_in_use},
+                }
+            )
     return events
 
 

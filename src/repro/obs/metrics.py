@@ -12,6 +12,7 @@ dicts so they serialize with ``json.dumps`` unmodified (the CLI's
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -42,32 +43,66 @@ class Gauge:
 
 @dataclass
 class Histogram:
-    """Streaming summary of observations (count/sum/min/max/mean)."""
+    """Streaming summary of observations (count/sum/min/max/mean/percentiles).
+
+    Percentiles come from a bounded sample reservoir: all observations
+    are kept up to :data:`MAX_SAMPLES`, after which the reservoir is
+    deterministically decimated (every 2nd sample dropped, stride
+    doubled) so memory stays bounded while quantiles remain exact for
+    the simulator's typical populations and approximate beyond.
+    """
+
+    MAX_SAMPLES = 4096
 
     count: int = 0
     total: float = 0.0
     min: float = float("inf")
     max: float = float("-inf")
+    _samples: list[float] = field(default_factory=list, repr=False)
+    _stride: int = 1
 
     def observe(self, value: float) -> None:
         self.count += 1
         self.total += value
         self.min = min(self.min, value)
         self.max = max(self.max, value)
+        if (self.count - 1) % self._stride == 0:
+            self._samples.append(value)
+            if len(self._samples) > self.MAX_SAMPLES:
+                self._samples = self._samples[::2]
+                self._stride *= 2
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile of the sampled observations, p in [0, 100]."""
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        if p == 0:
+            return ordered[0]
+        rank = math.ceil(p / 100 * len(ordered))
+        return ordered[rank - 1]
+
     def to_dict(self) -> dict[str, float]:
         if not self.count:
-            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+            return {
+                "count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
+                "p50": 0.0, "p95": 0.0, "p99": 0.0,
+            }
         return {
             "count": self.count,
             "sum": self.total,
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
         }
 
 
@@ -109,6 +144,11 @@ class MetricsRegistry:
                 mine.total += h.total
                 mine.min = min(mine.min, h.min)
                 mine.max = max(mine.max, h.max)
+                mine._samples.extend(h._samples)
+                mine._stride = max(mine._stride, h._stride)
+                while len(mine._samples) > Histogram.MAX_SAMPLES:
+                    mine._samples = mine._samples[::2]
+                    mine._stride *= 2
 
     def snapshot(self) -> dict[str, Any]:
         """JSON-ready nested dict of every metric's current value."""

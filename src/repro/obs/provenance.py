@@ -19,6 +19,7 @@ sits below every other package in the import graph.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 from typing import Any
 
@@ -29,41 +30,98 @@ _DEFAULT_REASONS = {
     "free": "free (no provenance recorded)",
 }
 
+_P2P_ROUTE = re.compile(r"gpu(\d+)->gpu(\d+)")
+
 
 @dataclass(frozen=True)
 class StepExplanation:
-    """One plan step with its provenance."""
+    """One plan step with its provenance.
+
+    ``device`` is the executing device for steps of a device-tagged
+    (multi-GPU) plan, ``None`` on single-device plans.  ``PeerCopy``
+    steps additionally carry their route as ``peer_src``/``peer_dst``
+    (the plan tags them with the *destination* device).
+    """
 
     index: int
     step: str
     reason: str
+    device: int | None = None
+    peer_src: int | None = None
+    peer_dst: int | None = None
 
     def to_dict(self) -> dict[str, Any]:
-        return {"index": self.index, "step": self.step, "reason": self.reason}
+        out: dict[str, Any] = {
+            "index": self.index,
+            "step": self.step,
+            "reason": self.reason,
+        }
+        if self.device is not None:
+            out["device"] = self.device
+        if self.peer_src is not None:
+            out["peer_src"] = self.peer_src
+            out["peer_dst"] = self.peer_dst
+        return out
 
 
 def explain_plan(plan) -> list[StepExplanation]:
     """Pair every plan step with its recorded (or derived) reason."""
     notes = list(getattr(plan, "notes", None) or [])
+    devices = list(getattr(plan, "devices", None) or [])
     out: list[StepExplanation] = []
     for i, step in enumerate(plan.steps):
         text = str(step)
+        action = text.split(None, 1)[0] if text else ""
+        src = dst = None
+        if action == "p2p":
+            m = _P2P_ROUTE.search(text)
+            if m:
+                src, dst = int(m.group(1)), int(m.group(2))
         if i < len(notes) and notes[i]:
             reason = notes[i]
+        elif action == "p2p":
+            route = f"gpu{src}->gpu{dst}" if src is not None else "peer"
+            reason = f"peer copy {route} (no provenance recorded)"
         else:
-            action = text.split(None, 1)[0] if text else ""
             reason = _DEFAULT_REASONS.get(action, "(no provenance recorded)")
-        out.append(StepExplanation(index=i, step=text, reason=reason))
+        out.append(
+            StepExplanation(
+                index=i,
+                step=text,
+                reason=reason,
+                device=devices[i] if i < len(devices) else None,
+                peer_src=src,
+                peer_dst=dst,
+            )
+        )
     return out
 
 
 def render_explain(plan) -> str:
-    """Human-readable ``repro explain`` table."""
+    """Human-readable ``repro explain`` table.
+
+    Device-tagged plans get a ``dev`` column; ``PeerCopy`` rows show
+    their source->destination route in the step text itself.
+    """
     rows = explain_plan(plan)
     if not rows:
         return "(empty plan)"
     step_w = max(len(r.step) for r in rows)
     idx_w = len(str(rows[-1].index))
+    with_devices = any(r.device is not None for r in rows)
+    if with_devices:
+        dev_w = max(len(f"gpu{r.device}") for r in rows if r.device is not None)
+        lines = [
+            f"{'#':>{idx_w}s}  {'dev':{dev_w}s}  {'step':{step_w}s}  reason",
+            "-" * (idx_w + dev_w + step_w + 32),
+        ]
+        for r in rows:
+            dev = f"gpu{r.device}" if r.device is not None else ""
+            lines.append(
+                f"{r.index:>{idx_w}d}  {dev:{dev_w}s}  "
+                f"{r.step:{step_w}s}  {r.reason}"
+            )
+        return "\n".join(lines)
     lines = [
         f"{'#':>{idx_w}s}  {'step':{step_w}s}  reason",
         "-" * (idx_w + step_w + 30),

@@ -1,0 +1,271 @@
+"""Self-contained run reports from a :class:`~repro.obs.analyze.RunAnalysis`.
+
+Renders the diagnosis layer's findings — residency curves, idle-gap and
+overlap statistics, multi-GPU imbalance, the critical path, and the
+transfer-attribution table — as a single Markdown document (the
+``repro report`` surface) or a dependency-free HTML page wrapping the
+same content.  Byte totals in the attribution table are printed
+unrounded so the report is auditable against
+``Profile.bytes_transferred()`` exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .analyze import RunAnalysis
+
+#: at most this many points of the occupancy curve are tabulated; longer
+#: curves are downsampled evenly (the JSON output keeps every point)
+CURVE_POINTS = 32
+_TOP_ROWS = 12
+
+
+def _fmt_s(seconds: float) -> str:
+    return f"{seconds * 1e3:.3f} ms"
+
+
+def _fmt_bytes(nbytes: float) -> str:
+    if nbytes >= 1 << 20:
+        return f"{nbytes / (1 << 20):.2f} MiB"
+    if nbytes >= 1 << 10:
+        return f"{nbytes / (1 << 10):.2f} KiB"
+    return f"{int(nbytes)} B"
+
+
+def _table(headers: list[str], rows: list[list[str]]) -> list[str]:
+    out = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    out.extend("| " + " | ".join(r) + " |" for r in rows)
+    return out
+
+
+def _downsample(curve: list[tuple[float, int]]) -> list[tuple[float, int]]:
+    if len(curve) <= CURVE_POINTS:
+        return curve
+    step = len(curve) / CURVE_POINTS
+    picked = [curve[int(i * step)] for i in range(CURVE_POINTS)]
+    if picked[-1] != curve[-1]:
+        picked.append(curve[-1])
+    return picked
+
+
+def render_report(analysis: RunAnalysis, fmt: str = "md") -> str:
+    """Render a run analysis as ``md`` or ``html``."""
+    if fmt == "md":
+        return _render_markdown(analysis)
+    if fmt == "html":
+        return _render_html(analysis)
+    raise ValueError(f"unknown report format {fmt!r} (use 'md' or 'html')")
+
+
+def _render_markdown(analysis: RunAnalysis) -> str:
+    lines: list[str] = [f"# Run analysis — {analysis.label or 'unnamed run'}"]
+    if analysis.metadata:
+        lines.append("")
+        for key, value in sorted(analysis.metadata.items()):
+            lines.append(f"- **{key}**: {value}")
+
+    # -- summary ------------------------------------------------------------
+    lines += ["", "## Summary", ""]
+    crit = analysis.critical
+    imb = analysis.imbalance
+    rows = [
+        ["devices", str(analysis.num_devices)],
+        ["makespan", _fmt_s(imb.makespan)],
+        ["critical device", f"gpu{crit.device} ({crit.dominant}-bound)"],
+    ]
+    if analysis.attribution is not None:
+        rows.append(
+            ["host transfer bytes", str(analysis.attribution.host_bytes())]
+        )
+        if analysis.attribution.peer_bytes():
+            rows.append(
+                ["peer transfer bytes", str(analysis.attribution.peer_bytes())]
+            )
+    lines += _table(["metric", "value"], rows)
+
+    # -- residency ----------------------------------------------------------
+    lines += ["", "## Residency & device occupancy", ""]
+    for dev in analysis.devices:
+        res = dev.residency
+        lines += [
+            f"### gpu{dev.device}",
+            "",
+            f"- peak occupancy: {res.peak_bytes} bytes "
+            f"({_fmt_bytes(res.peak_bytes)})",
+            f"- mean occupancy: {_fmt_bytes(res.mean_bytes)} over "
+            f"{_fmt_s(res.horizon)}",
+            f"- buffer lifetimes: {len(res.intervals)}",
+            "",
+            "Occupancy curve (simulated seconds, bytes in use):",
+            "",
+        ]
+        curve_rows = [
+            [f"{t:.6f}", str(b)] for t, b in _downsample(res.curve)
+        ] or [["0.000000", "0"]]
+        lines += _table(["t (s)", "bytes"], curve_rows)
+        top = sorted(
+            res.byte_seconds().items(), key=lambda kv: -kv[1]
+        )[:_TOP_ROWS]
+        if top:
+            lines += ["", "Top buffers by resident byte-seconds:", ""]
+            lines += _table(
+                ["buffer", "byte-seconds"],
+                [[name, f"{bs:.6g}"] for name, bs in top],
+            )
+        lines.append("")
+
+    # -- idle gaps / overlap -------------------------------------------------
+    lines += ["## Idle gaps & overlap", ""]
+    gap_rows = []
+    for dev in analysis.devices:
+        ts = dev.timeline
+        gap_rows.append(
+            [
+                f"gpu{dev.device}",
+                _fmt_s(ts.span),
+                _fmt_s(ts.busy),
+                _fmt_s(ts.idle),
+                _fmt_s(ts.largest_gap),
+                f"{ts.overlap_efficiency:.2%}",
+            ]
+        )
+    lines += _table(
+        ["device", "span", "busy", "idle", "largest gap", "overlap eff."],
+        gap_rows,
+    )
+
+    # -- imbalance (multi-GPU) ------------------------------------------------
+    if analysis.num_devices > 1:
+        lines += ["", "## Multi-GPU imbalance", ""]
+        lines += _table(
+            ["device", "busy", "finish"],
+            [
+                [f"gpu{i}", _fmt_s(b), _fmt_s(f)]
+                for i, (b, f) in enumerate(zip(imb.busy, imb.finish))
+            ],
+        )
+        lines.append(
+            f"\nImbalance (max busy / mean busy): {imb.imbalance:.3f}"
+        )
+
+    # -- critical path --------------------------------------------------------
+    lines += ["", "## Critical path", ""]
+    lines.append(
+        f"gpu{crit.device} finishes last at {_fmt_s(crit.finish)} "
+        f"with {_fmt_s(crit.idle)} idle; time by stream:"
+    )
+    lines.append("")
+    lines += _table(
+        ["stream", "seconds"],
+        [
+            [kind, f"{secs:.6f}"]
+            for kind, secs in sorted(
+                crit.by_kind.items(), key=lambda kv: -kv[1]
+            )
+        ]
+        or [["none", "0"]],
+    )
+
+    # -- transfer attribution -------------------------------------------------
+    att = analysis.attribution
+    if att is not None:
+        lines += ["", "## Transfer attribution", ""]
+        lines.append(
+            f"Host transfer bytes: **{att.host_bytes()}** "
+            f"(must equal the profiles' `bytes_transferred()`); "
+            f"peer bytes: {att.peer_bytes()}."
+        )
+        lines += ["", "Per buffer (host transfers only):", ""]
+        lines += _table(
+            ["buffer", "bytes"],
+            [
+                [name, str(b)]
+                for name, b in sorted(
+                    att.by_buffer().items(), key=lambda kv: (-kv[1], kv[0])
+                )
+            ]
+            or [["(none)", "0"]],
+        )
+        lines += ["", "Per reason class:", ""]
+        lines += _table(
+            ["reason", "bytes"],
+            [
+                [name, str(b)]
+                for name, b in sorted(
+                    att.by_reason().items(), key=lambda kv: (-kv[1], kv[0])
+                )
+            ]
+            or [["(none)", "0"]],
+        )
+        lines += ["", "Per operator (top):", ""]
+        op_rows = sorted(
+            att.by_operator().items(), key=lambda kv: (-kv[1], kv[0])
+        )[:_TOP_ROWS]
+        lines += _table(
+            ["operator", "bytes"],
+            [[name, str(b)] for name, b in op_rows] or [["(none)", "0"]],
+        )
+        lines += ["", "Every transfer (step, device, cause):", ""]
+        lines += _table(
+            ["step", "device", "dir", "buffer", "bytes", "operator", "reason"],
+            [
+                [
+                    str(r.step_index),
+                    f"gpu{r.device}",
+                    r.direction,
+                    r.buffer,
+                    str(r.nbytes),
+                    r.operator or "-",
+                    r.reason.replace("|", "\\|"),
+                ]
+                for r in att.records
+            ]
+            or [["-"] * 7],
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
+_HTML_SHELL = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{title}</title>
+<style>
+body {{ font-family: ui-monospace, monospace; max-width: 72rem;
+       margin: 2rem auto; padding: 0 1rem; color: #1a1a1a; }}
+pre {{ background: #f6f6f4; padding: 1rem; overflow-x: auto;
+      border-radius: 6px; }}
+</style>
+</head>
+<body>
+<pre>
+{body}
+</pre>
+</body>
+</html>
+"""
+
+
+def _render_html(analysis: RunAnalysis) -> str:
+    """Self-contained HTML wrapper around the Markdown rendering."""
+    md = _render_markdown(analysis)
+    escaped = (
+        md.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+    return _HTML_SHELL.format(
+        title=f"Run analysis — {analysis.label or 'unnamed run'}",
+        body=escaped,
+    )
+
+
+def report_to_dict(analysis: RunAnalysis) -> dict[str, Any]:
+    """The ``repro report --format json`` body."""
+    return analysis.to_dict()
+
+
+__all__ = ["CURVE_POINTS", "render_report", "report_to_dict"]

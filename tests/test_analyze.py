@@ -1,0 +1,228 @@
+"""Tests for the run-analysis layer (repro.obs.analyze)."""
+
+import json
+
+import pytest
+
+from repro.core import Framework
+from repro.gpusim import (
+    XEON_WORKSTATION,
+    Event,
+    EventKind,
+    GpuDevice,
+    Profile,
+    homogeneous_group,
+)
+from repro.multigpu import compile_multi, execute_multi
+from repro.obs import (
+    analyze_run,
+    attribute_transfers,
+    critical_path,
+    imbalance_stats,
+    residency_timelines,
+    timeline_stats,
+)
+from repro.obs.report import render_report, report_to_dict
+from repro.templates import find_edges_graph, find_edges_inputs
+
+DEV = GpuDevice(name="an-dev", memory_bytes=64 * 1024)
+MGDEV = GpuDevice(name="an-mg-dev", memory_bytes=256 * 1024)
+
+
+def run_edge():
+    g = find_edges_graph(40, 32, 5, 4)
+    fw = Framework(DEV, XEON_WORKSTATION)
+    compiled = fw.compile(g)
+    result = fw.execute(compiled, find_edges_inputs(40, 32, 5, 4))
+    return compiled, result
+
+
+def run_edge_multi(n=2, mode="peer"):
+    g = find_edges_graph(48, 40, 5, 4)
+    inputs = find_edges_inputs(48, 40, 5, 4, seed=9)
+    compiled = compile_multi(
+        g, homogeneous_group(MGDEV, n), transfer_mode=mode
+    )
+    result = execute_multi(compiled, inputs)
+    return compiled, result
+
+
+def synthetic_profile():
+    """Hand-built timeline with a known gap and known overlap.
+
+    h2d [0,1), kernel [0.5, 2.5), gap (2.5, 3.0), d2h [3.0, 4.0).
+    busy union = 2.5 + 1.0 = 3.5, span = 4.0, serialized = 4.0,
+    overlap = 0.5 hidden out of min(transfer=2.0, compute=2.0).
+    """
+    p = Profile()
+    p.record(Event(EventKind.ALLOC, "A", 0.0, 0.0, nbytes=400))
+    p.record(Event(EventKind.H2D, "A", 0.0, 1.0, nbytes=400))
+    p.record(Event(EventKind.ALLOC, "B", 0.5, 0.0, nbytes=100))
+    p.record(Event(EventKind.KERNEL, "op", 0.5, 2.0, nbytes=500))
+    p.record(Event(EventKind.FREE, "A", 2.5, 0.0, nbytes=400))
+    p.record(Event(EventKind.D2H, "B", 3.0, 1.0, nbytes=100))
+    p.record(Event(EventKind.FREE, "B", 4.0, 0.0, nbytes=100))
+    return p
+
+
+class TestResidency:
+    def test_synthetic_intervals_and_curve(self):
+        r = residency_timelines(synthetic_profile())
+        assert [(iv.buffer, iv.start, iv.end) for iv in r.intervals] == [
+            ("A", 0.0, 2.5),
+            ("B", 0.5, 4.0),
+        ]
+        assert r.peak_bytes == 500
+        assert r.curve == [(0.0, 400), (0.5, 500), (2.5, 100), (4.0, 0)]
+        # time-weighted mean over horizon 4: (400*2.5 + 100*3.5) / 4
+        assert r.mean_bytes == pytest.approx((400 * 2.5 + 100 * 3.5) / 4.0)
+        assert r.byte_seconds() == {"A": 1000.0, "B": 350.0}
+
+    def test_never_freed_buffer_stays_open(self):
+        p = Profile()
+        p.record(Event(EventKind.ALLOC, "X", 0.0, 0.0, nbytes=8))
+        p.record(Event(EventKind.KERNEL, "op", 0.0, 2.0))
+        r = residency_timelines(p)
+        assert r.intervals[0].end is None
+        assert r.intervals[0].length(r.horizon) == pytest.approx(2.0)
+
+    def test_peak_matches_validator_accounting(self):
+        compiled, result = run_edge()
+        r = residency_timelines(result.profile)
+        assert r.peak_bytes == compiled.peak_device_floats * 4
+
+    def test_reupload_makes_two_intervals(self):
+        p = Profile()
+        for t in (0.0, 2.0):
+            p.record(Event(EventKind.ALLOC, "X", t, 0.0, nbytes=4))
+            p.record(Event(EventKind.FREE, "X", t + 1.0, 0.0, nbytes=4))
+        r = residency_timelines(p)
+        assert [iv.buffer for iv in r.intervals] == ["X", "X"]
+        assert r.peak_bytes == 4
+
+
+class TestTimelineStats:
+    def test_synthetic_gap_and_overlap(self):
+        s = timeline_stats(synthetic_profile())
+        assert s.span == pytest.approx(4.0)
+        assert s.busy == pytest.approx(3.5)
+        assert s.idle == pytest.approx(0.5)
+        assert s.serialized == pytest.approx(4.0)
+        assert s.overlap == pytest.approx(0.5)
+        # 0.5 hidden of a possible min(transfer=2.0, compute=2.0)
+        assert s.overlap_efficiency == pytest.approx(0.25)
+        assert s.largest_gap == pytest.approx(0.5)
+        assert s.gaps == [(2.5, 3.0)]
+        assert s.by_kind["kernel"] == pytest.approx(2.0)
+
+    def test_empty_profile(self):
+        s = timeline_stats(Profile())
+        assert s.span == 0.0 and s.busy == 0.0 and s.gaps == []
+
+    def test_no_compute_means_no_overlap_potential(self):
+        p = Profile()
+        p.record(Event(EventKind.H2D, "A", 0.0, 1.0, nbytes=4))
+        assert timeline_stats(p).overlap_efficiency == 0.0
+
+
+class TestMultiDevice:
+    def test_imbalance_and_critical_path(self):
+        _, result = run_edge_multi(2)
+        stats = imbalance_stats(result.profiles)
+        assert len(stats.busy) == 2
+        assert stats.makespan == pytest.approx(max(stats.finish))
+        assert stats.imbalance >= 1.0
+        crit = critical_path(result.profiles)
+        assert crit.device == stats.finish.index(max(stats.finish))
+        assert crit.finish == pytest.approx(stats.makespan)
+        assert crit.dominant in crit.by_kind
+
+
+class TestAttribution:
+    def test_single_device_sums_exactly(self):
+        compiled, result = run_edge()
+        attr = attribute_transfers(compiled.plan, profiles=[result.profile])
+        assert attr.host_bytes() == result.profile.bytes_transferred()
+        assert attr.peer_bytes() == 0
+        assert sum(attr.by_buffer().values()) == attr.host_bytes()
+        assert sum(attr.by_reason().values()) == attr.host_bytes()
+        ground = result.profile.bytes_by_buffer()
+        for buf, nbytes in attr.by_buffer().items():
+            assert ground[buf] == nbytes
+
+    def test_records_name_operators_and_reasons(self):
+        compiled, result = run_edge()
+        attr = attribute_transfers(compiled.plan, profiles=[result.profile])
+        uploads = [r for r in attr.records if r.reason_class == "upload"]
+        assert uploads and all(r.operator for r in uploads)
+        assert {r.direction for r in attr.records} <= {"h2d", "d2h"}
+
+    @pytest.mark.parametrize("mode", ["peer", "staged"])
+    def test_multi_device_sums_exactly(self, mode):
+        compiled, result = run_edge_multi(2, mode)
+        attr = attribute_transfers(compiled.plan, profiles=result.profiles)
+        assert attr.host_bytes() == result.bytes_transferred()
+        assert attr.peer_bytes() == result.peer_bytes()
+
+    def test_peer_records_carry_route(self):
+        compiled, result = run_edge_multi(2, "peer")
+        attr = attribute_transfers(compiled.plan, profiles=result.profiles)
+        p2p = [r for r in attr.records if r.direction == "p2p"]
+        assert p2p, "peer-mode 2-device edge plan should peer-copy"
+        for r in p2p:
+            assert r.peer_src is not None and r.peer_dst is not None
+            assert r.device == r.peer_dst
+
+    def test_analytic_fallback_uses_graph_sizes(self):
+        compiled, _ = run_edge()
+        attr = attribute_transfers(compiled.plan, graph=compiled.graph)
+        assert attr.host_bytes() == compiled.transfer_floats() * 4
+
+    def test_mismatched_profile_rejected(self):
+        compiled, _ = run_edge()
+        with pytest.raises(ValueError, match="does not correspond"):
+            attribute_transfers(compiled.plan, profiles=[Profile()])
+
+    def test_needs_profiles_or_graph(self):
+        compiled, _ = run_edge()
+        with pytest.raises(ValueError):
+            attribute_transfers(compiled.plan)
+
+
+class TestRunAnalysis:
+    def test_to_dict_is_json_and_complete(self):
+        compiled, result = run_edge()
+        analysis = analyze_run(
+            [result.profile],
+            plan=compiled.plan,
+            graph=compiled.graph,
+            label="edge",
+            metadata={"device": DEV.name},
+        )
+        raw = json.loads(json.dumps(analysis.to_dict()))
+        assert raw["num_devices"] == 1
+        assert raw["devices"][0]["residency"]["peak_bytes"] > 0
+        assert raw["attribution"]["host_bytes"] == (
+            result.profile.bytes_transferred()
+        )
+
+    def test_report_renders_md_and_html(self):
+        compiled, result = run_edge()
+        analysis = analyze_run(
+            [result.profile], plan=compiled.plan, label="edge"
+        )
+        md = render_report(analysis)
+        assert "Transfer attribution" in md
+        assert str(result.profile.bytes_transferred()) in md
+        html = render_report(analysis, fmt="html")
+        assert html.startswith("<!DOCTYPE html>") or "<html" in html
+        assert json.dumps(report_to_dict(analysis))
+
+    def test_multi_device_report_has_imbalance(self):
+        compiled, result = run_edge_multi(2)
+        analysis = analyze_run(
+            result.profiles, plan=compiled.plan, label="edge-2gpu"
+        )
+        md = render_report(analysis)
+        assert "imbalance" in md.lower()
+        assert analysis.attribution.peer_bytes() == result.peer_bytes()

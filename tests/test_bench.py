@@ -1,0 +1,166 @@
+"""Tests for the benchmark-trajectory schema and regression gate."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.bench import (
+    DEFAULT_THRESHOLD,
+    SCHEMA_VERSION,
+    BenchRecorder,
+    BenchResult,
+    compare_dirs,
+    compare_results,
+    load_bench,
+    render_comparisons,
+    validate_bench_dict,
+)
+
+
+def result(name="t", **metrics):
+    return BenchResult(name=name, metrics=metrics)
+
+
+class TestSchema:
+    def test_round_trip(self, tmp_path):
+        rec = BenchRecorder(str(tmp_path))
+        path = rec.record(
+            "fig9", {"transfer_floats": 123, "wall_seconds": 0.5},
+            config={"template": "edge"},
+        )
+        assert path.endswith("BENCH_fig9.json")
+        loaded = load_bench(path)
+        assert loaded.name == "fig9"
+        assert loaded.metrics == {"transfer_floats": 123, "wall_seconds": 0.5}
+        assert loaded.config == {"template": "edge"}
+        assert loaded.schema_version == SCHEMA_VERSION
+        assert loaded.env["python"]
+
+    def test_validate_accepts_recorder_output(self):
+        validate_bench_dict(result(x=1.5).to_dict())
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda d: d.pop("name"),
+            lambda d: d.update(name=""),
+            lambda d: d.update(schema_version=99),
+            lambda d: d.pop("metrics"),
+            lambda d: d["metrics"].update(bad="nope"),
+            lambda d: d["metrics"].update(bad=True),
+            lambda d: d["metrics"].update(bad=math.nan),
+            lambda d: d["metrics"].update(bad=math.inf),
+            lambda d: d.update(config=[1, 2]),
+        ],
+    )
+    def test_validate_rejects_malformed(self, mutate):
+        raw = result(x=1.0).to_dict()
+        mutate(raw)
+        with pytest.raises(ValueError):
+            validate_bench_dict(raw)
+
+    def test_load_names_the_offending_file(self, tmp_path):
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text(json.dumps({"schema_version": 2, "name": "x"}))
+        with pytest.raises(ValueError, match="BENCH_bad.json"):
+            load_bench(str(bad))
+
+
+class TestComparator:
+    def test_identical_results_ok(self):
+        a = result(transfer_floats=1000, seconds=2.0)
+        comp = compare_results(a, result(transfer_floats=1000, seconds=2.0))
+        assert not comp.regressed
+        assert all(d.verdict == "ok" for d in comp.deltas)
+
+    def test_exactly_ten_percent_regresses(self):
+        comp = compare_results(
+            result(transfer_floats=1000), result(transfer_floats=1100)
+        )
+        assert comp.regressed
+        assert comp.regressions[0].metric == "transfer_floats"
+        assert comp.regressions[0].rel_change == pytest.approx(0.10)
+
+    def test_just_under_threshold_passes(self):
+        comp = compare_results(
+            result(transfer_floats=1000), result(transfer_floats=1099)
+        )
+        assert not comp.regressed
+
+    def test_improvement_reported_not_gated(self):
+        comp = compare_results(result(seconds=2.0), result(seconds=1.0))
+        assert not comp.regressed
+        assert comp.deltas[0].verdict == "improvement"
+
+    def test_wall_metrics_are_informational(self):
+        comp = compare_results(
+            result(wall_seconds=1.0), result(wall_seconds=100.0)
+        )
+        assert not comp.regressed
+        assert comp.deltas[0].verdict == "info"
+
+    def test_speedup_direction_inverted(self):
+        worse = compare_results(result(speedup_max=2.0), result(speedup_max=1.5))
+        assert worse.regressed
+        better = compare_results(result(speedup_max=2.0), result(speedup_max=3.0))
+        assert not better.regressed
+
+    def test_zero_baseline(self):
+        same = compare_results(result(oom_events=0), result(oom_events=0))
+        assert not same.regressed
+        grew = compare_results(result(oom_events=0), result(oom_events=3))
+        assert grew.regressed
+        assert math.isinf(grew.regressions[0].rel_change)
+
+    def test_new_and_missing_metrics_never_gate(self):
+        comp = compare_results(result(a=1.0), result(b=2.0))
+        assert not comp.regressed
+        verdicts = {d.metric: d.verdict for d in comp.deltas}
+        assert verdicts == {"a": "missing", "b": "new"}
+
+    def test_custom_threshold(self):
+        comp = compare_results(
+            result(seconds=100.0), result(seconds=104.0), threshold=0.03
+        )
+        assert comp.regressed
+
+
+class TestCompareDirs:
+    def _dirs(self, tmp_path):
+        base, cand = tmp_path / "base", tmp_path / "cand"
+        return BenchRecorder(str(base)), BenchRecorder(str(cand)), base, cand
+
+    def test_pairs_by_filename(self, tmp_path):
+        brec, crec, base, cand = self._dirs(tmp_path)
+        brec.record("t1", {"x": 1.0})
+        crec.record("t1", {"x": 1.0})
+        brec.record("only_base", {"x": 1.0})
+        crec.record("only_cand", {"x": 1.0})
+        comps, base_only, cand_only = compare_dirs(str(base), str(cand))
+        assert [c.name for c in comps] == ["t1"]
+        assert base_only == ["BENCH_only_base.json"]
+        assert cand_only == ["BENCH_only_cand.json"]
+        assert not any(c.regressed for c in comps)
+
+    def test_regression_detected_across_dirs(self, tmp_path):
+        brec, crec, base, cand = self._dirs(tmp_path)
+        brec.record("t1", {"transfer_floats": 1000})
+        crec.record("t1", {"transfer_floats": 1100})
+        comps, _, _ = compare_dirs(
+            str(base), str(cand), threshold=DEFAULT_THRESHOLD
+        )
+        assert comps[0].regressed
+
+    def test_render_mentions_verdicts(self, tmp_path):
+        brec, crec, base, cand = self._dirs(tmp_path)
+        brec.record("t1", {"transfer_floats": 1000, "wall_seconds": 1.0})
+        crec.record("t1", {"transfer_floats": 1200, "wall_seconds": 9.0})
+        comps, bo, co = compare_dirs(str(base), str(cand))
+        text = render_comparisons(comps, bo, co)
+        assert "REGRESSED" in text
+        assert "info" in text
+        assert "+20.00%" in text
+
+    def test_render_empty(self):
+        assert "no benchmark pairs" in render_comparisons([])

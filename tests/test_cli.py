@@ -216,3 +216,123 @@ class TestObservability:
         assert any(
             e["pid"] == 2 and e["ph"] == "X" for e in raw["traceEvents"]
         )
+
+
+class TestReportCommand:
+    def _report_json(self, capsys, extra=()):
+        rc = main(["report", "--size", "96x96", "--kernel", "5",
+                   "--format", "json", *extra])
+        assert rc == 0
+        return json.loads(capsys.readouterr().out)
+
+    def test_edge_single_device(self, capsys):
+        raw = self._report_json(capsys)
+        assert raw["num_devices"] == 1
+        dev = raw["devices"][0]
+        assert dev["residency"]["peak_bytes"] > 0
+        assert dev["residency"]["curve"], "occupancy curve must be present"
+        assert dev["timeline"]["busy"] > 0
+        # byte-exact attribution: per-buffer totals sum to host bytes
+        attr = raw["attribution"]
+        assert sum(attr["by_buffer"].values()) == attr["host_bytes"]
+        assert sum(r["nbytes"] for r in attr["records"]
+                   if r["direction"] != "p2p") == attr["host_bytes"]
+
+    def test_edge_two_devices(self, capsys):
+        raw = self._report_json(
+            capsys, ["--num-devices", "2", "--device", "tesla_c870"]
+        )
+        assert raw["num_devices"] == 2
+        assert len(raw["devices"]) == 2
+        assert len(raw["imbalance"]["busy"]) == 2
+        attr = raw["attribution"]
+        assert sum(attr["by_buffer"].values()) == attr["host_bytes"]
+
+    def test_cnn_single_device(self, capsys):
+        raw = self._report_json(capsys, ["--template", "small-cnn"])
+        attr = raw["attribution"]
+        assert attr["host_bytes"] > 0
+        assert sum(attr["by_buffer"].values()) == attr["host_bytes"]
+
+    def test_cnn_two_devices(self, capsys):
+        raw = self._report_json(
+            capsys, ["--template", "small-cnn", "--num-devices", "2"]
+        )
+        assert raw["num_devices"] == 2
+        attr = raw["attribution"]
+        assert sum(attr["by_buffer"].values()) == attr["host_bytes"]
+
+    def test_markdown_output(self, capsys):
+        rc = main(["report", "--size", "96x96", "--kernel", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Residency & device occupancy" in out
+        assert "Transfer attribution" in out
+
+    def test_html_to_file(self, capsys, tmp_path):
+        path = os.fspath(tmp_path / "report.html")
+        rc = main(["report", "--size", "96x96", "--kernel", "5",
+                   "--format", "html", "-o", path])
+        assert rc == 0
+        text = open(path).read()
+        assert "<html" in text and "Transfer attribution" in text
+
+
+class TestBenchCompareCommand:
+    def _record(self, directory, metrics):
+        from repro.obs.bench import BenchRecorder
+
+        BenchRecorder(os.fspath(directory)).record("t1", metrics)
+
+    def test_identical_dirs_exit_zero(self, capsys, tmp_path):
+        base, cand = tmp_path / "b", tmp_path / "c"
+        self._record(base, {"transfer_floats": 1000})
+        self._record(cand, {"transfer_floats": 1000})
+        rc = main(["bench-compare", os.fspath(base), os.fspath(cand)])
+        assert rc == 0
+        assert "[ok]" in capsys.readouterr().out
+
+    def test_ten_percent_regression_exits_nonzero(self, capsys, tmp_path):
+        base, cand = tmp_path / "b", tmp_path / "c"
+        self._record(base, {"transfer_floats": 1000, "wall_seconds": 1.0})
+        self._record(cand, {"transfer_floats": 1100, "wall_seconds": 50.0})
+        rc = main(["bench-compare", os.fspath(base), os.fspath(cand)])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out and "info" in out
+
+    def test_threshold_flag(self, capsys, tmp_path):
+        base, cand = tmp_path / "b", tmp_path / "c"
+        self._record(base, {"transfer_floats": 1000})
+        self._record(cand, {"transfer_floats": 1100})
+        rc = main(["bench-compare", os.fspath(base), os.fspath(cand),
+                   "--threshold", "0.2"])
+        assert rc == 0
+
+    def test_file_pair_and_json(self, capsys, tmp_path):
+        base, cand = tmp_path / "b", tmp_path / "c"
+        self._record(base, {"transfer_floats": 1000})
+        self._record(cand, {"transfer_floats": 2000})
+        rc = main(["bench-compare",
+                   os.fspath(base / "BENCH_t1.json"),
+                   os.fspath(cand / "BENCH_t1.json"), "--json"])
+        assert rc == 1
+        raw = json.loads(capsys.readouterr().out)
+        assert raw["regressed"] is True
+
+
+class TestMultiDeviceExplain:
+    def test_explain_two_devices(self, capsys):
+        rc = main(["explain", "--size", "96x96", "--kernel", "5",
+                   "--num-devices", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "dev" in out.splitlines()[0] or "dev" in out.splitlines()[1]
+        assert "gpu0" in out and "gpu1" in out
+
+    def test_explain_two_devices_json(self, capsys):
+        rc = main(["explain", "--size", "96x96", "--kernel", "5",
+                   "--num-devices", "2", "--json"])
+        assert rc == 0
+        raw = json.loads(capsys.readouterr().out)
+        assert {r["device"] for r in raw["steps"]} == {0, 1}

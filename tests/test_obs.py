@@ -10,6 +10,7 @@ from repro.core.plan import CopyToGPU, ExecutionPlan, Free, Launch
 from repro.core.serialize import plan_from_dict, plan_to_dict
 from repro.gpusim import GpuDevice, XEON_WORKSTATION
 from repro.obs import (
+    Histogram,
     MetricsRegistry,
     Tracer,
     chrome_trace,
@@ -305,3 +306,147 @@ class TestWiring:
         result = pb_optimal_plan(g, 64, tracer=tracer)
         spans = tracer.find("pb_optimisation")
         assert spans and spans[0].attrs["num_vars"] == result.num_vars
+
+
+# ---------------------------------------------------------------------------
+# Histogram percentiles
+# ---------------------------------------------------------------------------
+class TestHistogramPercentiles:
+    def test_nearest_rank_exact_population(self):
+        h = Histogram()
+        for v in range(1, 101):  # 1..100
+            h.observe(float(v))
+        assert h.percentile(50) == 50.0
+        assert h.percentile(95) == 95.0
+        assert h.percentile(99) == 99.0
+        assert h.percentile(0) == 1.0
+        assert h.percentile(100) == 100.0
+
+    def test_bounds_checked_and_empty(self):
+        h = Histogram()
+        assert h.percentile(50) == 0.0
+        with pytest.raises(ValueError):
+            h.percentile(-1)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_snapshot_includes_percentiles(self):
+        m = MetricsRegistry()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            m.histogram("h").observe(v)
+        snap = m.snapshot()["histograms"]["h"]
+        assert snap["p50"] == 2.0
+        assert snap["p95"] == 4.0
+        assert snap["p99"] == 4.0
+        empty = MetricsRegistry().histogram("e").to_dict()
+        assert empty["p50"] == empty["p95"] == empty["p99"] == 0.0
+
+    def test_decimation_bounds_memory_and_stays_deterministic(self):
+        h = Histogram()
+        n = Histogram.MAX_SAMPLES * 4
+        for v in range(n):
+            h.observe(float(v))
+        assert len(h._samples) <= Histogram.MAX_SAMPLES
+        assert h.count == n
+        # quantiles stay approximately right after decimation
+        assert abs(h.percentile(50) - n / 2) / n < 0.01
+        # deterministic: a second identical stream gives identical samples
+        h2 = Histogram()
+        for v in range(n):
+            h2.observe(float(v))
+        assert h._samples == h2._samples
+
+    def test_merge_combines_reservoirs(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for v in (1.0, 2.0):
+            a.histogram("h").observe(v)
+        for v in (3.0, 4.0):
+            b.histogram("h").observe(v)
+        a.merge(b)
+        assert a.histograms["h"].percentile(100) == 4.0
+        assert a.histograms["h"].percentile(0) == 1.0
+
+
+# ---------------------------------------------------------------------------
+# Chrome-trace memory counters
+# ---------------------------------------------------------------------------
+class TestMemoryCounters:
+    def _counters(self, events):
+        return [e for e in events if e["ph"] == "C"]
+
+    def test_alloc_free_drive_counter_series(self):
+        c = compile_edge()
+        fw = Framework(DEV, XEON_WORKSTATION)
+        result = fw.execute(c, find_edges_inputs(40, 32, 5, 4))
+        from repro.obs import profile_to_events
+
+        counters = self._counters(profile_to_events(result.profile))
+        assert counters, "alloc/free events must emit a counter series"
+        for e in counters:
+            assert e["name"] == "device memory"
+            assert e["args"]["bytes_in_use"] >= 0
+        peak = max(e["args"]["bytes_in_use"] for e in counters)
+        assert peak == c.peak_device_floats * 4
+        # the executor drains the device: the series ends at zero
+        assert counters[-1]["args"]["bytes_in_use"] == 0
+
+    def test_multi_profile_counters_use_distinct_pids(self):
+        from repro.gpusim import homogeneous_group
+        from repro.multigpu import compile_multi, execute_multi
+
+        g = find_edges_graph(48, 40, 5, 4)
+        inputs = find_edges_inputs(48, 40, 5, 4, seed=9)
+        mgdev = GpuDevice(name="obs-mg", memory_bytes=256 * 1024)
+        compiled = compile_multi(g, homogeneous_group(mgdev, 2))
+        result = execute_multi(compiled, inputs)
+        trace = chrome_trace(
+            profiles=[(f"gpu{i}", p) for i, p in enumerate(result.profiles)]
+        )
+        pids = {e["pid"] for e in self._counters(trace["traceEvents"])}
+        assert len(pids) == 2
+
+
+# ---------------------------------------------------------------------------
+# Multi-device provenance
+# ---------------------------------------------------------------------------
+class TestMultiDeviceProvenance:
+    def _compiled(self, mode="peer"):
+        from repro.gpusim import homogeneous_group
+        from repro.multigpu import compile_multi
+
+        g = find_edges_graph(48, 40, 5, 4)
+        mgdev = GpuDevice(name="obs-mg", memory_bytes=256 * 1024)
+        return compile_multi(
+            g, homogeneous_group(mgdev, 2), transfer_mode=mode
+        )
+
+    def test_explanations_carry_devices(self):
+        compiled = self._compiled()
+        rows = explain_plan(compiled.plan)
+        assert len(rows) == len(compiled.plan.steps)
+        assert {r.device for r in rows} == {0, 1}
+
+    def test_peer_steps_have_routes(self):
+        compiled = self._compiled("peer")
+        p2p = [r for r in explain_plan(compiled.plan) if "p2p" in r.step]
+        assert p2p, "2-device peer-mode edge plan should emit PeerCopy"
+        for r in p2p:
+            assert r.peer_src is not None and r.peer_dst is not None
+        raw = explain_to_dicts(compiled.plan)
+        p2p_raw = [d for d in raw if "p2p" in d["step"]]
+        assert all("peer_src" in d and "peer_dst" in d for d in p2p_raw)
+        json.dumps(raw)
+
+    def test_render_has_device_column_only_when_multi(self):
+        compiled = self._compiled()
+        text = render_explain(compiled.plan)
+        assert "dev" in text.splitlines()[0]
+        assert "gpu0" in text and "gpu1" in text
+        single = compile_edge()
+        assert "dev" not in render_explain(single.plan).splitlines()[0]
+
+    def test_staged_mode_notes_survive(self):
+        compiled = self._compiled("staged")
+        rows = explain_plan(compiled.plan)
+        stages = [r for r in rows if r.reason.startswith("stage:")]
+        assert stages, "staged transfers should carry stage: provenance"
