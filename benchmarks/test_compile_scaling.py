@@ -1,0 +1,138 @@
+"""Compile-time scaling — planner throughput on split graphs.
+
+Not a figure from the paper: this regenerates the *compiler's* own cost
+curve, the subject of the planner-performance overhaul.  The edge
+template is compiled against a deliberately tiny (256 KB) device so
+splitting explodes the operator count to ~100 / ~1k / ~10k operators,
+and each size is timed cold (full pipeline) and warm (content-addressed
+plan-cache hit).
+
+Gated metrics are the deterministic operator counts and the warm-cache
+speedup (floored at the blessed value, capped at 20x so timer noise on
+a sub-millisecond warm path cannot fail the gate); absolute wall times
+are recorded with the ``wall_`` prefix, which ``repro bench-compare``
+reports but never gates on (they vary with host load).
+
+Pre-PR reference (same workloads, planner before the overhaul):
+size 600 -> 0.049 s, size 2048 -> 1.210 s, size 5000 -> 54.18 s cold.
+"""
+
+import json
+import time
+
+from paper import write_report
+from repro.core import CompileOptions, Framework, PlanCache, plan_to_dict
+from repro.gpusim import GpuDevice
+from repro.templates import find_edges_graph
+
+#: pre-overhaul cold compile of the size-5000 workload (see module docstring)
+PRE_PR_COLD_10K_S = 54.18
+
+DEVICE = GpuDevice(name="bench-dev", memory_bytes=256 * 1024)
+OPTIONS = CompileOptions(split_headroom=1.0)
+
+CASES = [
+    # (label, image size) -> ~operators after splitting on the 256 KB device
+    ("100", 600),  # ~113 ops
+    ("1k", 2048),  # ~1.3k ops
+    ("10k", 5000),  # ~9.8k ops
+]
+
+
+def regenerate():
+    rows = []
+    for label, size in CASES:
+        graph = find_edges_graph(size, size, 5, 4)
+        cache = PlanCache()  # private: isolates this run from other suites
+        fw = Framework(DEVICE, options=OPTIONS, plan_cache=cache)
+        t0 = time.perf_counter()
+        cold = fw.compile(graph)
+        cold_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        warm = fw.compile(graph)
+        warm_s = time.perf_counter() - t0
+        assert cache.stats()["hits"] == 1, cache.stats()
+        same = json.dumps(plan_to_dict(cold.plan), sort_keys=True) == \
+            json.dumps(plan_to_dict(warm.plan), sort_keys=True)
+        assert same, f"warm plan differs from cold at size {size}"
+        rows.append(
+            {
+                "label": label,
+                "size": size,
+                "ops": len(cold.graph.ops),
+                "steps": len(cold.plan.steps),
+                "cold_s": cold_s,
+                "warm_s": warm_s,
+                "plans_per_s": 1.0 / cold_s if cold_s > 0 else 0.0,
+            }
+        )
+    return rows
+
+
+def check_shape(rows):
+    by_label = {r["label"]: r for r in rows}
+    assert by_label["100"]["ops"] > 50
+    assert by_label["1k"]["ops"] > 1000
+    assert by_label["10k"]["ops"] > 9000
+    # Near-linear scaling: 10k ops has ~87x the ops of 100 but must
+    # compile in far less than 87^2/87 the time ratio a quadratic
+    # planner would show; the pre-overhaul planner took 54 s here.
+    assert by_label["10k"]["cold_s"] < PRE_PR_COLD_10K_S / 5.0, (
+        f"10k-operator compile took {by_label['10k']['cold_s']:.1f} s; "
+        f"required >=5x over the pre-overhaul {PRE_PR_COLD_10K_S} s"
+    )
+    for r in rows:
+        assert r["warm_s"] < r["cold_s"], r
+    big = by_label["10k"]
+    assert big["cold_s"] >= big["warm_s"] * 20.0, (
+        f"warm cache speedup {big['cold_s'] / big['warm_s']:.1f}x < 20x"
+    )
+
+
+def render(rows):
+    lines = [
+        "Compile-time scaling (edge template, 256 KB device, headroom 1.0)",
+        f"{'ops':>7s} {'steps':>8s} {'cold s':>9s} {'warm s':>9s} "
+        f"{'plans/s':>9s} {'warm speedup':>13s}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['ops']:>7d} {r['steps']:>8d} {r['cold_s']:>9.3f} "
+            f"{r['warm_s']:>9.5f} {r['plans_per_s']:>9.2f} "
+            f"{r['cold_s'] / r['warm_s']:>12.0f}x"
+        )
+    lines.append(
+        f"(pre-overhaul planner: {PRE_PR_COLD_10K_S} s cold at 10k "
+        "operators; warm = content-addressed plan-cache hit)"
+    )
+    return lines
+
+
+def test_compile_scaling(benchmark):
+    rows = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    check_shape(rows)
+    metrics = {}
+    for r in rows:
+        label = r["label"]
+        metrics[f"ops_{label}"] = float(r["ops"])
+        metrics[f"wall_cold_seconds_{label}"] = r["cold_s"]
+        metrics[f"wall_warm_seconds_{label}"] = r["warm_s"]
+        metrics[f"wall_plans_per_second_{label}"] = r["plans_per_s"]
+    big = next(r for r in rows if r["label"] == "10k")
+    metrics["warm_speedup_10k"] = min(big["cold_s"] / big["warm_s"], 20.0)
+    metrics["wall_speedup_vs_pre_pr_10k"] = PRE_PR_COLD_10K_S / big["cold_s"]
+    lines = render(rows)
+    path = write_report(
+        "compile.txt",
+        lines,
+        metrics=metrics,
+        config={
+            "device_memory_bytes": DEVICE.memory_bytes,
+            "split_headroom": 1.0,
+            "sizes": {label: size for label, size in CASES},
+            "pre_pr_cold_10k_seconds": PRE_PR_COLD_10K_S,
+        },
+    )
+    print()
+    print("\n".join(lines))
+    print(f"[written to {path}]")

@@ -107,7 +107,12 @@ def _options(args) -> CompileOptions:
 
 
 def _framework(args) -> Framework:
-    return Framework(device_by_name(args.device), XEON_WORKSTATION, _options(args))
+    return Framework(
+        device_by_name(args.device),
+        XEON_WORKSTATION,
+        _options(args),
+        plan_cache=not getattr(args, "no_plan_cache", False),
+    )
 
 
 def _group(args):
@@ -148,6 +153,38 @@ def _write_trace(args, compiled, profile=None, simulated_events=None) -> None:
     )
 
 
+def _print_compile_stats(compiled) -> None:
+    """Phase wall-time table + plan-cache counters (``--stats``)."""
+    phases = [
+        "splitting", "offload_units", "operator_scheduling",
+        "transfer_scheduling", "validate", "partition",
+    ]
+    by_name: dict[str, float] = {}
+    for sp in compiled.spans:
+        if sp.name in phases:
+            by_name[sp.name] = by_name.get(sp.name, 0.0) + sp.duration
+    total = max((sp.end for sp in compiled.spans), default=0.0)
+    print("compile stats:")
+    for name in phases:
+        if name in by_name:
+            print(f"  {name:20s}: {by_name[name] * 1e3:9.2f} ms")
+    print(f"  {'total':20s}: {total * 1e3:9.2f} ms")
+    counters = getattr(compiled, "metrics", {}).get("counters", {})
+    if "plan_cache.hit" in counters:
+        print(f"  {'plan cache':20s}: "
+              f"{'hit' if counters['plan_cache.hit'] else 'miss'} "
+              f"(hit={counters['plan_cache.hit']}, "
+              f"miss={counters['plan_cache.miss']})")
+        return
+    # multi-GPU compiles carry no metrics snapshot; read the trace event
+    events = [s for s in compiled.spans if s.name == "plan_cache"]
+    if events:
+        hit = bool(events[0].attrs.get("hit"))
+        print(f"  {'plan cache':20s}: {'hit' if hit else 'miss'}")
+    else:
+        print(f"  {'plan cache':20s}: off")
+
+
 def cmd_compile_multi(args) -> int:
     graph, _ = _build(args)
     compiled = compile_multi(
@@ -156,6 +193,7 @@ def cmd_compile_multi(args) -> int:
         XEON_WORKSTATION,
         _options(args),
         transfer_mode=args.transfer_mode,
+        plan_cache=not getattr(args, "no_plan_cache", False),
     )
     sim = simulate_multi(compiled)
     report = scaling_report(
@@ -179,6 +217,9 @@ def cmd_compile_multi(args) -> int:
         for key, value in compiled.summary().items():
             print(f"{key:20s}: {value}")
         print(f"{'simulated time':20s}: {sim.total_time:.3f} s")
+        if getattr(args, "stats", False):
+            print()
+            _print_compile_stats(compiled)
         print()
         print(render_scaling(report))
     notice = sys.stderr if args.json else sys.stdout
@@ -221,6 +262,9 @@ def cmd_compile(args) -> int:
                   f"({bsim.total_time / sim.total_time:.1f}x slower)")
         except PlanError:
             print(f"{'baseline time':20s}: N/A (operator exceeds device memory)")
+        if getattr(args, "stats", False):
+            print()
+            _print_compile_stats(compiled)
     if args.timeline:
         print()
         print(render_timeline(compiled.plan, compiled.graph))
@@ -537,6 +581,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the Figure-6-style plan timeline")
     p.add_argument("--save", metavar="PLAN.json",
                    help="serialize the compiled plan")
+    p.add_argument("--stats", action="store_true",
+                   help="print per-phase compile timings and plan-cache "
+                        "hit/miss counters")
+    p.add_argument("--no-plan-cache", action="store_true",
+                   help="bypass the content-addressed plan cache")
     p.set_defaults(func=cmd_compile)
 
     p = sub.add_parser("run", help="execute on the simulated device")

@@ -17,8 +17,11 @@ portability" claim).
 
 from __future__ import annotations
 
+import copy
+import hashlib
+import json
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Any, Mapping
 
 import numpy as np
 
@@ -35,7 +38,9 @@ from .baseline import baseline_plan
 from .graph import OperatorGraph
 from .offload import identify_offload_units
 from .plan import ExecutionPlan, validate_plan
+from .plancache import CachedPlan, PlanCache, default_cache, plan_key
 from .scheduling import get_scheduler
+from .serialize import graph_to_dict
 from .splitting import SplitReport, make_feasible
 from .transfers import schedule_transfers
 
@@ -106,10 +111,19 @@ class Framework:
         device: GpuDevice,
         host: HostSystem | None = None,
         options: CompileOptions | None = None,
+        plan_cache: PlanCache | bool | None = True,
     ) -> None:
         self.device = device
         self.host = host
         self.options = options or CompileOptions()
+        # True -> the process-default cache; False/None -> caching off;
+        # a PlanCache instance -> that cache (tests, isolated benchmarks).
+        if plan_cache is True:
+            self.plan_cache: PlanCache | None = default_cache()
+        elif plan_cache is False or plan_cache is None:
+            self.plan_cache = None
+        else:
+            self.plan_cache = plan_cache
 
     # -- compilation -----------------------------------------------------------
     def compile(self, template: OperatorGraph) -> CompiledTemplate:
@@ -119,7 +133,21 @@ class Framework:
         granularities are compiled and the plan with the least transfer
         volume wins — transfer volume is a static property of the plan,
         so the selection costs only compile time, never execution time.
+        Candidates whose split graphs coincide share one scheduling and
+        transfer pipeline instead of recompiling identical work.
+
+        Compilation is deterministic, so the result is stored in the
+        content-addressed plan cache (keyed on graph + device + options)
+        and repeat compiles return it without re-running the pipeline.
+        Pass ``plan_cache=False`` to the constructor to opt out.
         """
+        cache = self.plan_cache
+        key: str | None = None
+        if cache is not None:
+            key = plan_key(template, self.device, self.options)
+            entry = cache.get(key)
+            if entry is not None:
+                return self._compile_from_cache(entry, key)
         capacity = self.device.usable_memory_floats
         out_of_core = (
             self.options.split
@@ -131,16 +159,22 @@ class Framework:
         tracer = Tracer()
         best: CompiledTemplate | None = None
         best_headroom = candidates[0]
+        dedupe: dict[str, CompiledTemplate] | None = (
+            {} if len(candidates) > 1 else None
+        )
         with tracer.span(
             "compile",
             template=template.name,
             device=self.device.name,
             out_of_core=out_of_core,
             candidates=len(candidates),
+            plan_cache="miss" if cache is not None else "off",
         ) as root:
+            if cache is not None and key is not None:
+                tracer.event("plan_cache", hit=False, key=key[:16])
             for headroom in candidates:
                 compiled = self._compile_once(
-                    template, capacity, headroom, tracer
+                    template, capacity, headroom, tracer, dedupe=dedupe
                 )
                 if best is None or (
                     compiled.transfer_floats(),
@@ -155,14 +189,91 @@ class Framework:
                 launches=len(best.plan.launches()),
             )
         best.spans = sorted(tracer.spans, key=lambda s: s.start)
-        best.metrics = self._compile_metrics(best, len(candidates), tracer)
+        best.metrics = self._compile_metrics(
+            best, len(candidates), tracer, cache=cache
+        )
+        if cache is not None and key is not None:
+            cache.put(
+                key,
+                CachedPlan(
+                    graph=best.graph,
+                    plan=best.plan,
+                    op_order=list(best.op_order),
+                    split_report=best.split_report,
+                    peak_device_floats=best.peak_device_floats,
+                    fused_units=best.fused_units,
+                    metrics=best.metrics,
+                ),
+            )
         return best
+
+    def _compile_from_cache(
+        self, entry: CachedPlan, key: str
+    ) -> CompiledTemplate:
+        """Rehydrate a cache hit as a fresh :class:`CompiledTemplate`.
+
+        The graph/plan/split-report objects are shared with the cache
+        entry (the executors only read them); the op-order list is copied
+        because callers may reorder it.  The compile-metrics snapshot is
+        reused from fill time with the cache counters and wall time
+        overlaid, so a warm compile never re-walks the plan.
+        """
+        tracer = Tracer()
+        with tracer.span(
+            "compile",
+            template=entry.graph.name,
+            device=self.device.name,
+            plan_cache="hit",
+        ) as root:
+            tracer.event("plan_cache", hit=True, key=key[:16])
+            root.set(launches=len(entry.op_order))
+        compiled = CompiledTemplate(
+            graph=entry.graph,
+            plan=entry.plan,
+            op_order=list(entry.op_order),
+            split_report=entry.split_report,
+            device=self.device,
+            host=self.host,
+            options=self.options,
+            peak_device_floats=entry.peak_device_floats,
+            fused_units=entry.fused_units,
+        )
+        compiled.spans = sorted(tracer.spans, key=lambda s: s.start)
+        compiled.metrics = self._cache_hit_metrics(
+            entry.metrics, tracer, self.plan_cache
+        )
+        return compiled
+
+    @staticmethod
+    def _cache_hit_metrics(
+        entry_metrics: dict[str, Any],
+        tracer: Tracer,
+        cache: PlanCache | None,
+    ) -> dict[str, Any]:
+        snap = copy.deepcopy(entry_metrics)
+        counters = snap.setdefault("counters", {})
+        counters["plan_cache.hit"] = 1
+        counters["plan_cache.miss"] = 0
+        gauges = snap.setdefault("gauges", {})
+        wall = tracer.total_time()
+        gauges["compile.wall_seconds"] = {"value": wall, "peak": wall}
+        if cache is not None:
+            n = len(cache)
+            gauges["plan_cache.entries"] = {"value": n, "peak": n}
+        return snap
 
     @staticmethod
     def _compile_metrics(
-        compiled: CompiledTemplate, candidates: int, tracer: Tracer
+        compiled: CompiledTemplate,
+        candidates: int,
+        tracer: Tracer,
+        cache: PlanCache | None = None,
     ) -> dict[str, object]:
         metrics = MetricsRegistry()
+        if cache is not None:
+            metrics.counter("plan_cache.hit")
+            metrics.counter("plan_cache.miss").inc(1)
+            metrics.gauge("plan_cache.entries").set(len(cache))
         metrics.counter("compile.candidates").inc(candidates)
         metrics.counter("compile.split_ops").inc(
             len(compiled.split_report.split_ops)
@@ -184,6 +295,7 @@ class Framework:
         capacity: int,
         headroom: float,
         tracer: Tracer | None = None,
+        dedupe: dict[str, CompiledTemplate] | None = None,
     ) -> CompiledTemplate:
         tracer = tracer or Tracer()
         opts = self.options
@@ -201,6 +313,22 @@ class Framework:
                 rounds=report.rounds,
                 ops_after=len(graph.ops),
             )
+        fp: str | None = None
+        if dedupe is not None:
+            # Auto-headroom candidates that split to the same graph would
+            # schedule identical work; fingerprint the split graph and hand
+            # back the earlier candidate's result instead.
+            fp = hashlib.sha256(
+                json.dumps(
+                    graph_to_dict(graph), sort_keys=True, separators=(",", ":")
+                ).encode("utf-8")
+            ).hexdigest()
+            prior = dedupe.get(fp)
+            if prior is not None:
+                tracer.event(
+                    "candidate_dedupe", headroom=headroom, graph=fp[:16]
+                )
+                return prior
         fused = 0
         with tracer.span("offload_units", headroom=headroom) as sp:
             if opts.fuse_offload_units:
@@ -235,7 +363,7 @@ class Framework:
         with tracer.span("validate", headroom=headroom) as sp:
             peak = validate_plan(plan, graph, capacity)
             sp.set(peak_device_floats=peak)
-        return CompiledTemplate(
+        compiled = CompiledTemplate(
             graph=graph,
             plan=plan,
             op_order=op_order,
@@ -246,6 +374,9 @@ class Framework:
             peak_device_floats=peak,
             fused_units=fused,
         )
+        if dedupe is not None and fp is not None:
+            dedupe[fp] = compiled
+        return compiled
 
     def compile_baseline(self, template: OperatorGraph) -> CompiledTemplate:
         """The paper's baseline plan for the same template (unsplit)."""

@@ -12,11 +12,12 @@ pipeline (splitting, offload scheduling, transfer scheduling) relies on.
 from __future__ import annotations
 
 import math
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator
 
 
-@dataclass
+@dataclass(slots=True)
 class DataStructure:
     """One array-valued vertex.
 
@@ -50,7 +51,7 @@ class DataStructure:
         return self.shape[0] if self.shape else 1
 
 
-@dataclass
+@dataclass(slots=True)
 class Operator:
     """One parallel computation vertex.
 
@@ -79,7 +80,7 @@ class Operator:
         return tuple(seen)
 
 
-@dataclass
+@dataclass(slots=True)
 class Slot:
     """Normalised view of one *logical* input of an operator.
 
@@ -94,7 +95,7 @@ class Slot:
     chunks: list[str]
 
 
-@dataclass
+@dataclass(slots=True)
 class OutSpec:
     """Normalised view of one *logical* output of an operator.
 
@@ -161,6 +162,48 @@ class OperatorGraph:
         self.producer: dict[str, str] = {}  # data -> producing op
         self.consumers: dict[str, list[str]] = {}  # data -> consuming ops
         self.children: dict[str, list[str]] = {}  # root -> chunk names
+        # Derived-structure caches, dropped on any mutation.  Code that
+        # bypasses the mutators (flipping ``DataStructure.virtual`` in
+        # place) must call :meth:`invalidate_caches` itself.
+        self._preds: dict[str, list[str]] | None = None
+        self._succs: dict[str, list[str]] | None = None
+        self._sorted_chunks: dict[str, tuple[list[str], list[int], list[int]]] = {}
+
+    def invalidate_caches(self) -> None:
+        """Drop cached adjacency/chunk indexes after a structural change."""
+        self._invalidate_adjacency()
+        self._invalidate_chunks()
+
+    def _invalidate_adjacency(self) -> None:
+        """Operator wiring changed (add/remove operator, set_op_io)."""
+        self._preds = None
+        self._succs = None
+
+    def _invalidate_chunks(self) -> None:
+        """Chunk structure changed (add/remove data, ``virtual`` flip)."""
+        if self._sorted_chunks:
+            self._sorted_chunks = {}
+
+    def _adjacency(self) -> tuple[dict[str, list[str]], dict[str, list[str]]]:
+        if self._preds is None:
+            preds: dict[str, list[str]] = {}
+            succs: dict[str, list[str]] = {}
+            for o, op in self.ops.items():
+                seen: dict[str, None] = {}
+                for d in op.inputs:
+                    p = self.producer.get(d)
+                    if p is not None:
+                        seen.setdefault(p)
+                preds[o] = list(seen)
+            for o, op in self.ops.items():
+                seen = {}
+                for d in op.outputs:
+                    for c in self.consumers.get(d, ()):
+                        seen.setdefault(c)
+                succs[o] = list(seen)
+            self._preds, self._succs = preds, succs
+        assert self._succs is not None
+        return self._preds, self._succs
 
     # -- construction -----------------------------------------------------
     def add_data(
@@ -189,6 +232,7 @@ class OperatorGraph:
         self.consumers.setdefault(name, [])
         if parent is not None:
             self.children.setdefault(parent, []).append(name)
+        self._invalidate_chunks()
         return ds
 
     def add_operator(
@@ -219,6 +263,7 @@ class OperatorGraph:
             self.producer[d] = name
         for d in op.inputs:
             self.consumers[d].append(name)
+        self._invalidate_adjacency()
         return op
 
     def remove_operator(self, name: str) -> Operator:
@@ -227,6 +272,7 @@ class OperatorGraph:
             del self.producer[d]
         for d in op.inputs:
             self.consumers[d].remove(name)
+        self._invalidate_adjacency()
         return op
 
     def set_op_io(
@@ -260,6 +306,7 @@ class OperatorGraph:
             self.producer[d] = op_name
         for d in new_in:
             self.consumers[d].append(op_name)
+        self._invalidate_adjacency()
 
     def remove_data(self, name: str) -> DataStructure:
         if name in self.producer:
@@ -270,32 +317,56 @@ class OperatorGraph:
         ds = self.data.pop(name)
         if ds.parent is not None:
             self.children[ds.parent].remove(name)
+        self._invalidate_chunks()
         return ds
 
     # -- dependency structure -----------------------------------------------
     def op_predecessors(self, op_name: str) -> list[str]:
         """Operators producing any input of ``op_name`` (deduplicated)."""
-        out: dict[str, None] = {}
-        for d in self.ops[op_name].inputs:
-            p = self.producer.get(d)
-            if p is not None:
-                out.setdefault(p)
-        return list(out)
+        self.ops[op_name]  # preserve KeyError on unknown operators
+        return list(self._adjacency()[0][op_name])
 
     def op_successors(self, op_name: str) -> list[str]:
         """Operators consuming any output of ``op_name`` (deduplicated)."""
-        out: dict[str, None] = {}
-        for d in self.ops[op_name].outputs:
-            for c in self.consumers.get(d, ()):
-                out.setdefault(c)
-        return list(out)
+        self.ops[op_name]
+        return list(self._adjacency()[1][op_name])
 
     def roots(self) -> list[str]:
         """Operators with no operator predecessors."""
-        return [o for o in self.ops if not self.op_predecessors(o)]
+        preds = self._adjacency()[0]
+        return [o for o in self.ops if not preds[o]]
 
     def leaves(self) -> list[str]:
-        return [o for o in self.ops if not self.op_successors(o)]
+        succs = self._adjacency()[1]
+        return [o for o in self.ops if not succs[o]]
+
+    def sorted_chunks(self, root: str) -> tuple[list[str], list[int], list[int]]:
+        """Concrete chunks tiling ``root``, sorted by row range.
+
+        Returns ``(names, starts, ends)`` with ``starts``/``ends`` parallel
+        to ``names`` so range queries can bisect instead of scanning.  A
+        non-virtual root tiles itself.  The result is cached on the graph;
+        callers must not mutate it.
+        """
+        ds = self.data[root]
+        if not ds.virtual:
+            rng = ds.row_range or (0, ds.rows)
+            return [root], [rng[0]], [rng[1]]
+        entry = self._sorted_chunks.get(root)
+        if entry is None:
+            ranged = []
+            for d in self.children.get(root, ()):
+                cds = self.data[d]
+                if not cds.virtual:
+                    ranged.append((cds.row_range or (0, cds.rows), d))
+            ranged.sort(key=lambda t: t[0])  # stable: ties keep insertion order
+            entry = (
+                [d for _, d in ranged],
+                [r[0] for r, _ in ranged],
+                [r[1] for r, _ in ranged],
+            )
+            self._sorted_chunks[root] = entry
+        return entry
 
     def template_inputs(self) -> list[str]:
         return [d for d, ds in self.data.items() if ds.is_input]
@@ -306,13 +377,14 @@ class OperatorGraph:
     # -- traversal -------------------------------------------------------------
     def topological_order(self) -> list[str]:
         """Kahn's algorithm; raises on cycles; insertion-order tiebreak."""
-        indeg = {o: len(self.op_predecessors(o)) for o in self.ops}
-        ready = [o for o in self.ops if indeg[o] == 0]
+        preds, succs = self._adjacency()
+        indeg = {o: len(preds[o]) for o in self.ops}
+        ready = deque(o for o in self.ops if indeg[o] == 0)
         order: list[str] = []
         while ready:
-            op = ready.pop(0)
+            op = ready.popleft()
             order.append(op)
-            for s in self.op_successors(op):
+            for s in succs[op]:
                 indeg[s] -= 1
                 if indeg[s] == 0:
                     ready.append(s)

@@ -1,0 +1,281 @@
+"""Content-addressed execution-plan cache.
+
+Compiling the same template for the same device with the same options is
+deterministic, so the result can be reused outright: the cache key is a
+stable structural hash of (graph, device parameters, CompileOptions) and
+the value is everything :meth:`repro.core.Framework.compile` would have
+recomputed — split graph, plan, operator order, split report.  Repeat
+compiles (the common case for a deployed template served against steady
+traffic) become a hash plus a dictionary lookup.
+
+Two tiers:
+
+* an in-memory LRU (always on) holding live objects — hits share the
+  graph/plan with earlier compiles, which is safe because the runtime
+  executors only read them;
+* an optional on-disk tier of JSON entries surviving process restarts.
+  Enable it by passing ``disk_dir`` or via the ``REPRO_PLAN_CACHE``
+  environment variable: ``1``/``on`` selects ``~/.cache/repro-plans``,
+  any other non-empty value is used as the directory itself, and
+  ``0``/``off``/unset disables it.  Corrupted entries are deleted and
+  treated as misses, never propagated.
+
+Keys are content-addressed, so *any* structural change — a different
+graph, device parameter, or compile option — lands on a different key;
+stale entries are never returned, only evicted by LRU order (memory) or
+left unreferenced (disk).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any
+
+from .graph import OperatorGraph
+from .plan import ExecutionPlan
+from .serialize import graph_from_dict, graph_to_dict, plan_from_dict, plan_to_dict
+from .splitting import SplitReport
+
+#: bump when the entry payload or key layout changes; old disk entries
+#: are then treated as corrupt and rewritten
+CACHE_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Keys
+# ---------------------------------------------------------------------------
+def _canonical(obj: Any) -> Any:
+    """Best-effort canonical JSON view for key hashing."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return dataclasses.asdict(obj)
+    if isinstance(obj, (set, frozenset)):
+        return sorted(obj)
+    if isinstance(obj, tuple):
+        return list(obj)
+    return str(obj)
+
+
+def plan_key(
+    graph: OperatorGraph,
+    device: Any,
+    options: Any,
+    *,
+    kind: str = "single",
+    extra: Any = None,
+) -> str:
+    """Stable content hash of one compilation's full input.
+
+    ``device`` and ``options`` may be any (possibly nested) dataclasses;
+    ``extra`` carries additional key material (e.g. the transfer mode and
+    host system of a multi-GPU compile).  The hash is over canonical JSON
+    (sorted keys), so it is stable across processes and platforms.
+    """
+    payload = {
+        "version": CACHE_VERSION,
+        "kind": kind,
+        "graph": graph_to_dict(graph),
+        "device": _canonical(device),
+        "options": _canonical(options),
+        "extra": extra,
+    }
+    blob = json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), default=_canonical
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Entries
+# ---------------------------------------------------------------------------
+@dataclass
+class CachedPlan:
+    """Everything a compile would recompute, ready for reuse."""
+
+    graph: OperatorGraph
+    plan: ExecutionPlan
+    op_order: list[str]
+    split_report: SplitReport
+    peak_device_floats: int = 0
+    fused_units: int = 0
+    #: compile-metrics snapshot at fill time (reused on hits so a warm
+    #: compile does not re-walk a 100k-step plan to rebuild gauges)
+    metrics: dict[str, Any] = field(default_factory=dict)
+    #: JSON-able side payload (e.g. the multi-GPU partition)
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "version": CACHE_VERSION,
+            "graph": graph_to_dict(self.graph),
+            "plan": plan_to_dict(self.plan),
+            "op_order": list(self.op_order),
+            "split_report": {
+                "rounds": self.split_report.rounds,
+                "split_ops": dict(self.split_report.split_ops),
+                "partitioned_roots": dict(self.split_report.partitioned_roots),
+            },
+            "peak_device_floats": self.peak_device_floats,
+            "fused_units": self.fused_units,
+            "metrics": self.metrics,
+            "extra": self.extra,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict[str, Any]) -> "CachedPlan":
+        if raw.get("version") != CACHE_VERSION:
+            raise ValueError(
+                f"plan-cache entry version {raw.get('version')!r} != "
+                f"{CACHE_VERSION}"
+            )
+        sr = raw.get("split_report", {})
+        return cls(
+            graph=graph_from_dict(raw["graph"]),
+            plan=plan_from_dict(raw["plan"]),
+            op_order=list(raw["op_order"]),
+            split_report=SplitReport(
+                rounds=int(sr.get("rounds", 0)),
+                split_ops=dict(sr.get("split_ops", {})),
+                partitioned_roots=dict(sr.get("partitioned_roots", {})),
+            ),
+            peak_device_floats=int(raw.get("peak_device_floats", 0)),
+            fused_units=int(raw.get("fused_units", 0)),
+            metrics=dict(raw.get("metrics", {})),
+            extra=dict(raw.get("extra", {})),
+        )
+
+
+# ---------------------------------------------------------------------------
+# The cache
+# ---------------------------------------------------------------------------
+class PlanCache:
+    """In-memory LRU + optional on-disk tier of compiled plans."""
+
+    def __init__(
+        self, max_entries: int = 32, disk_dir: str | None = None
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self.disk_dir = disk_dir
+        self._mem: OrderedDict[str, CachedPlan] = OrderedDict()
+        self.hits = 0  # memory-tier hits
+        self.disk_hits = 0
+        self.misses = 0
+        self.disk_writes = 0
+        self.corrupt_entries = 0
+
+    # -- lookup ----------------------------------------------------------
+    def get(self, key: str) -> CachedPlan | None:
+        entry = self._mem.get(key)
+        if entry is not None:
+            self._mem.move_to_end(key)
+            self.hits += 1
+            return entry
+        entry = self._disk_get(key)
+        if entry is not None:
+            self.disk_hits += 1
+            self._mem_put(key, entry)
+            return entry
+        self.misses += 1
+        return None
+
+    def put(self, key: str, entry: CachedPlan) -> None:
+        self._mem_put(key, entry)
+        self._disk_put(key, entry)
+
+    def clear(self) -> None:
+        self._mem.clear()
+
+    def __len__(self) -> int:
+        return len(self._mem)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "entries": len(self._mem),
+            "disk_writes": self.disk_writes,
+            "corrupt_entries": self.corrupt_entries,
+        }
+
+    # -- memory tier -----------------------------------------------------
+    def _mem_put(self, key: str, entry: CachedPlan) -> None:
+        self._mem[key] = entry
+        self._mem.move_to_end(key)
+        while len(self._mem) > self.max_entries:
+            self._mem.popitem(last=False)
+
+    # -- disk tier -------------------------------------------------------
+    def _path(self, key: str) -> str:
+        assert self.disk_dir is not None
+        return os.path.join(self.disk_dir, f"{key}.json")
+
+    def _disk_get(self, key: str) -> CachedPlan | None:
+        if self.disk_dir is None:
+            return None
+        path = self._path(key)
+        if not os.path.exists(path):
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                return CachedPlan.from_dict(json.load(fh))
+        except Exception:
+            # Truncated write, stale version, hand-edited junk: drop the
+            # entry and recompile rather than surface a broken plan.
+            self.corrupt_entries += 1
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+
+    def _disk_put(self, key: str, entry: CachedPlan) -> None:
+        if self.disk_dir is None:
+            return
+        try:
+            os.makedirs(self.disk_dir, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=self.disk_dir, prefix=".tmp-", suffix=".json"
+            )
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(entry.to_dict(), fh)
+            os.replace(tmp, self._path(key))  # atomic: readers never see partials
+            self.disk_writes += 1
+        except OSError:
+            pass  # a read-only or full disk degrades to memory-only
+
+
+# ---------------------------------------------------------------------------
+# Process-default cache
+# ---------------------------------------------------------------------------
+_DEFAULT: PlanCache | None = None
+
+
+def _disk_dir_from_env() -> str | None:
+    raw = os.environ.get("REPRO_PLAN_CACHE", "").strip()
+    if raw.lower() in ("", "0", "off", "none", "false"):
+        return None
+    if raw.lower() in ("1", "on", "true", "default"):
+        return os.path.join(os.path.expanduser("~"), ".cache", "repro-plans")
+    return raw
+
+
+def default_cache() -> PlanCache:
+    """The process-wide cache used by :class:`repro.core.Framework`."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = PlanCache(disk_dir=_disk_dir_from_env())
+    return _DEFAULT
+
+
+def reset_default_cache() -> None:
+    """Forget the process-default cache (tests, env-var changes)."""
+    global _DEFAULT
+    _DEFAULT = None

@@ -10,6 +10,8 @@ gap is one of the design choices DESIGN.md benchmarks).
 
 from __future__ import annotations
 
+import heapq
+import itertools
 from collections import deque
 
 from .graph import GraphError, OperatorGraph
@@ -25,7 +27,9 @@ def row_band(graph: OperatorGraph, op_name: str) -> tuple[int, int] | None:
     return (rng[0], rng[1]) if rng else None
 
 
-def _row_band_key(graph: OperatorGraph, op_name: str) -> tuple[int, int]:
+def _row_band_key(
+    graph: OperatorGraph, op_name: str, index: dict[str, int]
+) -> tuple[int, int]:
     """Sort key grouping split parts by the row band they produce.
 
     Visiting roots band-by-band (all operators covering rows [0,k) before
@@ -34,11 +38,13 @@ def _row_band_key(graph: OperatorGraph, op_name: str) -> tuple[int, int]:
     chunks — before starting the next, which is what keeps out-of-core
     transfer volume near the I/O bound.  Unsplit operators all map to
     band 0, so the order degenerates to insertion order on unsplit graphs.
+    ``index`` maps operator name to insertion position (built once by the
+    caller; an inline ``list(graph.ops).index`` would be quadratic).
     """
     op = graph.ops[op_name]
     rng = op.params.get("out_range")
     start = rng[0] if rng else 0
-    return (start, list(graph.ops).index(op_name))
+    return (start, index[op_name])
 
 
 def _dfs(graph: OperatorGraph, roots: list[str]) -> list[str]:
@@ -75,13 +81,7 @@ def dfs_schedule(graph: OperatorGraph) -> list[str]:
     :func:`dfs_naive_schedule` for plain insertion-order roots.
     """
     idx = {o: i for i, o in enumerate(graph.ops)}
-    roots = sorted(
-        graph.roots(),
-        key=lambda o: (
-            (graph.ops[o].params.get("out_range") or (0, 0))[0],
-            idx[o],
-        ),
-    )
+    roots = sorted(graph.roots(), key=lambda o: _row_band_key(graph, o, idx))
     return _dfs(graph, roots)
 
 
@@ -102,42 +102,82 @@ def greedy_schedule(graph: OperatorGraph) -> list[str]:
     (a) needs the least non-live input volume fetched, then (b) retires
     the most live bytes (inputs whose last use it is), then (c) follows
     DFS order — locality-first with explicit transfer awareness.
+
+    The live set mirrors the transfer scheduler's eager-free rule: an
+    output is live only while consumers remain (dead-on-arrival outputs
+    and template outputs past their last read get saved and freed, so
+    they occupy no memory), and a value leaves the live set with its
+    last read whether or not it is a template output.
+
+    The ready set lives in a min-heap with lazy invalidation: scheduling
+    an operator re-scores only the ready consumers of the data whose
+    liveness actually changed, instead of the whole ready set.
     """
     preds = {o: set(graph.op_predecessors(o)) for o in graph.ops}
     remaining_reads = {d: len(cons) for d, cons in graph.consumers.items()}
     dfs_pos = {o: i for i, o in enumerate(dfs_schedule(graph))}
+    uniq_inputs = {
+        o: tuple(dict.fromkeys(op.inputs)) for o, op in graph.ops.items()
+    }
+    size = {d: ds.size for d, ds in graph.data.items()}
     live: set[str] = set()
     scheduled: set[str] = set()
     ready = {o for o, p in preds.items() if not p}
     order: list[str] = []
-    while ready:
-        def cost(o: str):
-            op = graph.ops[o]
-            fetch = sum(
-                graph.data[d].size for d in set(op.inputs) if d not in live
-            )
-            freed = sum(
-                graph.data[d].size
-                for d in set(op.inputs)
-                if d in live and remaining_reads[d] == 1
-            )
-            return (fetch, -freed, dfs_pos[o])
 
-        chosen = min(ready, key=cost)
+    def cost(o: str):
+        fetch = 0
+        freed = 0
+        for d in uniq_inputs[o]:
+            if d in live:
+                if remaining_reads[d] == 1:
+                    freed += size[d]
+            else:
+                fetch += size[d]
+        return (fetch, -freed, dfs_pos[o])
+
+    heap: list[tuple[tuple[int, int, int], int, str]] = []
+    token: dict[str, int] = {}
+    token_counter = itertools.count()
+
+    def push(o: str) -> None:
+        seq = next(token_counter)
+        token[o] = seq
+        heapq.heappush(heap, (cost(o), seq, o))
+
+    for o in ready:
+        push(o)
+    while ready:
+        while True:
+            if not heap:
+                raise GraphError("greedy_schedule did not cover all operators")
+            _, seq, chosen = heapq.heappop(heap)
+            if chosen in ready and token.get(chosen) == seq:
+                break
         ready.discard(chosen)
+        del token[chosen]
         scheduled.add(chosen)
         order.append(chosen)
         op = graph.ops[chosen]
-        for d in set(op.inputs):
+        rescore: set[str] = set()
+        for d in uniq_inputs[chosen]:
             remaining_reads[d] -= 1
-            if remaining_reads[d] == 0 and not graph.data[d].is_output:
+            n = remaining_reads[d]
+            if n == 0:
                 live.discard(d)
+            elif n == 1:
+                # The freed-bytes bonus of d's remaining reader changed.
+                rescore.update(graph.consumers.get(d, ()))
         for d in op.outputs:
-            if graph.consumers.get(d) or graph.data[d].is_output:
+            if graph.consumers.get(d):
                 live.add(d)
         for s in graph.op_successors(chosen):
             if s not in scheduled and preds[s] <= scheduled:
                 ready.add(s)
+                push(s)
+        for o in rescore:
+            if o in ready:
+                push(o)
     if len(order) != len(graph.ops):
         raise GraphError("greedy_schedule did not cover all operators")
     return order

@@ -14,10 +14,12 @@ serialized recursively.
 from __future__ import annotations
 
 import json
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
-from .framework import CompiledTemplate
 from .graph import OperatorGraph, OutSpec, Slot
+
+if TYPE_CHECKING:  # avoid a cycle: framework -> plancache -> serialize
+    from .framework import CompiledTemplate
 from .plan import CopyToCPU, CopyToGPU, ExecutionPlan, Free, Launch, PeerCopy, Step
 
 FORMAT_VERSION = 1

@@ -30,6 +30,7 @@ operator merges them.
 from __future__ import annotations
 
 import math
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 
 from repro.ops import get_impl
@@ -73,31 +74,21 @@ def chunk_range(graph: OperatorGraph, name: str) -> tuple[int, int]:
 
 def chunks_of(graph: OperatorGraph, root: str) -> list[str]:
     """Concrete data structures currently tiling ``root`` (sorted by row)."""
-    ds = graph.data[root]
-    if not ds.virtual:
-        return [root]
-    out = [
-        d
-        for d in graph.children.get(root, ())
-        if not graph.data[d].virtual
-    ]
-    out.sort(key=lambda d: chunk_range(graph, d))
-    return out
+    return list(graph.sorted_chunks(root)[0])
 
 
 def select_chunks(
     graph: OperatorGraph, root: str, rows: tuple[int, int] | None
 ) -> list[str]:
     """Chunks of ``root`` overlapping the row range (all when ``rows=None``)."""
-    names = chunks_of(graph, root)
+    names, starts, ends = graph.sorted_chunks(root)
     if rows is None:
-        return names
+        return list(names)
     a, b = rows
-    return [
-        n
-        for n in names
-        if chunk_range(graph, n)[0] < b and chunk_range(graph, n)[1] > a
-    ]
+    # Chunks are disjoint and sorted, so the overlap set is a contiguous
+    # run: drop chunks ending at/before ``a``, keep those starting before
+    # ``b``.  Identical to filtering on start < b and end > a.
+    return names[bisect_right(ends, a) : bisect_left(starts, b)]
 
 
 def _per_row(graph: OperatorGraph, root: str) -> int:
@@ -141,7 +132,9 @@ def partition_data(
     replaced: dict[str, list[str]] = {}
     for oc in old_chunks:
         c0, c1 = chunk_range(graph, oc)
-        sub = [(a, b) for a, b in new_ranges if a >= c0 and b <= c1]
+        # Refinement only: every old chunk boundary is in ``bounds``, so
+        # the ranges inside [c0, c1) form a contiguous slice.
+        sub = new_ranges[bisect_left(bounds, c0) : bisect_left(bounds, c1)]
         if sub == [(c0, c1)] and oc != root:
             continue  # unchanged chunk, keep as-is
         names = []
@@ -186,6 +179,8 @@ def partition_data(
         graph.set_op_io(prod, pop.inputs, outputs)
     # Rewrite consumers to gather from overlapping refined chunks.
     for oc, news in replaced.items():
+        news_starts = [chunk_range(graph, n)[0] for n in news]
+        news_ends = [chunk_range(graph, n)[1] for n in news]
         for cons in list(graph.consumers.get(oc, ())):
             cop = graph.ops[cons]
             slots = [
@@ -203,10 +198,11 @@ def partition_data(
                                 else (0, rows)
                             )
                             rebuilt.extend(
-                                n
-                                for n in news
-                                if chunk_range(graph, n)[0] < b
-                                and chunk_range(graph, n)[1] > a
+                                news[
+                                    bisect_right(news_ends, a) : bisect_left(
+                                        news_starts, b
+                                    )
+                                ]
                             )
                         else:
                             rebuilt.append(name)
@@ -214,12 +210,14 @@ def partition_data(
             cop.params["slots"] = slots
             inputs = [n for s in slots for n in s.chunks]
             graph.set_op_io(cons, inputs, cop.outputs)
-    # Retire the replaced chunks.
+    # Retire the replaced chunks.  Flipping ``virtual`` bypasses the
+    # graph mutators, so drop its caches explicitly.
     for oc in replaced:
         if oc == root:
             ds.virtual = True
         else:
             graph.remove_data(oc)
+    graph.invalidate_caches()
 
 
 # ---------------------------------------------------------------------------
@@ -554,7 +552,12 @@ def estimate_split(graph: OperatorGraph, op_name: str, nparts: int) -> int:
             ra, rb = _clamp(req, root_rows)
             bounds = refined[slot.root]
             per = _per_row(graph, slot.root)
-            for c0, c1 in zip(bounds[:-1], bounds[1:]):
+            # Overlapping refined ranges form a contiguous run of the
+            # sorted bounds (range k is [bounds[k], bounds[k+1])).
+            k0 = max(0, bisect_right(bounds, ra) - 1)
+            k1 = min(len(bounds) - 1, bisect_left(bounds, rb))
+            for k in range(k0, k1):
+                c0, c1 = bounds[k], bounds[k + 1]
                 if c0 < rb and c1 > ra:
                     key = (slot.root, (c0, c1))
                     if key not in seen_ranges:

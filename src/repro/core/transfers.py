@@ -34,6 +34,7 @@ host-consistent data is simply freed.
 
 from __future__ import annotations
 
+import heapq
 import itertools
 from dataclasses import dataclass
 from typing import Sequence
@@ -44,7 +45,27 @@ from .plan import CopyToCPU, CopyToGPU, ExecutionPlan, Free, Launch, PlanError, 
 _INF = float("inf")
 
 
-@dataclass
+class _MaxEntry:
+    """Eviction-heap entry: inverted comparison turns heapq into a max-heap.
+
+    ``key`` embeds the data name as its last component, so keys are unique
+    and ``__lt__`` alone defines a strict total order.  ``seq`` is the
+    lazy-invalidation token: an entry is live only while it matches the
+    scheduler's current token for ``name``.
+    """
+
+    __slots__ = ("key", "seq", "name")
+
+    def __init__(self, key, seq: int, name: str) -> None:
+        self.key = key
+        self.seq = seq
+        self.name = name
+
+    def __lt__(self, other: "_MaxEntry") -> bool:
+        return self.key > other.key
+
+
+@dataclass(slots=True)
 class Resident:
     """Book-keeping for one device-resident data structure.
 
@@ -71,6 +92,7 @@ class TransferScheduler:
         *,
         policy: str = "belady",
         eager_free: bool = True,
+        use_heap: bool = True,
     ) -> None:
         if policy not in ("belady", "cost", "ltu", "lru", "fifo"):
             raise ValueError(f"unknown eviction policy {policy!r}")
@@ -78,6 +100,9 @@ class TransferScheduler:
         self.capacity = capacity_floats
         self.policy = policy
         self.eager_free = eager_free
+        # ``use_heap=False`` falls back to the reference linear-scan
+        # eviction; it exists so tests can check the heap against it.
+        self.use_heap = use_heap
 
     # -- public ------------------------------------------------------------
     def schedule(self, op_order: Sequence[str]) -> ExecutionPlan:
@@ -95,6 +120,11 @@ class TransferScheduler:
         last_use = {
             d: (us[-1] if us else -1) for d, us in uses.items()
         }
+        # ``use_ptr[d]`` indexes the first use of ``d`` not yet executed.
+        # It is advanced eagerly in the main loop when an operator consumes
+        # ``d``; between consumptions the pointer (and therefore every
+        # eviction key) is constant, which is what lets the heap entries
+        # below stay valid without re-sorting.
         use_ptr = {d: 0 for d in uses}
         counter = itertools.count()
 
@@ -102,29 +132,37 @@ class TransferScheduler:
         notes: list[str] = []  # provenance, parallel to steps (repro.obs)
         resident: dict[str, _Resident] = {}
         used = 0
+        # Residency insertion sequence (dict order proxy) for free_dead;
+        # separate from ``counter`` so LRU/FIFO ticks are untouched.
+        res_seq: dict[str, int] = {}
+        seq_counter = itertools.count()
+        # Max-heap over (evict_key, size, name) with lazy invalidation:
+        # ``token[d]`` names the single live entry per resident datum.
+        heap: list[_MaxEntry] = []
+        token: dict[str, int] = {}
+        token_counter = itertools.count()
+        use_heap = self.use_heap
 
         def emit(step: Step, reason: str) -> None:
             steps.append(step)
             notes.append(reason)
 
-        def next_use(d: str, t: int) -> float:
+        def next_use(d: str) -> float:
+            """First remaining use of ``d`` (eagerly-maintained pointer).
+
+            No further reads: template outputs still need saving, which
+            makes them the cheapest possible eviction (copy-out was due
+            anyway); everything else is dead.
+            """
             us = uses[d]
             i = use_ptr[d]
-            while i < len(us) and us[i] < t:
-                i += 1
-            use_ptr[d] = i
-            if i < len(us):
-                return us[i]
-            # No further reads: template outputs still need saving, which
-            # makes them the cheapest possible eviction (copy-out was due
-            # anyway); everything else is dead.
-            return _INF
+            return us[i] if i < len(us) else _INF
 
-        def evict_key(d: str, t: int):
+        def evict_key(d: str):
             if self.policy == "belady":
-                return next_use(d, t)
+                return next_use(d)
             if self.policy == "cost":
-                nxt = next_use(d, t)
+                nxt = next_use(d)
                 entry = resident[d]
                 if nxt == _INF:
                     # Dead (or an output whose mandatory save happens on
@@ -143,20 +181,49 @@ class TransferScheduler:
                 return -resident[d].touched
             return -resident[d].arrived  # fifo
 
+        def push_entry(d: str) -> None:
+            seq = next(token_counter)
+            token[d] = seq
+            heapq.heappush(
+                heap, _MaxEntry((evict_key(d), resident[d].size, d), seq, d)
+            )
+
         def evict_one(t: int, pinned: set[str]) -> None:
             nonlocal used
-            candidates = [d for d in resident if d not in pinned]
-            if not candidates:
-                raise PlanError(
-                    f"cannot free device memory at t={t}: all resident data "
-                    "is pinned by the current operator"
+            if use_heap:
+                aside: list[_MaxEntry] = []
+                chosen: _MaxEntry | None = None
+                while heap:
+                    e = heapq.heappop(heap)
+                    if token.get(e.name) != e.seq or e.name not in resident:
+                        continue  # stale: superseded, evicted, or freed
+                    if e.name in pinned:
+                        aside.append(e)
+                        continue
+                    chosen = e
+                    break
+                for e in aside:
+                    heapq.heappush(heap, e)
+                if chosen is None:
+                    raise PlanError(
+                        f"cannot free device memory at t={t}: all resident "
+                        "data is pinned by the current operator"
+                    )
+                victim = chosen.name
+                del token[victim]
+            else:
+                candidates = [d for d in resident if d not in pinned]
+                if not candidates:
+                    raise PlanError(
+                        f"cannot free device memory at t={t}: all resident data "
+                        "is pinned by the current operator"
+                    )
+                victim = max(
+                    candidates,
+                    key=lambda d: (evict_key(d), resident[d].size, d),
                 )
-            victim = max(
-                candidates,
-                key=lambda d: (evict_key(d, t), resident[d].size, d),
-            )
             entry = resident.pop(victim)
-            nxt = next_use(victim, t)
+            nxt = next_use(victim)
             where = (
                 f"next use at step {int(nxt)}" if nxt != _INF else "no future use"
             )
@@ -187,12 +254,18 @@ class TransferScheduler:
                 )
             used -= entry.size
 
-        def free_dead(t: int) -> None:
-            """Eagerly drop device data with no future use (step 3)."""
+        def free_dead(t: int, dead: list[str]) -> None:
+            """Eagerly drop device data with no future use (step 3).
+
+            Under eager freeing nothing dead survives a step, so the dead
+            set at step ``t`` is exactly the current operator's touched
+            data whose last use has passed — the caller collects it and
+            this emits the frees in residency (insertion) order, matching
+            the original full scan of ``resident``.
+            """
             nonlocal used
-            for d in list(resident):
-                if next_use(d, t + 1) != _INF:
-                    continue
+            dead.sort(key=res_seq.__getitem__)
+            for d in dead:
                 entry = resident[d]
                 if is_output.get(d, False) and not entry.host_valid:
                     emit(
@@ -203,6 +276,7 @@ class TransferScheduler:
                 emit(Free(d), f"freed: dead after step {t} (eager free)")
                 used -= entry.size
                 del resident[d]
+                token.pop(d, None)
 
         for t, op_name in enumerate(op_order):
             op = graph.ops[op_name]
@@ -236,12 +310,21 @@ class TransferScheduler:
                     touched=next(counter),
                     host_valid=True,
                 )
+                res_seq[d] = next(seq_counter)
                 used += resident[d].size
             emit(Launch(op_name), f"launch: scheduled position {t}")
             tick = next(counter)
             for d in ins:
                 resident[d].touched = tick
+                # Consume this use: advance the next-use pointer past ``t``.
+                us = uses[d]
+                i = use_ptr[d]
+                while i < len(us) and us[i] <= t:
+                    i += 1
+                use_ptr[d] = i
             for d in outs:
+                if d not in resident:
+                    res_seq[d] = next(seq_counter)
                 resident[d] = _Resident(
                     size=graph.data[d].size,
                     arrived=tick,
@@ -250,7 +333,19 @@ class TransferScheduler:
                 )
                 used += resident[d].size
             if self.eager_free:
-                free_dead(t)
+                dead = [d for d in ins if last_use[d] <= t and d in resident]
+                dead += [d for d in outs if last_use[d] == -1]
+                if dead:
+                    free_dead(t, dead)
+            if use_heap:
+                # Eviction keys changed only for this operator's data;
+                # push fresh heap entries for those still resident.
+                for d in ins:
+                    if d in resident:
+                        push_entry(d)
+                for d in outs:
+                    if d in resident:
+                        push_entry(d)
         # Save any template outputs still on device, then drain.
         for d in list(resident):
             entry = resident[d]

@@ -29,6 +29,7 @@ import numpy as np
 from repro.core.framework import CompileOptions
 from repro.core.graph import OperatorGraph
 from repro.core.plan import ExecutionPlan, validate_plan
+from repro.core.plancache import CachedPlan, PlanCache, default_cache, plan_key
 from repro.core.scheduling import get_scheduler
 from repro.core.splitting import SplitReport, make_feasible
 from repro.gpusim import DeviceGroup, HostSystem
@@ -92,9 +93,36 @@ def compile_multi(
     options: CompileOptions | None = None,
     *,
     transfer_mode: str = "peer",
+    plan_cache: PlanCache | bool | None = True,
 ) -> MultiCompiledTemplate:
-    """Compile a template into a validated device-tagged execution plan."""
+    """Compile a template into a validated device-tagged execution plan.
+
+    Like :meth:`repro.core.Framework.compile`, the result is stored in
+    the content-addressed plan cache (keyed on graph + group + options +
+    transfer mode + host) and repeat compiles return it without
+    re-running the pipeline.  Pass ``plan_cache=False`` to opt out.
+    """
     opts = options or CompileOptions()
+    if plan_cache is True:
+        cache: PlanCache | None = default_cache()
+    elif plan_cache is False or plan_cache is None:
+        cache = None
+    else:
+        cache = plan_cache
+    key: str | None = None
+    if cache is not None:
+        key = plan_key(
+            template,
+            group,
+            opts,
+            kind="multi",
+            extra={"transfer_mode": transfer_mode, "host": host},
+        )
+        entry = cache.get(key)
+        if entry is not None:
+            return _multi_from_cache(
+                entry, key, group, host, opts, transfer_mode
+            )
     n = len(group)
     caps = group.usable_memory_floats
     cap_min = min(caps)
@@ -107,7 +135,10 @@ def compile_multi(
         template=template.name,
         devices=n,
         transfer_mode=transfer_mode,
+        plan_cache="miss" if cache is not None else "off",
     ):
+        if cache is not None and key is not None:
+            tracer.event("plan_cache", hit=False, key=key[:16])
         graph = template.copy()
         report = SplitReport()
         with tracer.span("splitting", devices=n) as sp:
@@ -149,7 +180,7 @@ def compile_multi(
         with tracer.span("validate") as sp:
             peak = validate_plan(plan, graph, caps)
             sp.set(peak_device_floats=peak)
-    return MultiCompiledTemplate(
+    compiled = MultiCompiledTemplate(
         graph=graph,
         plan=plan,
         op_order=op_order,
@@ -160,6 +191,64 @@ def compile_multi(
         options=opts,
         transfer_mode=transfer_mode,
         peak_device_floats=peak,
+        spans=sorted(tracer.spans, key=lambda s: s.start),
+    )
+    if cache is not None and key is not None:
+        cache.put(
+            key,
+            CachedPlan(
+                graph=graph,
+                plan=plan,
+                op_order=list(op_order),
+                split_report=report,
+                peak_device_floats=peak,
+                extra={
+                    "partition": {
+                        "assignment": dict(part.assignment),
+                        "num_devices": part.num_devices,
+                        "device_costs": list(part.device_costs),
+                    }
+                },
+            ),
+        )
+    return compiled
+
+
+def _multi_from_cache(
+    entry: CachedPlan,
+    key: str,
+    group: DeviceGroup,
+    host: HostSystem | None,
+    opts: CompileOptions,
+    transfer_mode: str,
+) -> MultiCompiledTemplate:
+    """Rehydrate a multi-device cache hit (partition rides in ``extra``)."""
+    tracer = Tracer()
+    with tracer.span(
+        "compile_multi",
+        template=entry.graph.name,
+        devices=len(group),
+        transfer_mode=transfer_mode,
+        plan_cache="hit",
+    ):
+        tracer.event("plan_cache", hit=True, key=key[:16])
+    pe = entry.extra.get("partition", {})
+    part = Partition(
+        assignment={o: int(d) for o, d in pe.get("assignment", {}).items()},
+        num_devices=int(pe.get("num_devices", len(group))),
+        device_costs=[float(c) for c in pe.get("device_costs", [])],
+    )
+    return MultiCompiledTemplate(
+        graph=entry.graph,
+        plan=entry.plan,
+        op_order=list(entry.op_order),
+        partition=part,
+        split_report=entry.split_report,
+        group=group,
+        host=host,
+        options=opts,
+        transfer_mode=transfer_mode,
+        peak_device_floats=entry.peak_device_floats,
         spans=sorted(tracer.spans, key=lambda s: s.start),
     )
 

@@ -1,0 +1,22 @@
+"""Test-suite configuration.
+
+Each test gets a fresh process-default plan cache so compiles inside a
+test always run the full pipeline (phase spans, split reports) and no
+test observes a cache hit caused by an earlier test compiling the same
+template.  The disk tier is likewise disabled so a developer's
+``REPRO_PLAN_CACHE`` setting cannot leak state between test runs.
+Caching behaviour itself is exercised explicitly in
+``tests/test_plancache.py`` with private :class:`PlanCache` instances.
+"""
+
+import pytest
+
+from repro.core import reset_default_cache
+
+
+@pytest.fixture(autouse=True)
+def _fresh_plan_cache(monkeypatch):
+    monkeypatch.delenv("REPRO_PLAN_CACHE", raising=False)
+    reset_default_cache()
+    yield
+    reset_default_cache()

@@ -97,3 +97,123 @@ class TestLookup:
     def test_topo_matches_graph_order(self):
         g = tree()
         assert topo_schedule(g) == g.topological_order()
+
+
+class TestGreedyLiveSet:
+    """greedy_schedule's live set mirrors the eager-free residency rule.
+
+    Dead-on-arrival outputs are never live (the transfer scheduler saves
+    and frees them immediately) and any value leaves the live set with
+    its last read, template output or not.  The replay oracle below
+    recomputes the live set per that rule at every step and checks the
+    chosen operator minimizes (fetch, -freed, dfs-position) — so both
+    the liveness semantics and the incremental heap rescoring are pinned
+    against a from-scratch reference.
+    """
+
+    @staticmethod
+    def reference_greedy(graph):
+        """O(n^2) greedy with the eager-free live rule, no heap."""
+        from repro.core import dfs_schedule
+
+        preds = {o: set(graph.op_predecessors(o)) for o in graph.ops}
+        remaining = {d: len(c) for d, c in graph.consumers.items()}
+        dfs_pos = {o: i for i, o in enumerate(dfs_schedule(graph))}
+        live, scheduled, order = set(), set(), []
+        ready = {o for o, p in preds.items() if not p}
+
+        def cost(o):
+            ins = dict.fromkeys(graph.ops[o].inputs)
+            fetch = sum(
+                graph.data[d].size for d in ins if d not in live
+            )
+            freed = sum(
+                graph.data[d].size
+                for d in ins
+                if d in live and remaining[d] == 1
+            )
+            return (fetch, -freed, dfs_pos[o])
+
+        while ready:
+            chosen = min(ready, key=cost)
+            ready.discard(chosen)
+            scheduled.add(chosen)
+            order.append(chosen)
+            for d in dict.fromkeys(graph.ops[chosen].inputs):
+                remaining[d] -= 1
+                if remaining[d] == 0:
+                    live.discard(d)  # freed at last read even if is_output
+            for d in graph.ops[chosen].outputs:
+                if graph.consumers.get(d):
+                    live.add(d)  # dead-on-arrival outputs are not live
+            for s in graph.op_successors(chosen):
+                if s not in scheduled and preds[s] <= scheduled:
+                    ready.add(s)
+        return order
+
+    def test_matches_reference_on_templates(self):
+        from repro.core import greedy_schedule
+
+        for g in (
+            chain(),
+            tree(),
+            find_edges_graph(48, 48, 5, 4),
+            cnn_graph(SMALL_CNN, 48, 48),
+        ):
+            assert greedy_schedule(g) == self.reference_greedy(g)
+
+    def test_matches_reference_on_random_graphs(self):
+        from repro.core import greedy_schedule
+
+        from .differential import random_operator_graph
+
+        for seed in range(25):
+            g = random_operator_graph(seed, n_layers=4, width=4)
+            assert greedy_schedule(g) == self.reference_greedy(g), seed
+
+    def test_dead_on_arrival_output_is_not_live(self):
+        """An unconsumed template output must not distort later costs.
+
+        ``probe`` produces a huge dead-on-arrival output; afterwards two
+        branches are ready.  Both cost the same fetch, so the freed
+        bonus decides — and the live set at that point may contain only
+        genuinely resident values (mid, not big_out).
+        """
+        from repro.core import greedy_schedule
+
+        g = OperatorGraph("doa")
+        g.add_data("src", (8, 8), is_input=True)
+        g.add_data("big_out", (64, 64), is_output=True)  # no consumers
+        g.add_data("mid", (8, 8))
+        g.add_data("fin", (8, 8), is_output=True)
+        g.add_operator("probe", "remap", ["src"], ["big_out"])
+        g.add_operator("mk_mid", "tanh", ["src"], ["mid"])
+        g.add_operator("use_mid", "relu", ["mid"], ["fin"])
+        order = greedy_schedule(g)
+        assert_topological(g, order)
+        assert order == self.reference_greedy(g)
+        # use_mid runs right after mk_mid: mid is live with one read
+        # left (freed bonus), while big_out contributes nothing.
+        assert order.index("use_mid") == order.index("mk_mid") + 1
+
+    def test_output_freed_at_last_read(self):
+        """A template output's last read still earns the freed bonus."""
+        from repro.core import greedy_schedule
+
+        g = OperatorGraph("outfree")
+        g.add_data("src", (8, 8), is_input=True)
+        # "kept" is a template output but also read once more.
+        g.add_data("kept", (32, 32), is_output=True)
+        g.add_data("small", (2, 2))
+        g.add_data("o1", (8, 8), is_output=True)
+        g.add_data("o2", (8, 8), is_output=True)
+        g.add_operator("mk_kept", "remap", ["src"], ["kept"])
+        g.add_operator("mk_small", "tanh", ["src"], ["small"])
+        # Reader of the big live output vs reader of the small live one:
+        # equal fetch (zero), so the bigger freed bonus must win.
+        g.add_operator("read_kept", "relu", ["kept"], ["o1"])
+        g.add_operator("read_small", "relu", ["small"], ["o2"])
+        order = greedy_schedule(g)
+        assert_topological(g, order)
+        assert order == self.reference_greedy(g)
+        assert order.index("read_kept") < order.index("read_small")
