@@ -109,7 +109,7 @@ class RunRow:
 
 def evaluate(graph: OperatorGraph, device: GpuDevice, host: HostSystem) -> RunRow:
     """Compile + simulate both the optimized plan and the baseline."""
-    fw = Framework(device, host)
+    fw = Framework(device, host=host)
     compiled = fw.compile(graph)
     optimized = fw.simulate(compiled)
     baseline = baseline_transfers = None

@@ -36,7 +36,7 @@ def regenerate():
     rows = []
     for label, build, mem in CASES:
         device = base_device.with_memory(mem) if mem else base_device
-        fw = Framework(device, host)
+        fw = Framework(device, host=host)
         graph = build()
         compiled = fw.compile(graph)
         ov = simulate_plan_overlap(compiled.plan, compiled.graph, device, host)

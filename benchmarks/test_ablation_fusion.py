@@ -30,7 +30,9 @@ def regenerate():
     rows = []
     for fuse in (False, True):
         fw = Framework(
-            dev, XEON_WORKSTATION, CompileOptions(fuse_offload_units=fuse)
+            dev,
+            host=XEON_WORKSTATION,
+            options=CompileOptions(fuse_offload_units=fuse),
         )
         g = pipeline(12, 1000)
         compiled = fw.compile(g)

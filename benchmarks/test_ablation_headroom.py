@@ -35,8 +35,8 @@ def regenerate():
         for h in HEADROOMS + ("auto",):
             fw = Framework(
                 GEFORCE_8800_GTX,
-                CORE2_DESKTOP,
-                CompileOptions(split_headroom=h),
+                host=CORE2_DESKTOP,
+                options=CompileOptions(split_headroom=h),
             )
             compiled = fw.compile(graph)
             rows.append(

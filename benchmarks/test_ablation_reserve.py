@@ -27,7 +27,7 @@ def regenerate():
     rows = []
     for reserve in RESERVES:
         dev = dataclasses.replace(GEFORCE_8800_GTX, memory_reserve=reserve)
-        fw = Framework(dev, XEON_WORKSTATION)
+        fw = Framework(dev, host=XEON_WORKSTATION)
         compiled = fw.compile(graph)
         sim = fw.simulate(compiled)
         rows.append(

@@ -26,7 +26,7 @@ def regenerate():
     rows = []
     for ram in RAM_SIZES:
         host = HostSystem(name=f"host-{ram // MB}MB", memory_bytes=ram)
-        fw = Framework(GEFORCE_8800_GTX, host)
+        fw = Framework(GEFORCE_8800_GTX, host=host)
         compiled = fw.compile(graph)
         sim = fw.simulate(compiled)
         rows.append(

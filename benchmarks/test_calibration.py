@@ -34,7 +34,7 @@ PAPER_C870_ROWS = [
 
 
 def regenerate():
-    fw = Framework(TESLA_C870, XEON_WORKSTATION)
+    fw = Framework(TESLA_C870, host=XEON_WORKSTATION)
     base_obs, opt_obs = [], []
     for label, build, secs, kind in PAPER_C870_ROWS:
         graph = build()

@@ -39,7 +39,7 @@ def conv_template(side: int, k: int) -> OperatorGraph:
 
 
 def regenerate():
-    fw = Framework(TESLA_C870, XEON_WORKSTATION)
+    fw = Framework(TESLA_C870, host=XEON_WORKSTATION)
     rows = []
     for k in KERNELS:
         compiled = fw.compile_baseline(conv_template(SIDE, k))

@@ -34,7 +34,7 @@ SIDES = [1000, 2000, 3000, 4000, 6000, 8000, 9000, 10000, 12000, 16000]
 
 
 def regenerate():
-    fw = Framework(TESLA_C870, XEON_WORKSTATION)
+    fw = Framework(TESLA_C870, host=XEON_WORKSTATION)
     rows = []
     for side in SIDES:
         g = find_edges_graph(side, side, 16, 4)

@@ -49,7 +49,7 @@ def main() -> None:
     # compiler must schedule evictions (the CNN does not need splitting —
     # single operators are small — but persistence decisions matter).
     device = GpuDevice(name="embedded-gpu", memory_bytes=2 * MB)
-    fw = Framework(device, XEON_WORKSTATION)
+    fw = Framework(device, host=XEON_WORKSTATION)
     compiled = fw.compile(template)
     print(f"compiled for {device.name} ({device.memory_bytes // MB} MB):")
     print(f"  {compiled.summary()}")

@@ -49,7 +49,7 @@ def main() -> None:
         f"{prof.max_op_footprint * FLOAT_BYTES // MB} MB"
     )
 
-    fw = Framework(device, CORE2_DESKTOP)
+    fw = Framework(device, host=CORE2_DESKTOP)
 
     # The baseline (copy-in / execute / copy-out per operator) cannot run:
     try:

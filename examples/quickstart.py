@@ -10,6 +10,7 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
+import repro
 from repro.core import Framework
 from repro.gpusim import TESLA_C870, XEON_WORKSTATION
 from repro.runtime import reference_execute
@@ -26,13 +27,12 @@ def main() -> None:
 
     # 2. Compile for the target GPU: splitting (if needed), offload
     #    scheduling, transfer scheduling -> a validated execution plan.
-    fw = Framework(TESLA_C870, XEON_WORKSTATION)
-    compiled = fw.compile(template)
+    compiled = repro.compile(template, device=TESLA_C870, host=XEON_WORKSTATION)
     print(f"plan: {compiled.summary()}")
 
     # 3. Execute on the simulated device with real data.
     inputs = find_edges_inputs(height, width, 16, 4, seed=0)
-    result = fw.execute(compiled, inputs)
+    result = repro.execute(compiled, inputs)
     edge_map = result.outputs["Edg"]
     print(
         f"executed in {result.elapsed * 1e3:.2f} simulated ms "
@@ -45,8 +45,9 @@ def main() -> None:
     print("matches the pure-numpy reference: OK")
 
     # 5. Compare with the paper's baseline offload pattern.
+    fw = Framework(TESLA_C870, host=XEON_WORKSTATION)
     baseline = fw.simulate(fw.compile_baseline(template))
-    optimized = fw.simulate(compiled)
+    optimized = repro.simulate(compiled)
     print(
         f"baseline {baseline.total_time * 1e3:.2f} ms vs optimized "
         f"{optimized.total_time * 1e3:.2f} ms "

@@ -1,39 +1,76 @@
 """repro — reproduction of "A framework for efficient and scalable
 execution of domain-specific templates on GPUs" (IPDPS 2009).
 
-Public API highlights
----------------------
+Stable public facade
+--------------------
+* :func:`repro.compile` / :func:`repro.execute` / :func:`repro.simulate`
+  — compile + run templates against one GPU or a device group
+* :func:`repro.compile_multi` — explicit multi-GPU compilation
+* :class:`repro.CompileOptions` — keyword-only compilation knobs
+* :class:`repro.ExecutionService` / :class:`repro.ServiceConfig` — the
+  concurrent execution service (``repro serve`` / ``repro submit``)
+
+Layered packages (power users)
+------------------------------
 * :class:`repro.core.OperatorGraph` — the parallel operator graph IR
 * :class:`repro.core.Framework` / :func:`repro.core.run_template` —
   compile + execute templates against a target GPU
 * :mod:`repro.templates` — ``find_edges_graph`` and the CNN factories
 * :mod:`repro.gpusim` — the simulated GPU platforms (Tesla C870,
-  GeForce 8800 GTX)
+  GeForce 8800 GTX) plus the deterministic fault injector
+* :mod:`repro.service` — bounded worker pool, single-flight dedupe,
+  deadlines, retries with exponential backoff
 * :mod:`repro.pb` — the from-scratch SAT/PB optimiser behind the exact
   Figure-5 scheduling
 """
 
-from . import analysis, codegen, core, gpusim, ops, pb, runtime, templates
+from . import (
+    analysis,
+    api,
+    codegen,
+    core,
+    gpusim,
+    multigpu,
+    obs,
+    ops,
+    pb,
+    runtime,
+    service,
+    templates,
+)
+from .api import compile, compile_multi, execute, simulate
 from .core import CompileOptions, Framework, OperatorGraph, run_template
 from .gpusim import GEFORCE_8800_GTX, TESLA_C870, GpuDevice, HostSystem
+from .service import ExecutionService, ServiceConfig, ServiceRequest
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CompileOptions",
+    "ExecutionService",
     "Framework",
     "GEFORCE_8800_GTX",
     "GpuDevice",
     "HostSystem",
     "OperatorGraph",
+    "ServiceConfig",
+    "ServiceRequest",
     "TESLA_C870",
     "analysis",
+    "api",
     "codegen",
+    "compile",
+    "compile_multi",
     "core",
+    "execute",
     "gpusim",
+    "multigpu",
+    "obs",
     "ops",
     "pb",
     "run_template",
     "runtime",
+    "service",
+    "simulate",
     "templates",
 ]

@@ -1,0 +1,62 @@
+"""Deprecation shims for the pre-facade call shapes.
+
+The public surface is keyword-only from the facade redesign onward
+(`repro.compile(...)`, `Framework(device, host=...)`,
+`CompileOptions(scheduler=...)`).  Old positional call shapes keep
+working — routed through :func:`legacy_positional` — but emit a
+:class:`DeprecationWarning` naming the replacement, and are exercised by
+tests that pin byte-identical plans against the new surface.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any, Sequence
+
+
+#: distinguishes "not passed" from an explicit None/False keyword so the
+#: legacy-positional shims can reject genuine duplicates
+UNSET: Any = object()
+
+
+def explicit_kwargs(**kwargs: Any) -> dict[str, Any]:
+    """The subset of ``kwargs`` the caller actually passed (is not UNSET)."""
+    return {k: v for k, v in kwargs.items() if v is not UNSET}
+
+
+def legacy_positional(
+    where: str,
+    names: Sequence[str],
+    args: tuple[Any, ...],
+    kwargs: dict[str, Any],
+) -> dict[str, Any]:
+    """Fold deprecated positional ``args`` into ``kwargs``.
+
+    ``names`` lists the keyword parameters the positionals map to, in
+    declaration order.  Returns ``kwargs`` with the positionals merged
+    in; raises ``TypeError`` for overflow or duplicates exactly like a
+    native signature would.
+    """
+    if not args:
+        return kwargs
+    if len(args) > len(names):
+        raise TypeError(
+            f"{where} takes at most {len(names)} positional "
+            f"argument{'s' if len(names) != 1 else ''} beyond the "
+            f"required ones ({len(args)} given)"
+        )
+    shown = ", ".join(f"{n}=..." for n in names[: len(args)])
+    warnings.warn(
+        f"passing {', '.join(names[:len(args)])!s} positionally to {where} "
+        f"is deprecated; use keyword arguments ({where}({shown}))",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    for name, value in zip(names, args):
+        if name in kwargs:
+            raise TypeError(f"{where} got multiple values for argument {name!r}")
+        kwargs[name] = value
+    return kwargs
+
+
+__all__ = ["UNSET", "explicit_kwargs", "legacy_positional"]

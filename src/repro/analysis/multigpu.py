@@ -71,7 +71,8 @@ def scaling_report(
     for n in device_counts:
         group = homogeneous_group(device, n, shared_bus=shared_bus)
         compiled = compile_multi(
-            template, group, host, options, transfer_mode=transfer_mode
+            template, group, host=host, options=options,
+            transfer_mode=transfer_mode,
         )
         sim = simulate_multi(compiled)
         if base_time is None:

@@ -12,6 +12,13 @@ plan, run it on the simulated device, or emit the generated program.
     repro report  --template edge --size 512x512 --num-devices 2
     repro bench-compare benchmarks/baselines benchmarks/results
     repro codegen --template edge --size 1024x1024 --lang cuda -o out.cu
+    repro submit  --template edge --size 512x512 --repeat 8 --workers 4
+    repro serve   jobs.json --workers 8 --fault-rate 0.2
+
+Exit codes: 0 success; 1 application failure (verify mismatch, benchmark
+regression, failed/expired service request); 2 user error (bad flags,
+malformed input files, infeasible configuration); 70 internal error.
+Errors go to stderr; stdout carries only the requested output.
 """
 
 from __future__ import annotations
@@ -51,8 +58,16 @@ from repro.gpusim import (
     device_by_name,
     homogeneous_group,
 )
+from repro.gpusim.faults import FaultSpec
 from repro.multigpu import compile_multi, execute_multi, simulate_multi
 from repro.runtime import reference_execute, simulate_plan
+from repro.service import (
+    ExecutionService,
+    RetryPolicy,
+    ServiceConfig,
+    ServiceError,
+    ServiceRequest,
+)
 from repro.templates import (
     LARGE_CNN,
     SMALL_CNN,
@@ -65,6 +80,17 @@ from repro.templates import (
 )
 
 
+EXIT_OK = 0
+EXIT_FAILURE = 1  # the command ran, but the answer is "no" (verify,
+#                   bench regression, failed/expired service requests)
+EXIT_USAGE = 2  # user error: bad flags, malformed files, infeasible config
+EXIT_INTERNAL = 70  # os.EX_SOFTWARE: a bug in repro, please report
+
+
+class CLIError(Exception):
+    """A user-facing error: reported to stderr, exit code 2."""
+
+
 def _parse_size(text: str) -> tuple[int, int]:
     try:
         w, h = text.lower().split("x")
@@ -75,25 +101,49 @@ def _parse_size(text: str) -> tuple[int, int]:
         ) from None
 
 
-def _build(args) -> tuple:
-    h, w = args.size
-    if args.template == "edge":
-        graph = find_edges_graph(h, w, args.kernel, args.orientations)
+TEMPLATES = ("edge", "small-cnn", "large-cnn", "pyramid")
+
+
+def _build_template(
+    template: str,
+    size: tuple[int, int],
+    *,
+    kernel: int = 16,
+    orientations: int = 4,
+    octaves: int = 3,
+    seed: int = 0,
+) -> tuple:
+    h, w = size
+    if template == "edge":
+        graph = find_edges_graph(h, w, kernel, orientations)
         inputs: Callable = lambda: find_edges_inputs(
-            h, w, args.kernel, args.orientations, seed=args.seed
+            h, w, kernel, orientations, seed=seed
         )
-    elif args.template == "small-cnn":
+    elif template == "small-cnn":
         graph = cnn_graph(SMALL_CNN, h, w)
-        inputs = lambda: cnn_inputs(SMALL_CNN, h, w, seed=args.seed)
-    elif args.template == "large-cnn":
+        inputs = lambda: cnn_inputs(SMALL_CNN, h, w, seed=seed)
+    elif template == "large-cnn":
         graph = cnn_graph(LARGE_CNN, h, w)
-        inputs = lambda: cnn_inputs(LARGE_CNN, h, w, seed=args.seed)
-    elif args.template == "pyramid":
-        graph = dog_pyramid_graph(h, w, octaves=args.octaves)
-        inputs = lambda: dog_pyramid_inputs(h, w, seed=args.seed)
-    else:  # pragma: no cover - argparse restricts choices
-        raise SystemExit(f"unknown template {args.template!r}")
+        inputs = lambda: cnn_inputs(LARGE_CNN, h, w, seed=seed)
+    elif template == "pyramid":
+        graph = dog_pyramid_graph(h, w, octaves=octaves)
+        inputs = lambda: dog_pyramid_inputs(h, w, seed=seed)
+    else:
+        raise CLIError(
+            f"unknown template {template!r} (choose from {', '.join(TEMPLATES)})"
+        )
     return graph, inputs
+
+
+def _build(args) -> tuple:
+    return _build_template(
+        args.template,
+        args.size,
+        kernel=args.kernel,
+        orientations=args.orientations,
+        octaves=args.octaves,
+        seed=args.seed,
+    )
 
 
 def _options(args) -> CompileOptions:
@@ -109,8 +159,8 @@ def _options(args) -> CompileOptions:
 def _framework(args) -> Framework:
     return Framework(
         device_by_name(args.device),
-        XEON_WORKSTATION,
-        _options(args),
+        host=XEON_WORKSTATION,
+        options=_options(args),
         plan_cache=not getattr(args, "no_plan_cache", False),
     )
 
@@ -190,8 +240,8 @@ def cmd_compile_multi(args) -> int:
     compiled = compile_multi(
         graph,
         _group(args),
-        XEON_WORKSTATION,
-        _options(args),
+        host=XEON_WORKSTATION,
+        options=_options(args),
         transfer_mode=args.transfer_mode,
         plan_cache=not getattr(args, "no_plan_cache", False),
     )
@@ -284,8 +334,8 @@ def cmd_run_multi(args) -> int:
     compiled = compile_multi(
         graph,
         _group(args),
-        XEON_WORKSTATION,
-        _options(args),
+        host=XEON_WORKSTATION,
+        options=_options(args),
         transfer_mode=args.transfer_mode,
     )
     inputs = make_inputs()
@@ -389,8 +439,8 @@ def cmd_explain(args) -> int:
         compiled = compile_multi(
             graph,
             _group(args),
-            XEON_WORKSTATION,
-            _options(args),
+            host=XEON_WORKSTATION,
+            options=_options(args),
             transfer_mode=args.transfer_mode,
         )
         device_label = f"{args.num_devices}x {compiled.group[0].name}"
@@ -417,8 +467,8 @@ def cmd_report(args) -> int:
         compiled = compile_multi(
             graph,
             _group(args),
-            XEON_WORKSTATION,
-            _options(args),
+            host=XEON_WORKSTATION,
+            options=_options(args),
             transfer_mode=args.transfer_mode,
         )
         result = execute_multi(compiled, make_inputs())
@@ -519,6 +569,163 @@ def cmd_codegen(args) -> int:
             fh.write(src)
         print(f"{len(src.splitlines())} lines written to {args.output}")
     return 0
+
+
+def _service_config(args) -> ServiceConfig:
+    fault_spec = None
+    if args.fault_rate > 0.0 or args.alloc_fault_rate > 0.0:
+        fault_spec = FaultSpec(
+            transfer_failure_rate=args.fault_rate,
+            alloc_failure_rate=args.alloc_fault_rate,
+            seed=args.fault_seed,
+        )
+    try:
+        return ServiceConfig(
+            workers=args.workers,
+            max_queue_depth=args.queue_depth,
+            retry=RetryPolicy(max_attempts=args.max_attempts),
+            fault_spec=fault_spec,
+        )
+    except ValueError as exc:
+        raise CLIError(str(exc)) from None
+
+
+_JOB_KEYS = frozenset({
+    "template", "size", "kernel", "orientations", "octaves", "seed",
+    "device", "mode", "planner", "deadline", "label", "count",
+    "scheduler", "eviction", "headroom",
+})
+
+
+def _request_from_spec(spec: dict, args, index: int) -> ServiceRequest:
+    if not isinstance(spec, dict):
+        raise CLIError(f"job #{index}: expected an object, got {spec!r}")
+    unknown = set(spec) - _JOB_KEYS
+    if unknown:
+        raise CLIError(
+            f"job #{index}: unknown keys {sorted(unknown)} "
+            f"(allowed: {sorted(_JOB_KEYS)})"
+        )
+    try:
+        size = spec.get("size", "1024x1024")
+        if isinstance(size, str):
+            size = _parse_size(size)
+        graph, make_inputs = _build_template(
+            spec.get("template", "edge"),
+            tuple(size),
+            kernel=int(spec.get("kernel", 16)),
+            orientations=int(spec.get("orientations", 4)),
+            octaves=int(spec.get("octaves", 3)),
+            seed=int(spec.get("seed", 0)),
+        )
+        mode = spec.get("mode", "compile")
+        options = CompileOptions(
+            scheduler=spec.get("scheduler", "dfs"),
+            eviction_policy=spec.get("eviction", "belady"),
+            split_headroom=(
+                "auto"
+                if spec.get("headroom", "auto") == "auto"
+                else float(spec["headroom"])
+            ),
+        )
+        return ServiceRequest(
+            template=graph,
+            device=device_by_name(spec.get("device", args.device)),
+            host=XEON_WORKSTATION,
+            options=options,
+            mode=mode,
+            inputs=make_inputs() if mode == "execute" else None,
+            planner=spec.get("planner", "heuristic"),
+            deadline=spec.get("deadline"),
+            label=str(spec.get("label", f"job{index}")),
+        )
+    except (ValueError, KeyError, argparse.ArgumentTypeError) as exc:
+        raise CLIError(f"job #{index}: {exc}") from None
+
+
+def _run_service(args, requests: list[ServiceRequest]) -> int:
+    """Drive one batch through an :class:`ExecutionService`; exit code."""
+    with ExecutionService(_service_config(args)) as svc:
+        tickets = []
+        rejected = []
+        for req in requests:
+            try:
+                tickets.append(svc.submit(req))
+            except ServiceError as exc:
+                rejected.append((req, str(exc)))
+        responses = [t.result(timeout=args.wait) for t in tickets]
+        snapshot = svc.metrics_snapshot()
+    counters = snapshot.get("counters", {})
+    if args.json:
+        print(json.dumps({
+            "responses": [r.to_dict() for r in responses],
+            "rejected": [
+                {"label": req.label, "error": err} for req, err in rejected
+            ],
+            "metrics": snapshot,
+        }, indent=1))
+    else:
+        for resp in responses:
+            flags = "".join((
+                "D" if resp.deduped else "-",
+                "G" if resp.degraded else "-",
+            ))
+            detail = resp.planner_used or (resp.error or "")[:48]
+            print(f"  {resp.label or resp.request_id:>10} "
+                  f"{resp.status.value:9s} {flags} "
+                  f"attempts={resp.attempts} retries={resp.retries} "
+                  f"wait={resp.wait_seconds * 1e3:7.2f}ms "
+                  f"svc={resp.service_seconds * 1e3:7.2f}ms  {detail}")
+        for req, err in rejected:
+            print(f"  {req.label or '?':>10} rejected    -- {err}")
+        print(f"requests: {len(responses)} finished, {len(rejected)} rejected "
+              f"at admission")
+        print(f"compiles: {counters.get('service.compiles', 0)}, "
+              f"dedupe hits: {counters.get('service.dedupe_hits', 0)} "
+              f"(single-flight {counters.get('service.singleflight_joins', 0)}"
+              f" + plan-cache {counters.get('service.plan_cache_hits', 0)}), "
+              f"retries: {counters.get('service.retries', 0)}, "
+              f"degraded: {counters.get('service.degraded', 0)}, "
+              f"expired: {counters.get('service.expired', 0)}")
+    ok = all(r.ok for r in responses) and not rejected
+    return EXIT_OK if ok else EXIT_FAILURE
+
+
+def cmd_submit(args) -> int:
+    graph, make_inputs = _build(args)
+    request = ServiceRequest(
+        template=graph,
+        device=device_by_name(args.device),
+        host=XEON_WORKSTATION,
+        options=_options(args),
+        mode=args.mode,
+        inputs=make_inputs() if args.mode == "execute" else None,
+        planner=args.planner,
+        deadline=args.deadline,
+        label=args.template,
+    )
+    return _run_service(args, [request] * args.repeat)
+
+
+def cmd_serve(args) -> int:
+    try:
+        if args.jobs == "-":
+            specs = json.load(sys.stdin)
+        else:
+            with open(args.jobs) as fh:
+                specs = json.load(fh)
+    except FileNotFoundError:
+        raise CLIError(f"jobs file not found: {args.jobs}") from None
+    except json.JSONDecodeError as exc:
+        raise CLIError(f"jobs file is not valid JSON: {exc}") from None
+    if not isinstance(specs, list) or not specs:
+        raise CLIError("jobs file must be a non-empty JSON array of objects")
+    requests: list[ServiceRequest] = []
+    for index, spec in enumerate(specs):
+        req = _request_from_spec(spec, args, index)
+        count = int(spec.get("count", 1)) if isinstance(spec, dict) else 1
+        requests.extend([req] * max(count, 1))
+    return _run_service(args, requests)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -646,12 +853,85 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output", default="-",
                    help="output file ('-' for stdout)")
     p.set_defaults(func=cmd_codegen)
+
+    def service_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--workers", type=int, default=4,
+                       help="worker threads in the execution service")
+        p.add_argument("--queue-depth", type=int, default=64,
+                       help="admission-control queue bound")
+        p.add_argument("--max-attempts", type=int, default=5,
+                       help="attempts per request under transient faults")
+        p.add_argument("--fault-rate", type=float, default=0.0,
+                       help="injected transfer-fault site rate in [0,1]")
+        p.add_argument("--alloc-fault-rate", type=float, default=0.0,
+                       help="injected allocation-fault site rate in [0,1]")
+        p.add_argument("--fault-seed", type=int, default=0,
+                       help="seed for deterministic fault injection")
+        p.add_argument("--wait", type=float, default=300.0,
+                       help="seconds to wait for each result")
+        p.add_argument("--json", action="store_true",
+                       help="machine-readable JSON output (incl. metrics)")
+
+    p = sub.add_parser(
+        "submit",
+        help="submit one template request (optionally N copies) to a "
+             "fresh execution service",
+    )
+    common(p)
+    service_flags(p)
+    p.add_argument("--mode", choices=["compile", "execute", "simulate"],
+                   default="compile")
+    p.add_argument("--planner", choices=["heuristic", "pb", "auto"],
+                   default="heuristic")
+    p.add_argument("--deadline", type=float, default=None,
+                   help="per-request deadline in seconds from submission")
+    p.add_argument("--repeat", type=int, default=1,
+                   help="submit this many concurrent copies "
+                        "(demonstrates single-flight dedupe)")
+    p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser(
+        "serve",
+        help="run a JSON jobs file through the concurrent execution "
+             "service ('-' reads stdin)",
+    )
+    p.add_argument("jobs", help="JSON array of request specs, or '-'")
+    p.add_argument("--device", default="tesla_c870",
+                   help="default GPU preset for jobs without a 'device' key")
+    service_flags(p)
+    p.set_defaults(func=cmd_serve)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except CLIError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except (PlanError, ValueError, OSError) as exc:
+        # infeasible configurations and unreadable inputs are the
+        # user's to fix, and argparse already owns exit code 2
+        print(f"repro: error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except ServiceError as exc:
+        print(f"repro: service error: {exc}", file=sys.stderr)
+        return EXIT_FAILURE
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        print("repro: interrupted", file=sys.stderr)
+        return EXIT_FAILURE
+    except Exception as exc:  # pragma: no cover - exercised via tests
+        print(
+            f"repro: internal error: {type(exc).__name__}: {exc} "
+            f"(set REPRO_DEBUG=1 for a traceback)",
+            file=sys.stderr,
+        )
+        if os.environ.get("REPRO_DEBUG"):
+            import traceback
+
+            traceback.print_exc()
+        return EXIT_INTERNAL
 
 
 if __name__ == "__main__":  # pragma: no cover

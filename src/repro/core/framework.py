@@ -20,11 +20,14 @@ from __future__ import annotations
 import copy
 import hashlib
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Any, Mapping
 
 import numpy as np
 
+from repro._compat import UNSET as _UNSET
+from repro._compat import explicit_kwargs as _explicit
+from repro._compat import legacy_positional
 from repro.gpusim import GpuDevice, HostSystem, SimRuntime
 from repro.obs import MetricsRegistry, Span, Tracer, provenance_summary
 from repro.runtime.executor import (
@@ -45,9 +48,15 @@ from .splitting import SplitReport, make_feasible
 from .transfers import schedule_transfers
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class CompileOptions:
-    """Knobs of the compilation pipeline (ablation surface)."""
+    """Knobs of the compilation pipeline (ablation surface).
+
+    Construction is keyword-only — the option set has grown past the
+    point where positional calls stay readable.  Positional construction
+    still works behind a :class:`DeprecationWarning` shim and produces
+    an identical (byte-identical plans) instance.
+    """
 
     scheduler: str = "dfs"  # dfs | dfs_naive | bfs | topo
     eviction_policy: str = "belady"  # belady | cost | ltu | lru | fifo
@@ -69,6 +78,18 @@ class CompileOptions:
         if self.split_headroom == "auto":
             return (1.0, 2.0, 4.0)
         return (float(self.split_headroom),)
+
+
+_OPTION_FIELDS = tuple(f.name for f in fields(CompileOptions))
+_options_kw_init = CompileOptions.__init__
+
+
+def _options_compat_init(self, *args, **kwargs) -> None:
+    legacy_positional("CompileOptions", _OPTION_FIELDS, args, kwargs)
+    _options_kw_init(self, **kwargs)
+
+
+CompileOptions.__init__ = _options_compat_init  # type: ignore[method-assign]
 
 
 @dataclass
@@ -109,10 +130,20 @@ class Framework:
     def __init__(
         self,
         device: GpuDevice,
-        host: HostSystem | None = None,
-        options: CompileOptions | None = None,
-        plan_cache: PlanCache | bool | None = True,
+        *legacy,
+        host: HostSystem | None = _UNSET,
+        options: CompileOptions | None = _UNSET,
+        plan_cache: PlanCache | bool | None = _UNSET,
     ) -> None:
+        merged = legacy_positional(
+            "Framework",
+            ("host", "options", "plan_cache"),
+            legacy,
+            _explicit(host=host, options=options, plan_cache=plan_cache),
+        )
+        host = merged.get("host")
+        options = merged.get("options")
+        plan_cache = merged.get("plan_cache", True)
         self.device = device
         self.host = host
         self.options = options or CompileOptions()
@@ -126,8 +157,17 @@ class Framework:
             self.plan_cache = plan_cache
 
     # -- compilation -----------------------------------------------------------
-    def compile(self, template: OperatorGraph) -> CompiledTemplate:
+    def compile(
+        self,
+        template: OperatorGraph,
+        *,
+        options: CompileOptions | None = None,
+    ) -> CompiledTemplate:
         """Produce an optimized, validated execution plan for the template.
+
+        ``options`` overrides the framework's construction-time options
+        for this one compile (the facade and the execution service use
+        this to serve per-request options from one shared Framework).
 
         With ``split_headroom="auto"`` (the default) several split
         granularities are compiled and the plan with the least transfer
@@ -141,20 +181,21 @@ class Framework:
         and repeat compiles return it without re-running the pipeline.
         Pass ``plan_cache=False`` to the constructor to opt out.
         """
+        opts = options if options is not None else self.options
         cache = self.plan_cache
         key: str | None = None
         if cache is not None:
-            key = plan_key(template, self.device, self.options)
+            key = plan_key(template, self.device, opts)
             entry = cache.get(key)
             if entry is not None:
-                return self._compile_from_cache(entry, key)
+                return self._compile_from_cache(entry, key, opts)
         capacity = self.device.usable_memory_floats
         out_of_core = (
-            self.options.split
+            opts.split
             and template.total_data_size() > capacity
         )
         candidates = (
-            self.options.headroom_candidates() if out_of_core else (1.0,)
+            opts.headroom_candidates() if out_of_core else (1.0,)
         )
         tracer = Tracer()
         best: CompiledTemplate | None = None
@@ -174,7 +215,8 @@ class Framework:
                 tracer.event("plan_cache", hit=False, key=key[:16])
             for headroom in candidates:
                 compiled = self._compile_once(
-                    template, capacity, headroom, tracer, dedupe=dedupe
+                    template, capacity, headroom, tracer, dedupe=dedupe,
+                    opts=opts,
                 )
                 if best is None or (
                     compiled.transfer_floats(),
@@ -208,7 +250,7 @@ class Framework:
         return best
 
     def _compile_from_cache(
-        self, entry: CachedPlan, key: str
+        self, entry: CachedPlan, key: str, opts: CompileOptions | None = None
     ) -> CompiledTemplate:
         """Rehydrate a cache hit as a fresh :class:`CompiledTemplate`.
 
@@ -234,7 +276,7 @@ class Framework:
             split_report=entry.split_report,
             device=self.device,
             host=self.host,
-            options=self.options,
+            options=opts if opts is not None else self.options,
             peak_device_floats=entry.peak_device_floats,
             fused_units=entry.fused_units,
         )
@@ -296,9 +338,10 @@ class Framework:
         headroom: float,
         tracer: Tracer | None = None,
         dedupe: dict[str, CompiledTemplate] | None = None,
+        opts: CompileOptions | None = None,
     ) -> CompiledTemplate:
         tracer = tracer or Tracer()
-        opts = self.options
+        opts = opts if opts is not None else self.options
         graph = template.copy()
         with tracer.span("splitting", headroom=headroom) as sp:
             if opts.split:
@@ -424,14 +467,23 @@ def run_template(
     template: OperatorGraph,
     template_inputs: Mapping[str, np.ndarray],
     device: GpuDevice,
-    host: HostSystem | None = None,
-    options: CompileOptions | None = None,
+    *legacy,
+    host: HostSystem | None = _UNSET,
+    options: CompileOptions | None = _UNSET,
 ) -> ExecutionResult:
     """One-call convenience API: compile + execute a template.
 
     This is the "parametrized API" face of the framework that the paper
     argues domain experts should program against.
     """
-    fw = Framework(device, host, options)
+    merged = legacy_positional(
+        "run_template",
+        ("host", "options"),
+        legacy,
+        _explicit(host=host, options=options),
+    )
+    fw = Framework(
+        device, host=merged.get("host"), options=merged.get("options")
+    )
     compiled = fw.compile(template)
     return fw.execute(compiled, template_inputs)

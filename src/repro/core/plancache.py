@@ -44,7 +44,8 @@ from .splitting import SplitReport
 
 #: bump when the entry payload or key layout changes; old disk entries
 #: are then treated as corrupt and rewritten
-CACHE_VERSION = 1
+#: (2: plan dicts carry schema_version)
+CACHE_VERSION = 2
 
 
 # ---------------------------------------------------------------------------

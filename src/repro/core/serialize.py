@@ -9,6 +9,21 @@ sequence — round-trips losslessly.
 
 Fused offload units carry a private sub-graph in their params; it is
 serialized recursively.
+
+Versioning
+----------
+Serialized plans carry a ``schema_version`` of the form
+``"<major>.<minor>"`` (:data:`SCHEMA_VERSION`).  The loader accepts any
+minor of the current major — minors are additive (new optional keys),
+so a reader of minor N understands every minor of the same major — and
+rejects other majors with an actionable error.  Plans written before
+versioning existed (no ``schema_version`` key) are read as ``"1.0"``.
+
+Bump the *minor* when adding optional keys; bump the *major* when a key
+changes meaning or is removed.  After a schema bump, regenerate the
+golden fixtures once (``REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest
+tests/test_golden_plans.py``) and commit them with the change — see
+docs/TESTING.md.
 """
 
 from __future__ import annotations
@@ -23,6 +38,29 @@ if TYPE_CHECKING:  # avoid a cycle: framework -> plancache -> serialize
 from .plan import CopyToCPU, CopyToGPU, ExecutionPlan, Free, Launch, PeerCopy, Step
 
 FORMAT_VERSION = 1
+
+SCHEMA_MAJOR = 1
+SCHEMA_MINOR = 1
+SCHEMA_VERSION = f"{SCHEMA_MAJOR}.{SCHEMA_MINOR}"
+
+
+def _check_schema_version(raw: dict[str, Any]) -> None:
+    """Validate a plan dict's ``schema_version`` against the reader's."""
+    version = raw.get("schema_version", "1.0")
+    try:
+        major = int(str(version).split(".", 1)[0])
+    except ValueError:
+        raise ValueError(
+            f"malformed plan schema_version {version!r} "
+            f"(expected '<major>.<minor>', e.g. {SCHEMA_VERSION!r})"
+        ) from None
+    if major != SCHEMA_MAJOR:
+        raise ValueError(
+            f"plan was written with schema version {version} but this "
+            f"reader supports major {SCHEMA_MAJOR} ({SCHEMA_VERSION}); "
+            f"re-compile the template with this version of repro, or load "
+            f"the plan with a repro release whose schema major is {major}"
+        )
 
 _STEP_TYPES = {
     "h2d": CopyToGPU,
@@ -159,6 +197,7 @@ def plan_to_dict(plan: ExecutionPlan) -> dict[str, Any]:
         else:  # pragma: no cover - defensive
             raise TypeError(f"unknown step type {type(step).__name__}")
     out: dict[str, Any] = {
+        "schema_version": SCHEMA_VERSION,
         "capacity_floats": plan.capacity_floats,
         "label": plan.label,
         "steps": steps,
@@ -171,6 +210,7 @@ def plan_to_dict(plan: ExecutionPlan) -> dict[str, Any]:
 
 
 def plan_from_dict(raw: dict[str, Any]) -> ExecutionPlan:
+    _check_schema_version(raw)
     steps: list[Step] = []
     for entry in raw["steps"]:
         kind, arg = entry[0], entry[1]

@@ -25,6 +25,13 @@ from .device import (
     device_by_name,
     homogeneous_group,
 )
+from .faults import (
+    FaultInjector,
+    FaultSpec,
+    TransientAllocError,
+    TransientFault,
+    TransientTransferError,
+)
 from .memory import DeviceAllocator, OutOfDeviceMemoryError
 from .profiler import Event, EventKind, Profile
 from .runtime import DeviceBuffer, SimRuntime
@@ -40,6 +47,8 @@ __all__ = [
     "Event",
     "EventKind",
     "FLOAT_BYTES",
+    "FaultInjector",
+    "FaultSpec",
     "GB",
     "GEFORCE_8800_GTX",
     "GpuDevice",
@@ -54,6 +63,9 @@ __all__ = [
     "SharedBus",
     "SimRuntime",
     "TESLA_C870",
+    "TransientAllocError",
+    "TransientFault",
+    "TransientTransferError",
     "XEON_WORKSTATION",
     "calibrate",
     "device_by_name",

@@ -20,6 +20,7 @@ import numpy as np
 from repro.obs.metrics import MetricsRegistry
 
 from .device import FLOAT_BYTES, GpuDevice, HostSystem
+from .faults import FaultInjector
 from .memory import DeviceAllocator, OutOfDeviceMemoryError
 from .profiler import Event, EventKind, Profile
 from .timing import CostModel
@@ -48,11 +49,13 @@ class SimRuntime:
         device: GpuDevice,
         host: HostSystem | None = None,
         metrics: MetricsRegistry | None = None,
+        fault_injector: FaultInjector | None = None,
     ) -> None:
         self.device = device
         self.host = host
         self.cost = CostModel(device, host)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.fault_injector = fault_injector
         # Float-granular alignment so the allocator's accounting matches
         # the planner's float-exact capacity model; coarser (CUDA-style
         # 256 B) alignment is the DeviceAllocator default for standalone
@@ -70,6 +73,13 @@ class SimRuntime:
     def malloc(self, name: str, nbytes: int) -> DeviceBuffer:
         if name in self.buffers:
             raise ValueError(f"device buffer {name!r} already allocated")
+        if self.fault_injector is not None:
+            # Raised before any allocator mutation so a retry starts clean.
+            try:
+                self.fault_injector.on_alloc(name, nbytes)
+            except Exception:
+                self.metrics.counter("gpu.faults.alloc").inc()
+                raise
         try:
             offset = self.allocator.alloc(nbytes)
         except OutOfDeviceMemoryError:
@@ -123,6 +133,16 @@ class SimRuntime:
         return self.allocator.in_use
 
     # -- transfers ----------------------------------------------------------
+    def _check_transfer_fault(self, kind: str, name: str, nbytes: int) -> None:
+        """Consult the fault injector before mutating any transfer state."""
+        if self.fault_injector is None:
+            return
+        try:
+            self.fault_injector.on_transfer(kind, name, nbytes)
+        except Exception:
+            self.metrics.counter("gpu.faults.transfer").inc()
+            raise
+
     def _transfer_time(self, nbytes: int) -> float:
         """Transfer cost, with host paging penalty while thrashing."""
         dt = self.cost.transfer_time(nbytes)
@@ -142,6 +162,7 @@ class SimRuntime:
             raise ValueError(
                 f"h2d into {name!r}: {nbytes} B exceeds buffer {buf.nbytes} B"
             )
+        self._check_transfer_fault("h2d", name, nbytes)
         dt = self._transfer_time(nbytes)
         self.profile.record(Event(EventKind.H2D, name, self.clock, dt, nbytes))
         self.clock += dt
@@ -154,6 +175,7 @@ class SimRuntime:
         if buf.data is None:
             raise RuntimeError(f"d2h of uninitialised device buffer {name!r}")
         nbytes = buf.data.size * FLOAT_BYTES
+        self._check_transfer_fault("d2h", name, nbytes)
         dt = self._transfer_time(nbytes)
         self.profile.record(Event(EventKind.D2H, name, self.clock, dt, nbytes))
         self.clock += dt

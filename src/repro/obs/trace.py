@@ -90,6 +90,27 @@ class Tracer:
         self.spans.append(sp)
         return sp
 
+    def merge(self, other: "Tracer", *, prefix: str | None = None) -> None:
+        """Fold another tracer's completed spans into this one.
+
+        Spans are re-based onto this tracer's epoch (the other tracer's
+        epoch offset is preserved so relative timings stay truthful) and
+        optionally re-parented under ``prefix`` — the execution service
+        uses this to collect per-request tracers into one service-wide
+        timeline.
+        """
+        shift = other._epoch - self._epoch
+        for sp in other.spans:
+            self.spans.append(
+                Span(
+                    name=sp.name,
+                    start=sp.start + shift,
+                    duration=sp.duration,
+                    parent=sp.parent if sp.parent is not None else prefix,
+                    attrs=dict(sp.attrs),
+                )
+            )
+
     def find(self, name: str) -> list[Span]:
         """All completed spans with the given name, in completion order."""
         return [s for s in self.spans if s.name == name]

@@ -1,0 +1,44 @@
+"""Concurrent execution service.
+
+The serving layer over the compilation pipeline: accepts compile /
+execute / simulate requests concurrently, runs them on a bounded worker
+pool, deduplicates identical in-flight work through the content-addressed
+plan-cache key (single-flight), enforces per-request deadlines and
+admission control, and survives injected substrate faults with
+retry-plus-backoff and graceful degradation to the heuristic planner.
+
+Entry points:
+
+* :class:`ExecutionService` — the pool; ``submit()`` returns a
+  :class:`Ticket` whose ``result()`` blocks for a
+  :class:`ServiceResponse`.
+* :class:`ServiceConfig` / :class:`RetryPolicy` — tuning knobs.
+* ``repro serve`` / ``repro submit`` — the CLI faces.
+
+See docs/SERVICE.md for architecture and failure semantics.
+"""
+
+from .config import RetryPolicy, ServiceConfig
+from .request import (
+    QueueFullError,
+    RequestStatus,
+    ServiceClosedError,
+    ServiceError,
+    ServiceRequest,
+    ServiceResponse,
+    Ticket,
+)
+from .service import ExecutionService
+
+__all__ = [
+    "ExecutionService",
+    "QueueFullError",
+    "RequestStatus",
+    "RetryPolicy",
+    "ServiceClosedError",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceRequest",
+    "ServiceResponse",
+    "Ticket",
+]

@@ -1,0 +1,86 @@
+"""Service tuning knobs.
+
+Both dataclasses are frozen and keyword-only, matching the facade
+conventions (:class:`repro.CompileOptions`); a config object is shared
+by every worker thread, so immutability is load-bearing, not style.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpusim.faults import FaultSpec
+
+
+@dataclass(frozen=True, kw_only=True)
+class RetryPolicy:
+    """Exponential backoff for transient substrate faults.
+
+    Attempt *n* (1-based) sleeps ``backoff_base * multiplier**(n-1)``
+    seconds before retrying, capped at ``backoff_max``.  ``max_attempts``
+    bounds total tries (first attempt included), after which the request
+    fails with the last fault as its error.
+    """
+
+    max_attempts: int = 5
+    backoff_base: float = 0.005
+    backoff_multiplier: float = 2.0
+    backoff_max: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ValueError("backoff durations must be >= 0")
+
+    def backoff(self, attempt: int) -> float:
+        """Seconds to sleep after failed attempt ``attempt`` (1-based)."""
+        return min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_multiplier ** (attempt - 1),
+        )
+
+
+@dataclass(frozen=True, kw_only=True)
+class ServiceConfig:
+    """Everything an :class:`~repro.service.ExecutionService` can tune.
+
+    * ``workers`` — worker-thread count (service concurrency).
+    * ``max_queue_depth`` — admission control: ``submit()`` raises
+      :class:`~repro.service.QueueFullError` beyond this many queued
+      requests instead of buffering unboundedly.
+    * ``default_deadline`` — seconds granted to requests that do not
+      carry their own deadline (``None`` = no deadline).
+    * ``retry`` — backoff schedule for injected/transient faults.
+    * ``degrade_on_deadline`` — expired or pressured ``pb``/``auto``
+      requests fall back to the heuristic planner instead of failing.
+    * ``pb_conflict_budget`` — solver conflict budget for ``planner="pb"``
+      requests (bounds worst-case compile latency; ``None`` = exact).
+    * ``pb_max_ops`` — ``planner="auto"`` uses the PB-optimal path only
+      for templates at or below this many operators.
+    * ``plan_cache_entries`` — size of the service's in-memory plan
+      cache (the completed-request tier behind single-flight dedupe).
+    * ``fault_spec`` — deterministic fault injection applied to every
+      ``execute`` request's simulated runtime (demos, chaos tests).
+    """
+
+    workers: int = 4
+    max_queue_depth: int = 64
+    default_deadline: float | None = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    degrade_on_deadline: bool = True
+    pb_conflict_budget: int | None = 20_000
+    pb_max_ops: int = 12
+    plan_cache_entries: int = 64
+    fault_spec: FaultSpec | None = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        if self.default_deadline is not None and self.default_deadline <= 0:
+            raise ValueError("default_deadline must be positive or None")
+
+
+__all__ = ["RetryPolicy", "ServiceConfig"]

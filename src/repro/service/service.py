@@ -1,0 +1,565 @@
+"""The bounded, deduplicating, fault-tolerant execution service.
+
+Architecture (one process, N worker threads)::
+
+    submit() ──admission──> bounded FIFO queue ──> workers
+                 │                                   │
+                 └─ QueueFullError                   ├─ deadline gate (expire / degrade)
+                                                     ├─ compile stage: single-flight
+                                                     │    + shared content-addressed
+                                                     │    plan cache (PR-4 keys)
+                                                     ├─ execute/simulate stage with
+                                                     │    retry + exponential backoff
+                                                     │    on TransientFault
+                                                     └─ ServiceResponse -> Ticket
+
+Single-flight: the *first* worker to dequeue a given plan-cache key
+becomes the leader and compiles; workers dequeuing the same key while
+the leader is in flight join the flight and share its result (leaders
+are always dequeued before their followers, so a joining worker never
+waits on work that has not started — the pool cannot deadlock on
+itself).  Completed keys are served by the plan cache.  Either way the
+request is counted as a dedupe hit and never recompiles.
+
+Every path out of a request is explicit: ``ok``, ``failed`` (with the
+last error), ``expired`` (deadline), or ``cancelled`` — and all of them
+are visible in the metrics snapshot and trace spans.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from typing import Any, Callable
+
+from repro.core.framework import (
+    CompiledTemplate,
+    CompileOptions,
+    Framework,
+)
+from repro.core.pbopt import pb_plan_or_heuristic
+from repro.core.plancache import PlanCache, plan_key
+from repro.core.splitting import SplitReport
+from repro.gpusim import SimRuntime
+from repro.gpusim.faults import FaultInjector, TransientFault
+from repro.obs import MetricsRegistry, Tracer
+from repro.runtime.executor import execute_plan, simulate_plan
+
+from .config import ServiceConfig
+from .request import (
+    QueueFullError,
+    RequestStatus,
+    ServiceClosedError,
+    ServiceRequest,
+    ServiceResponse,
+    Ticket,
+)
+
+
+class _LockedPlanCache(PlanCache):
+    """A :class:`PlanCache` safe to share across worker threads."""
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self._plock = threading.RLock()
+
+    def get(self, key):  # type: ignore[override]
+        with self._plock:
+            return super().get(key)
+
+    def put(self, key, entry):  # type: ignore[override]
+        with self._plock:
+            super().put(key, entry)
+
+    def __len__(self) -> int:
+        with self._plock:
+            return super().__len__()
+
+
+class _Flight:
+    """One in-flight compile; followers wait on the leader's event."""
+
+    __slots__ = ("event", "value", "error", "planner_used", "followers")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.value: CompiledTemplate | None = None
+        self.error: BaseException | None = None
+        self.planner_used = ""
+        self.followers = 0
+
+
+class ExecutionService:
+    """Accepts template requests concurrently; see module docstring.
+
+    Usage::
+
+        with ExecutionService(ServiceConfig(workers=8)) as svc:
+            tickets = [svc.submit(req) for req in requests]
+            responses = [t.result(timeout=60) for t in tickets]
+
+    ``clock`` and ``sleep`` are injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        *,
+        plan_cache: PlanCache | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(clock=time.perf_counter)
+        self._clock = clock
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        self._cv = threading.Condition(self._lock)
+        self._queue: deque[Ticket] = deque()
+        self._flights: dict[str, _Flight] = {}
+        self._pb_memo: OrderedDict[str, tuple[CompiledTemplate, str]] = (
+            OrderedDict()
+        )
+        self._closed = False
+        self._next_id = 0
+        self._in_flight = 0
+        self.plan_cache = plan_cache or _LockedPlanCache(
+            max_entries=self.config.plan_cache_entries
+        )
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"repro-svc-{i}", daemon=True
+            )
+            for i in range(self.config.workers)
+        ]
+        for t in self._workers:
+            t.start()
+
+    # -- lifecycle -------------------------------------------------------
+    def __enter__(self) -> "ExecutionService":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def close(self, *, cancel_pending: bool = False) -> None:
+        """Stop accepting work; drain (or cancel) the queue; join workers."""
+        with self._cv:
+            if self._closed:
+                return
+            self._closed = True
+            if cancel_pending:
+                while self._queue:
+                    ticket = self._queue.popleft()
+                    self._finish_unstarted(ticket, RequestStatus.CANCELLED)
+                self.metrics.gauge("service.queue_depth").set(0)
+            self._cv.notify_all()
+        for t in self._workers:
+            t.join()
+
+    # -- submission ------------------------------------------------------
+    def submit(self, request: ServiceRequest) -> Ticket:
+        """Admit one request; returns its :class:`Ticket`.
+
+        Raises :class:`QueueFullError` when the bounded queue is at
+        capacity (explicit rejection — callers decide whether to back
+        off or shed load) and :class:`ServiceClosedError` after
+        ``close()``.
+        """
+        now = self._clock()
+        deadline = request.deadline
+        if deadline is None:
+            deadline = self.config.default_deadline
+        with self._cv:
+            if self._closed:
+                raise ServiceClosedError("service is closed")
+            if len(self._queue) >= self.config.max_queue_depth:
+                self.metrics.counter("service.rejected").inc()
+                raise QueueFullError(
+                    f"queue depth {len(self._queue)} at configured limit "
+                    f"{self.config.max_queue_depth}; retry with backoff"
+                )
+            self._next_id += 1
+            ticket = Ticket(
+                id=self._next_id,
+                request=request,
+                submitted_at=now,
+                deadline_at=None if deadline is None else now + deadline,
+            )
+            ticket._cancel_hook = self._cancel
+            self._queue.append(ticket)
+            self.metrics.counter("service.submitted").inc()
+            self.metrics.gauge("service.queue_depth").set(len(self._queue))
+            self._cv.notify()
+        return ticket
+
+    def submit_all(self, requests: list[ServiceRequest]) -> list[Ticket]:
+        """Submit a batch; admission is all-or-error per request."""
+        return [self.submit(r) for r in requests]
+
+    def _cancel(self, ticket: Ticket) -> bool:
+        with self._cv:
+            try:
+                self._queue.remove(ticket)
+            except ValueError:
+                return False  # already dequeued (running or done)
+            self.metrics.gauge("service.queue_depth").set(len(self._queue))
+            self._finish_unstarted(ticket, RequestStatus.CANCELLED)
+            return True
+
+    def _finish_unstarted(self, ticket: Ticket, status: RequestStatus) -> None:
+        self.metrics.counter(f"service.{status.value}").inc()
+        ticket._resolve(
+            ServiceResponse(
+                request_id=ticket.id,
+                label=ticket.request.label,
+                status=status,
+                error=f"request {status.value} before starting",
+                wait_seconds=self._clock() - ticket.submitted_at,
+            )
+        )
+
+    # -- introspection ---------------------------------------------------
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """JSON-ready snapshot of every service and substrate metric."""
+        with self._lock:
+            return self.metrics.snapshot()
+
+    def queue_depth(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    # -- worker loop -----------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            with self._cv:
+                while not self._queue and not self._closed:
+                    self._cv.wait()
+                if not self._queue:
+                    return  # closed and drained
+                ticket = self._queue.popleft()
+                self.metrics.gauge("service.queue_depth").set(len(self._queue))
+                self._in_flight += 1
+                self.metrics.gauge("service.in_flight").set(self._in_flight)
+            try:
+                self._process(ticket)
+            except BaseException as exc:  # worker must never die silently
+                self._record_done(
+                    ticket,
+                    ServiceResponse(
+                        request_id=ticket.id,
+                        label=ticket.request.label,
+                        status=RequestStatus.FAILED,
+                        error=f"internal: {type(exc).__name__}: {exc}",
+                    ),
+                    tracer=None,
+                )
+            finally:
+                with self._lock:
+                    self._in_flight -= 1
+                    self.metrics.gauge("service.in_flight").set(self._in_flight)
+
+    def _process(self, ticket: Ticket) -> None:
+        req = ticket.request
+        start = self._clock()
+        wait = start - ticket.submitted_at
+        ticket._status = RequestStatus.RUNNING
+        tracer = Tracer(clock=time.perf_counter)
+        response = ServiceResponse(
+            request_id=ticket.id,
+            label=req.label,
+            status=RequestStatus.FAILED,
+            wait_seconds=wait,
+        )
+        planner = self._effective_planner(req)
+        degraded = False
+        with tracer.span(
+            "service.request",
+            id=ticket.id,
+            label=req.label,
+            mode=req.mode,
+            planner=planner,
+            template=req.template.name,
+            device=req.device.name,
+        ) as root:
+            # Deadline gate: an already-expired request is degraded to
+            # the heuristic planner (if allowed) or rejected — loudly.
+            if ticket.deadline_at is not None and start > ticket.deadline_at:
+                if self.config.degrade_on_deadline and planner != "heuristic":
+                    degraded = True
+                    tracer.event("service.degrade", reason="deadline_expired")
+                else:
+                    response.status = RequestStatus.EXPIRED
+                    response.error = (
+                        f"deadline expired {start - ticket.deadline_at:.3f}s "
+                        f"before the request was dequeued"
+                    )
+                    root.set(status=response.status.value)
+                    self._record_done(ticket, response, tracer=tracer)
+                    return
+            self._attempt_loop(ticket, response, planner, degraded, tracer)
+            root.set(
+                status=response.status.value,
+                attempts=response.attempts,
+                retries=response.retries,
+                degraded=response.degraded,
+                deduped=response.deduped,
+            )
+        response.service_seconds = self._clock() - start
+        self._record_done(ticket, response, tracer=tracer)
+
+    def _attempt_loop(
+        self,
+        ticket: Ticket,
+        response: ServiceResponse,
+        planner: str,
+        degraded: bool,
+        tracer: Tracer,
+    ) -> None:
+        req = ticket.request
+        retry = self.config.retry
+        injector: FaultInjector | None = None
+        if self.config.fault_spec is not None and req.mode == "execute":
+            # One injector shared across retries: each attempt draws a
+            # fresh slice of the decision stream (transient semantics).
+            injector = FaultInjector(self.config.fault_spec)
+        while True:
+            response.attempts += 1
+            try:
+                value, planner_used, deduped = self._perform(
+                    req, planner, degraded, injector, tracer
+                )
+                response.status = RequestStatus.OK
+                response.value = value
+                response.planner_used = planner_used
+                response.degraded = degraded
+                response.deduped = response.deduped or deduped
+                return
+            except TransientFault as fault:
+                self.metrics.counter("service.faults").inc()
+                if response.attempts >= retry.max_attempts:
+                    response.status = RequestStatus.FAILED
+                    response.error = (
+                        f"gave up after {response.attempts} attempts: {fault}"
+                    )
+                    return
+                backoff = retry.backoff(response.attempts)
+                if (
+                    ticket.deadline_at is not None
+                    and self._clock() + backoff > ticket.deadline_at
+                ):
+                    # Deadline pressure mid-retry: drop to the cheap
+                    # heuristic plan if we still can, else expire loudly.
+                    if (
+                        self.config.degrade_on_deadline
+                        and planner != "heuristic"
+                        and not degraded
+                    ):
+                        degraded = True
+                        tracer.event(
+                            "service.degrade", reason="deadline_pressure"
+                        )
+                    else:
+                        response.status = RequestStatus.EXPIRED
+                        response.error = (
+                            f"deadline would expire during the "
+                            f"{backoff * 1e3:.1f} ms backoff after "
+                            f"attempt {response.attempts}: {fault}"
+                        )
+                        return
+                response.retries += 1
+                self.metrics.counter("service.retries").inc()
+                self.metrics.histogram("service.backoff_seconds").observe(
+                    backoff
+                )
+                tracer.event(
+                    "service.retry",
+                    attempt=response.attempts,
+                    backoff_seconds=backoff,
+                    fault=str(fault),
+                )
+                self._sleep(backoff)
+
+    # -- the work itself -------------------------------------------------
+    def _effective_planner(self, req: ServiceRequest) -> str:
+        if req.planner == "auto":
+            return (
+                "pb"
+                if len(req.template.ops) <= self.config.pb_max_ops
+                else "heuristic"
+            )
+        return req.planner
+
+    def _perform(
+        self,
+        req: ServiceRequest,
+        planner: str,
+        degraded: bool,
+        injector: FaultInjector | None,
+        tracer: Tracer,
+    ) -> tuple[Any, str, bool]:
+        """Run one attempt; returns (value, planner_used, deduped)."""
+        compiled, planner_used, deduped = self._compile_stage(
+            req, "heuristic" if degraded else planner, degraded, tracer
+        )
+        if degraded:
+            self.metrics.counter("service.degraded").inc()
+            planner_used = f"{planner_used}-degraded"
+        if req.mode == "compile":
+            return compiled, planner_used, deduped
+        if req.mode == "simulate":
+            with tracer.span("service.simulate"):
+                sim = simulate_plan(
+                    compiled.plan, compiled.graph, req.device, req.host
+                )
+            return sim, planner_used, deduped
+        # mode == "execute": a fresh runtime per attempt, so a failed
+        # attempt leaves no residue; the injector survives across
+        # attempts (transient faults, new decisions each retry).
+        runtime = SimRuntime(
+            req.device,
+            req.host,
+            metrics=MetricsRegistry(),
+            fault_injector=injector,
+        )
+        try:
+            with tracer.span("service.execute"):
+                result = execute_plan(
+                    compiled.plan, compiled.graph, runtime, req.inputs
+                )
+        finally:
+            with self._lock:
+                self.metrics.merge(runtime.metrics)
+        return result, planner_used, deduped
+
+    def _compile_stage(
+        self,
+        req: ServiceRequest,
+        planner: str,
+        degraded: bool,
+        tracer: Tracer,
+    ) -> tuple[CompiledTemplate, str, bool]:
+        """Single-flight compile keyed on the PR-4 content-addressed key."""
+        opts = req.options or CompileOptions()
+        key = plan_key(
+            req.template,
+            req.device,
+            opts,
+            kind="service",
+            extra={"planner": planner},
+        )
+        with self._lock:
+            flight = self._flights.get(key)
+            leader = flight is None
+            if leader:
+                flight = _Flight()
+                self._flights[key] = flight
+            else:
+                flight.followers += 1
+        assert flight is not None
+        if not leader:
+            # Join the in-flight compile: its leader is guaranteed to be
+            # running on another worker (FIFO dequeue), so this wait is
+            # bounded by one compile, never by queued work.
+            self.metrics.counter("service.dedupe_hits").inc()
+            self.metrics.counter("service.singleflight_joins").inc()
+            tracer.event("service.singleflight_join", key=key[:16])
+            flight.event.wait()
+            if flight.error is not None:
+                raise flight.error
+            assert flight.value is not None
+            return flight.value, flight.planner_used, True
+        try:
+            with tracer.span("service.compile", planner=planner, key=key[:16]):
+                compiled, planner_used, cached = self._compile_uncontended(
+                    req, planner, opts, key
+                )
+            if cached:
+                self.metrics.counter("service.dedupe_hits").inc()
+                self.metrics.counter("service.plan_cache_hits").inc()
+                tracer.event("service.plan_cache_hit", key=key[:16])
+            else:
+                self.metrics.counter("service.compiles").inc()
+            flight.value = compiled
+            flight.planner_used = planner_used
+            return compiled, planner_used, cached
+        except BaseException as exc:
+            flight.error = exc
+            raise
+        finally:
+            with self._lock:
+                self._flights.pop(key, None)
+            flight.event.set()
+
+    def _compile_uncontended(
+        self,
+        req: ServiceRequest,
+        planner: str,
+        opts: CompileOptions,
+        key: str,
+    ) -> tuple[CompiledTemplate, str, bool]:
+        """The leader's actual compile.  Returns (compiled, used, cached)."""
+        if planner == "pb":
+            with self._lock:
+                memo = self._pb_memo.get(key)
+                if memo is not None:
+                    self._pb_memo.move_to_end(key)
+                    return memo[0], memo[1], True
+            graph = req.template.copy()
+            capacity = req.device.usable_memory_floats
+            result = pb_plan_or_heuristic(
+                graph,
+                capacity,
+                conflict_budget=self.config.pb_conflict_budget,
+            )
+            compiled = CompiledTemplate(
+                graph=graph,
+                plan=result.plan,
+                op_order=list(result.op_order),
+                split_report=SplitReport(),
+                device=req.device,
+                host=req.host,
+                options=opts,
+            )
+            with self._lock:
+                self._pb_memo[key] = (compiled, result.source)
+                while len(self._pb_memo) > self.config.plan_cache_entries:
+                    self._pb_memo.popitem(last=False)
+            return compiled, result.source, False
+        fw = Framework(
+            req.device,
+            host=req.host,
+            options=opts,
+            plan_cache=self.plan_cache,
+        )
+        compiled = fw.compile(req.template)
+        hit = bool(
+            compiled.metrics.get("counters", {}).get("plan_cache.hit", 0)
+        )
+        return compiled, "heuristic", hit
+
+    # -- bookkeeping -----------------------------------------------------
+    def _record_done(
+        self,
+        ticket: Ticket,
+        response: ServiceResponse,
+        tracer: Tracer | None,
+    ) -> None:
+        with self._lock:
+            self.metrics.counter(f"service.{response.status.value}").inc()
+            if response.status is RequestStatus.OK:
+                self.metrics.counter("service.completed").inc()
+            self.metrics.histogram("service.wait_seconds").observe(
+                response.wait_seconds
+            )
+            self.metrics.histogram("service.service_seconds").observe(
+                response.service_seconds
+            )
+            if tracer is not None:
+                self.tracer.merge(tracer)
+        ticket._resolve(response)
+
+
+__all__ = ["ExecutionService"]

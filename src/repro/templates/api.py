@@ -54,7 +54,7 @@ def find_edges(
     n_conv = (num_orientations + 1) // 2
     for i in range(n_conv):
         inputs[f"K{i + 1}"] = rotated_kernel(kernel, i)
-    fw = Framework(device, host, options)
+    fw = Framework(device, host=host, options=options)
     result = fw.execute(fw.compile(graph), inputs)
     return result.outputs["Edg"]
 
@@ -87,6 +87,6 @@ def cnn_forward(
     } - set(inputs)
     if missing:
         raise ValueError(f"missing weights: {sorted(missing)[:5]} ...")
-    fw = Framework(device, host, options)
+    fw = Framework(device, host=host, options=options)
     result = fw.execute(fw.compile(graph), inputs)
     return result.outputs

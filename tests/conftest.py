@@ -7,11 +7,29 @@ template.  The disk tier is likewise disabled so a developer's
 ``REPRO_PLAN_CACHE`` setting cannot leak state between test runs.
 Caching behaviour itself is exercised explicitly in
 ``tests/test_plancache.py`` with private :class:`PlanCache` instances.
+
+Tests that drive the concurrent execution service carry a
+``@pytest.mark.timeout(...)`` so a worker-pool deadlock fails the run
+instead of hanging it.  CI installs ``pytest-timeout`` (see the
+``[test]`` extra), which enforces the marker natively; when the plugin
+is absent locally, the ``_timeout_watchdog`` fixture below provides a
+best-effort SIGALRM fallback, so the marker never silently degrades to
+a no-op.
 """
+
+import signal
+import threading
 
 import pytest
 
 from repro.core import reset_default_cache
+
+try:
+    import pytest_timeout  # noqa: F401
+
+    HAVE_PYTEST_TIMEOUT = True
+except ImportError:
+    HAVE_PYTEST_TIMEOUT = False
 
 
 @pytest.fixture(autouse=True)
@@ -20,3 +38,32 @@ def _fresh_plan_cache(monkeypatch):
     reset_default_cache()
     yield
     reset_default_cache()
+
+
+@pytest.fixture(autouse=True)
+def _timeout_watchdog(request):
+    marker = request.node.get_closest_marker("timeout")
+    if (
+        marker is None
+        or HAVE_PYTEST_TIMEOUT
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+    seconds = float(marker.args[0] if marker.args else marker.kwargs["seconds"])
+
+    def _expired(signum, frame):
+        pytest.fail(
+            f"test exceeded the {seconds:g}s timeout (fallback watchdog; "
+            f"install pytest-timeout for full enforcement)",
+            pytrace=False,
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)

@@ -31,7 +31,7 @@ MGDEV = GpuDevice(name="an-mg-dev", memory_bytes=256 * 1024)
 
 def run_edge():
     g = find_edges_graph(40, 32, 5, 4)
-    fw = Framework(DEV, XEON_WORKSTATION)
+    fw = Framework(DEV, host=XEON_WORKSTATION)
     compiled = fw.compile(g)
     result = fw.execute(compiled, find_edges_inputs(40, 32, 5, 4))
     return compiled, result

@@ -336,3 +336,114 @@ class TestMultiDeviceExplain:
         assert rc == 0
         raw = json.loads(capsys.readouterr().out)
         assert {r["device"] for r in raw["steps"]} == {0, 1}
+
+
+class TestExitCodes:
+    def test_constants_distinct(self):
+        from repro.cli import EXIT_FAILURE, EXIT_INTERNAL, EXIT_OK, EXIT_USAGE
+
+        assert len({EXIT_OK, EXIT_FAILURE, EXIT_USAGE, EXIT_INTERNAL}) == 4
+        assert EXIT_OK == 0
+
+    def test_user_error_exits_2_on_stderr(self, capsys):
+        rc = main(["serve", "does-not-exist.json"])
+        assert rc == 2
+        captured = capsys.readouterr()
+        assert "repro: error" in captured.err
+        assert captured.out == ""
+
+    def test_malformed_jobs_file_exits_2(self, capsys, tmp_path):
+        path = tmp_path / "jobs.json"
+        path.write_text("{not json")
+        assert main(["serve", str(path)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_internal_error_exits_70_on_stderr(self, capsys, monkeypatch):
+        import repro.cli as cli
+
+        def explode(args):
+            raise RuntimeError("synthetic bug")
+
+        monkeypatch.setattr(cli, "cmd_info", explode)
+        parser = cli.build_parser()
+        args = parser.parse_args(["info"])
+        # re-resolve func through the monkeypatched module
+        monkeypatch.setattr(args, "func", cli.cmd_info)
+        monkeypatch.setattr(cli, "build_parser", lambda: _Stub(args))
+        rc = cli.main(["info"])
+        assert rc == 70
+        err = capsys.readouterr().err
+        assert "internal error" in err and "synthetic bug" in err
+
+
+class _Stub:
+    def __init__(self, args):
+        self._args = args
+
+    def parse_args(self, argv=None):
+        return self._args
+
+
+@pytest.mark.timeout(120)
+class TestServiceCommands:
+    def test_submit_repeat_dedupes(self, capsys):
+        rc = main([
+            "submit", "--template", "edge", "--size", "128x128",
+            "--repeat", "6", "--workers", "3",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "compiles: 1" in out
+        assert "dedupe hits: 5" in out
+
+    def test_submit_json_output(self, capsys):
+        rc = main([
+            "submit", "--template", "edge", "--size", "128x128",
+            "--mode", "simulate", "--json",
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["responses"][0]["status"] == "ok"
+        assert "service.submitted" in payload["metrics"]["counters"]
+
+    def test_submit_expired_deadline_fails_nonzero(self, capsys):
+        rc = main([
+            "submit", "--template", "edge", "--size", "128x128",
+            "--deadline", "0.0",
+        ])
+        assert rc == 1
+        assert "expired" in capsys.readouterr().out
+
+    def test_serve_jobs_file(self, capsys, tmp_path):
+        jobs = tmp_path / "jobs.json"
+        jobs.write_text(json.dumps([
+            {"template": "edge", "size": "128x128", "count": 3,
+             "label": "edge-c"},
+            {"template": "edge", "size": "96x96", "mode": "execute"},
+        ]))
+        rc = main(["serve", str(jobs), "--workers", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "edge-c" in out
+        assert "compiles: 2" in out
+
+    def test_serve_with_faults_retries(self, capsys, tmp_path):
+        jobs = tmp_path / "jobs.json"
+        jobs.write_text(json.dumps([
+            {"template": "edge", "size": "96x96", "mode": "execute",
+             "count": 2},
+        ]))
+        rc = main([
+            "serve", str(jobs), "--fault-rate", "0.2", "--fault-seed", "3",
+            "--max-attempts", "8", "--json",
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert all(r["status"] == "ok" for r in payload["responses"])
+        assert payload["metrics"]["counters"]["service.retries"] > 0
+
+    def test_serve_rejects_unknown_job_keys(self, capsys, tmp_path):
+        jobs = tmp_path / "jobs.json"
+        jobs.write_text(json.dumps([{"templte": "edge"}]))
+        assert main(["serve", str(jobs)]) == 2
+        assert "unknown keys" in capsys.readouterr().err

@@ -1,0 +1,188 @@
+"""Public API facade and deprecation shims (repro.api, repro._compat).
+
+The redesign contract: the keyword-only facade is the stable surface,
+the old positional call shapes keep working behind ``DeprecationWarning``
+shims, and both produce **byte-identical** plans (checked through the
+canonical ``plan_to_dict`` JSON serialization).
+"""
+
+import json
+import warnings
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import CompileOptions, Framework, run_template
+from repro.core.serialize import plan_to_dict
+from repro.gpusim import (
+    TESLA_C870,
+    XEON_WORKSTATION,
+    GpuDevice,
+    homogeneous_group,
+)
+from repro.multigpu import MultiCompiledTemplate, compile_multi
+from repro.runtime import reference_execute
+from repro.templates import find_edges_graph, find_edges_inputs
+
+DEV = GpuDevice(name="facade-dev", memory_bytes=8 * 1024 * 1024)
+
+
+def graph():
+    return find_edges_graph(64, 64, 8, 2)
+
+
+def plan_bytes(compiled) -> bytes:
+    return json.dumps(plan_to_dict(compiled.plan), sort_keys=True).encode()
+
+
+class TestFacadeDispatch:
+    def test_compile_single_device(self):
+        compiled = repro.compile(graph(), device=DEV)
+        assert compiled.device is DEV
+        assert compiled.plan.launches()
+
+    def test_compile_group(self):
+        compiled = repro.compile(graph(), group=homogeneous_group(DEV, 2))
+        assert isinstance(compiled, MultiCompiledTemplate)
+
+    def test_device_and_group_rejected(self):
+        with pytest.raises(TypeError, match="exactly one"):
+            repro.compile(graph(), device=DEV, group=homogeneous_group(DEV, 2))
+
+    def test_neither_device_nor_group_rejected(self):
+        with pytest.raises(TypeError, match="exactly one"):
+            repro.compile(graph())
+
+    def test_execute_dispatches_on_artifact_type(self):
+        g = graph()
+        inputs = find_edges_inputs(64, 64, 8, 2)
+        reference = reference_execute(g, inputs)
+        single = repro.execute(repro.compile(g, device=DEV), inputs)
+        multi = repro.execute(
+            repro.compile(g, group=homogeneous_group(DEV, 2)), inputs
+        )
+        for name, arr in reference.items():
+            np.testing.assert_allclose(single.outputs[name], arr, atol=1e-4)
+            np.testing.assert_allclose(multi.outputs[name], arr, atol=1e-4)
+
+    def test_simulate_dispatches_on_artifact_type(self):
+        g = graph()
+        assert repro.simulate(repro.compile(g, device=DEV)).total_time > 0
+        assert (
+            repro.simulate(
+                repro.compile(g, group=homogeneous_group(DEV, 2))
+            ).total_time
+            > 0
+        )
+
+    def test_compile_matches_framework_byte_for_byte(self):
+        via_facade = repro.compile(
+            graph(), device=DEV, host=XEON_WORKSTATION, plan_cache=False
+        )
+        via_framework = Framework(
+            DEV, host=XEON_WORKSTATION, plan_cache=False
+        ).compile(graph())
+        assert plan_bytes(via_facade) == plan_bytes(via_framework)
+
+    def test_top_level_exports(self):
+        for name in (
+            "compile", "compile_multi", "execute", "simulate",
+            "CompileOptions", "ServiceConfig", "ExecutionService",
+            "ServiceRequest",
+        ):
+            assert hasattr(repro, name), name
+
+
+class TestCompileOptionsSurface:
+    def test_keyword_construction_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            opts = CompileOptions(scheduler="bfs", eviction_policy="lru")
+        assert opts.scheduler == "bfs"
+
+    def test_frozen(self):
+        opts = CompileOptions()
+        with pytest.raises(Exception):
+            opts.scheduler = "bfs"
+
+    def test_positional_construction_warns(self):
+        with pytest.warns(DeprecationWarning, match="CompileOptions"):
+            opts = CompileOptions("bfs")
+        assert opts.scheduler == "bfs"
+
+    def test_positional_equals_keyword(self):
+        with pytest.warns(DeprecationWarning):
+            legacy = CompileOptions("bfs", "lru")
+        assert legacy == CompileOptions(scheduler="bfs", eviction_policy="lru")
+
+    def test_duplicate_argument_rejected(self):
+        with pytest.raises(TypeError, match="scheduler"), warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            CompileOptions("bfs", scheduler="dfs")
+
+    def test_too_many_positionals_rejected(self):
+        names = [
+            "x" for _ in range(20)
+        ]
+        with pytest.raises(TypeError, match="positional"), warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            CompileOptions(*names)
+
+
+class TestLegacyShims:
+    def test_framework_positional_host_warns_identical_plan(self):
+        with pytest.warns(DeprecationWarning, match="Framework"):
+            legacy = Framework(DEV, XEON_WORKSTATION, plan_cache=False)
+        modern = Framework(DEV, host=XEON_WORKSTATION, plan_cache=False)
+        assert plan_bytes(legacy.compile(graph())) == plan_bytes(
+            modern.compile(graph())
+        )
+
+    def test_framework_positional_options_warns_identical_plan(self):
+        opts = CompileOptions(scheduler="bfs")
+        with pytest.warns(DeprecationWarning):
+            legacy = Framework(DEV, XEON_WORKSTATION, opts, plan_cache=False)
+        modern = Framework(
+            DEV, host=XEON_WORKSTATION, options=opts, plan_cache=False
+        )
+        assert plan_bytes(legacy.compile(graph())) == plan_bytes(
+            modern.compile(graph())
+        )
+
+    def test_framework_keyword_form_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            Framework(DEV, host=XEON_WORKSTATION, options=CompileOptions())
+
+    def test_framework_duplicate_host_rejected(self):
+        with pytest.raises(TypeError, match="host"), warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            Framework(DEV, XEON_WORKSTATION, host=XEON_WORKSTATION)
+
+    def test_compile_multi_positional_warns_identical_plan(self):
+        group = homogeneous_group(DEV, 2)
+        with pytest.warns(DeprecationWarning, match="compile_multi"):
+            legacy = compile_multi(
+                graph(), group, XEON_WORKSTATION, plan_cache=False
+            )
+        modern = compile_multi(
+            graph(), group, host=XEON_WORKSTATION, plan_cache=False
+        )
+        assert plan_bytes(legacy) == plan_bytes(modern)
+
+    def test_run_template_positional_warns_same_outputs(self):
+        g = graph()
+        inputs = find_edges_inputs(64, 64, 8, 2)
+        with pytest.warns(DeprecationWarning, match="run_template"):
+            legacy = run_template(g, inputs, DEV, XEON_WORKSTATION)
+        modern = run_template(g, inputs, DEV, host=XEON_WORKSTATION)
+        for name in modern.outputs:
+            np.testing.assert_array_equal(
+                legacy.outputs[name], modern.outputs[name]
+            )
+
+    def test_facade_quickstart_on_real_preset(self):
+        compiled = repro.compile(graph(), device=TESLA_C870)
+        result = repro.execute(compiled, find_edges_inputs(64, 64, 8, 2))
+        assert "Edg" in result.outputs

@@ -1,0 +1,166 @@
+"""Deterministic fault injection (repro.gpusim.faults)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Framework
+from repro.gpusim import (
+    FaultInjector,
+    FaultSpec,
+    GpuDevice,
+    SimRuntime,
+    TransientAllocError,
+    TransientFault,
+    TransientTransferError,
+)
+from repro.runtime import execute_plan, reference_execute
+from repro.templates import find_edges_graph, find_edges_inputs
+
+DEV = GpuDevice(name="faulty", memory_bytes=8 * 1024 * 1024)
+
+
+class TestFaultSpec:
+    def test_rates_validated(self):
+        with pytest.raises(ValueError, match="transfer_failure_rate"):
+            FaultSpec(transfer_failure_rate=1.5)
+        with pytest.raises(ValueError, match="alloc_failure_rate"):
+            FaultSpec(alloc_failure_rate=-0.1)
+
+    def test_keyword_only(self):
+        with pytest.raises(TypeError):
+            FaultSpec(0.5)  # noqa: the old positional shape never existed
+
+    def test_injector_factory(self):
+        inj = FaultSpec(transfer_failure_rate=0.5, seed=3).injector()
+        assert isinstance(inj, FaultInjector)
+        assert inj.injected_faults == 0
+
+
+class TestFaultInjector:
+    def drain(self, injector, sites):
+        """Run every site once; return the names that faulted."""
+        faulted = []
+        for name in sites:
+            try:
+                injector.on_transfer("h2d", name, 4096)
+            except TransientTransferError:
+                faulted.append(name)
+        return faulted
+
+    def test_deterministic_per_seed(self):
+        sites = [f"buf{i}" for i in range(200)]
+        spec = FaultSpec(transfer_failure_rate=0.3, seed=11)
+        first = self.drain(spec.injector(), sites)
+        second = self.drain(spec.injector(), sites)
+        assert first == second
+        assert first  # 200 sites at 30%: some must fault
+
+    def test_different_seeds_differ(self):
+        sites = [f"buf{i}" for i in range(200)]
+        a = self.drain(FaultSpec(transfer_failure_rate=0.3, seed=1).injector(), sites)
+        b = self.drain(FaultSpec(transfer_failure_rate=0.3, seed=2).injector(), sites)
+        assert a != b
+
+    def test_rate_roughly_honored(self):
+        sites = [f"buf{i}" for i in range(1000)]
+        faulted = self.drain(
+            FaultSpec(transfer_failure_rate=0.2, seed=5).injector(), sites
+        )
+        assert 120 <= len(faulted) <= 280  # 200 expected, generous band
+
+    def test_sites_heal_after_one_fault(self):
+        inj = FaultSpec(transfer_failure_rate=1.0, seed=0).injector()
+        with pytest.raises(TransientTransferError):
+            inj.on_transfer("h2d", "X", 16)
+        # the same site never faults twice: retries make progress
+        inj.on_transfer("h2d", "X", 16)
+        assert inj.injected_transfer_faults == 1
+
+    def test_direction_is_part_of_the_site(self):
+        inj = FaultSpec(transfer_failure_rate=1.0, seed=0).injector()
+        with pytest.raises(TransientTransferError):
+            inj.on_transfer("h2d", "X", 16)
+        with pytest.raises(TransientTransferError):
+            inj.on_transfer("d2h", "X", 16)
+
+    def test_alloc_faults_independent_of_transfer(self):
+        inj = FaultSpec(alloc_failure_rate=1.0, seed=0).injector()
+        inj.on_transfer("h2d", "X", 16)  # transfer rate is 0: no fault
+        with pytest.raises(TransientAllocError):
+            inj.on_alloc("X", 16)
+        assert inj.injected_alloc_faults == 1
+        assert inj.injected_transfer_faults == 0
+
+    def test_max_faults_cap(self):
+        inj = FaultSpec(
+            transfer_failure_rate=1.0, seed=0, max_faults=2
+        ).injector()
+        for name in ("A", "B"):
+            with pytest.raises(TransientFault):
+                inj.on_transfer("h2d", name, 16)
+        inj.on_transfer("h2d", "C", 16)  # cap reached: no more faults
+        assert inj.injected_faults == 2
+
+    def test_fault_family(self):
+        assert issubclass(TransientTransferError, TransientFault)
+        assert issubclass(TransientAllocError, TransientFault)
+
+
+class TestRuntimeIntegration:
+    def compiled(self):
+        g = find_edges_graph(64, 64, 8, 2)
+        return Framework(DEV).compile(g), g
+
+    def test_transfer_fault_surfaces_and_counts(self):
+        compiled, g = self.compiled()
+        injector = FaultSpec(transfer_failure_rate=1.0, seed=0).injector()
+        runtime = SimRuntime(DEV, fault_injector=injector)
+        with pytest.raises(TransientTransferError):
+            execute_plan(
+                compiled.plan, compiled.graph, runtime,
+                find_edges_inputs(64, 64, 8, 2),
+            )
+        assert injector.injected_transfer_faults == 1
+        counters = runtime.metrics.snapshot()["counters"]
+        assert counters["gpu.faults.transfer"] == 1
+
+    def test_alloc_fault_surfaces_and_counts(self):
+        compiled, g = self.compiled()
+        injector = FaultSpec(alloc_failure_rate=1.0, seed=0).injector()
+        runtime = SimRuntime(DEV, fault_injector=injector)
+        with pytest.raises(TransientAllocError):
+            execute_plan(
+                compiled.plan, compiled.graph, runtime,
+                find_edges_inputs(64, 64, 8, 2),
+            )
+        counters = runtime.metrics.snapshot()["counters"]
+        assert counters["gpu.faults.alloc"] == 1
+
+    def test_healed_retries_reach_correct_results(self):
+        """Fresh runtimes + one shared injector converge to the right answer."""
+        compiled, g = self.compiled()
+        inputs = find_edges_inputs(64, 64, 8, 2)
+        injector = FaultSpec(transfer_failure_rate=0.25, seed=9).injector()
+        result = None
+        for _ in range(50):
+            runtime = SimRuntime(DEV, fault_injector=injector)
+            try:
+                result = execute_plan(compiled.plan, compiled.graph, runtime, inputs)
+                break
+            except TransientFault:
+                continue
+        assert result is not None, "healing injector must converge"
+        assert injector.injected_faults > 0, "rate 0.25 must fault at least once"
+        reference = reference_execute(g, inputs)
+        for name, arr in reference.items():
+            np.testing.assert_allclose(result.outputs[name], arr, atol=1e-4)
+
+    def test_no_injector_no_faults(self):
+        compiled, g = self.compiled()
+        runtime = SimRuntime(DEV)
+        execute_plan(
+            compiled.plan, compiled.graph, runtime,
+            find_edges_inputs(64, 64, 8, 2),
+        )
+        counters = runtime.metrics.snapshot()["counters"]
+        assert "gpu.faults.transfer" not in counters

@@ -72,7 +72,7 @@ class TestExecution:
 
     def test_simulate_agrees_with_execute(self, edge):
         g, inputs, _ = edge
-        fw = Framework(SMALL_DEV, XEON_WORKSTATION)
+        fw = Framework(SMALL_DEV, host=XEON_WORKSTATION)
         compiled = fw.compile(g)
         sim = fw.simulate(compiled)
         res = fw.execute(compiled, inputs)
@@ -126,7 +126,7 @@ class TestBaseline:
 
     def test_optimized_beats_baseline(self, edge):
         g, _, _ = edge
-        fw = Framework(BIG_DEV, XEON_WORKSTATION)
+        fw = Framework(BIG_DEV, host=XEON_WORKSTATION)
         opt = fw.simulate(fw.compile(g))
         base = fw.simulate(fw.compile_baseline(g))
         assert opt.transfer_floats < base.transfer_floats

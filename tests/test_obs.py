@@ -208,7 +208,7 @@ class TestChromeTrace:
 
     def test_profile_events_one_track_per_stream(self):
         c = compile_edge()
-        fw = Framework(DEV, XEON_WORKSTATION)
+        fw = Framework(DEV, host=XEON_WORKSTATION)
         result = fw.execute(c, find_edges_inputs(40, 32, 5, 4))
         trace = chrome_trace(spans=c.spans, profile=result.profile)
         evs = trace["traceEvents"]
@@ -225,7 +225,7 @@ class TestChromeTrace:
 
     def test_timestamps_monotonic(self):
         c = compile_edge()
-        fw = Framework(DEV, XEON_WORKSTATION)
+        fw = Framework(DEV, host=XEON_WORKSTATION)
         result = fw.execute(c, find_edges_inputs(40, 32, 5, 4))
         evs = chrome_trace(spans=c.spans, profile=result.profile)["traceEvents"]
         ts = [e["ts"] for e in evs if e["ph"] != "M"]
@@ -281,7 +281,7 @@ class TestWiring:
 
     def test_execution_result_carries_profile_and_metrics(self):
         c = compile_edge()
-        fw = Framework(DEV, XEON_WORKSTATION)
+        fw = Framework(DEV, host=XEON_WORKSTATION)
         result = fw.execute(c, find_edges_inputs(40, 32, 5, 4))
         assert result.profile is not None
         assert result.profile.events
@@ -376,7 +376,7 @@ class TestMemoryCounters:
 
     def test_alloc_free_drive_counter_series(self):
         c = compile_edge()
-        fw = Framework(DEV, XEON_WORKSTATION)
+        fw = Framework(DEV, host=XEON_WORKSTATION)
         result = fw.execute(c, find_edges_inputs(40, 32, 5, 4))
         from repro.obs import profile_to_events
 

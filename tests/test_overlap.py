@@ -11,7 +11,7 @@ from repro.templates import find_edges_graph
 @pytest.fixture(scope="module")
 def compiled():
     g = find_edges_graph(512, 512, 16, 4)
-    fw = Framework(TESLA_C870, XEON_WORKSTATION)
+    fw = Framework(TESLA_C870, host=XEON_WORKSTATION)
     return fw.compile(g)
 
 

@@ -111,3 +111,63 @@ class TestPlanRoundTrip:
         json.dump(raw, open(path, "w"))
         with pytest.raises(ValueError, match="format"):
             load_plan(path)
+
+
+class TestSchemaVersioning:
+    """plan dicts carry schema_version; readers accept same-major,
+    reject other majors with an actionable message."""
+
+    def plan_dict(self, compiled):
+        return plan_to_dict(compiled.plan)
+
+    def test_current_version_is_written(self, compiled):
+        from repro.core import SCHEMA_VERSION
+
+        raw = self.plan_dict(compiled)
+        assert raw["schema_version"] == SCHEMA_VERSION
+        assert next(iter(raw)) == "schema_version"
+
+    def test_round_trip_accepts_current(self, compiled):
+        plan = plan_from_dict(self.plan_dict(compiled))
+        assert [type(s).__name__ for s in plan.steps] == [
+            type(s).__name__ for s in compiled.plan.steps
+        ]
+
+    def test_prior_minor_accepted(self, compiled):
+        raw = self.plan_dict(compiled)
+        raw["schema_version"] = "1.0"
+        plan_from_dict(raw)
+
+    def test_future_minor_of_same_major_accepted(self, compiled):
+        raw = self.plan_dict(compiled)
+        raw["schema_version"] = "1.99"
+        plan_from_dict(raw)
+
+    def test_missing_version_read_as_1_0(self, compiled):
+        raw = self.plan_dict(compiled)
+        del raw["schema_version"]
+        plan_from_dict(raw)
+
+    def test_unknown_major_rejected_actionably(self, compiled):
+        raw = self.plan_dict(compiled)
+        raw["schema_version"] = "2.0"
+        with pytest.raises(ValueError) as err:
+            plan_from_dict(raw)
+        message = str(err.value)
+        assert "schema version 2.0" in message
+        assert "re-compile" in message
+
+    def test_malformed_version_rejected(self, compiled):
+        raw = self.plan_dict(compiled)
+        raw["schema_version"] = "latest"
+        with pytest.raises(ValueError, match="malformed"):
+            plan_from_dict(raw)
+
+    def test_saved_file_carries_version(self, compiled, tmp_path):
+        from repro.core import SCHEMA_VERSION
+
+        path = str(tmp_path / "plan.json")
+        save_plan(compiled, path)
+        with open(path) as fh:
+            assert json.load(fh)["plan"]["schema_version"] == SCHEMA_VERSION
+        load_plan(path)

@@ -1,0 +1,474 @@
+"""Concurrent execution service (repro.service)."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.framework import Framework
+from repro.gpusim import TESLA_C870, XEON_WORKSTATION, FaultSpec, GpuDevice
+from repro.runtime import reference_execute
+from repro.service import (
+    ExecutionService,
+    QueueFullError,
+    RequestStatus,
+    RetryPolicy,
+    ServiceClosedError,
+    ServiceConfig,
+    ServiceRequest,
+)
+from repro.templates import find_edges_graph, find_edges_inputs
+
+DEV = GpuDevice(name="svc-dev", memory_bytes=8 * 1024 * 1024)
+
+
+def edge_request(size=64, kernel=8, **kwargs):
+    kwargs.setdefault("label", f"edge{size}")
+    return ServiceRequest(
+        template=find_edges_graph(size, size, kernel, 2),
+        device=DEV,
+        host=XEON_WORKSTATION,
+        **kwargs,
+    )
+
+
+def wait_until(predicate, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return False
+
+
+class TestRequestValidation:
+    def test_bad_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            edge_request(mode="transmogrify")
+
+    def test_bad_planner(self):
+        with pytest.raises(ValueError, match="planner"):
+            edge_request(planner="oracle")
+
+    def test_execute_requires_inputs(self):
+        with pytest.raises(ValueError, match="inputs"):
+            edge_request(mode="execute")
+
+    def test_negative_deadline(self):
+        with pytest.raises(ValueError, match="deadline"):
+            edge_request(deadline=-1.0)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(workers=0)
+        with pytest.raises(ValueError):
+            ServiceConfig(max_queue_depth=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+
+@pytest.mark.timeout(60)
+class TestSingleFlight:
+    def test_concurrent_identical_requests_compile_once(self, monkeypatch):
+        """The leader blocks mid-compile; followers must join its flight."""
+        release = threading.Event()
+        calls = []
+        original = Framework.compile
+
+        def blocking_compile(self, template, **kwargs):
+            calls.append(template.name)
+            assert release.wait(30), "test forgot to release the leader"
+            return original(self, template, **kwargs)
+
+        monkeypatch.setattr(Framework, "compile", blocking_compile)
+        with ExecutionService(ServiceConfig(workers=4)) as svc:
+            tickets = [svc.submit(edge_request()) for _ in range(4)]
+            joined = wait_until(
+                lambda: svc.metrics_snapshot()["counters"].get(
+                    "service.singleflight_joins", 0
+                ) == 3
+            )
+            assert joined, "3 of 4 identical requests must join the flight"
+            release.set()
+            responses = [t.result(timeout=30) for t in tickets]
+        assert len(calls) == 1, "single-flight must compile exactly once"
+        assert all(r.ok for r in responses)
+        assert sum(r.deduped for r in responses) == 3
+
+    def test_leader_failure_propagates_to_followers(self, monkeypatch):
+        release = threading.Event()
+
+        def exploding_compile(self, template, **kwargs):
+            release.wait(30)
+            raise RuntimeError("boom in the leader")
+
+        monkeypatch.setattr(Framework, "compile", exploding_compile)
+        with ExecutionService(ServiceConfig(workers=4)) as svc:
+            tickets = [svc.submit(edge_request()) for _ in range(4)]
+            wait_until(
+                lambda: svc.metrics_snapshot()["counters"].get(
+                    "service.singleflight_joins", 0
+                ) == 3
+            )
+            release.set()
+            responses = [t.result(timeout=30) for t in tickets]
+        assert all(r.status is RequestStatus.FAILED for r in responses)
+        assert all("boom" in (r.error or "") for r in responses)
+
+    def test_sixteen_of_four_distinct(self):
+        """The acceptance demo: 16 submissions of 4 distinct requests
+        yield exactly 4 compiles and a dedupe counter of 12."""
+        sizes = (48, 64, 80, 96)
+        with ExecutionService(ServiceConfig(workers=8)) as svc:
+            tickets = [
+                svc.submit(edge_request(size=sizes[i % 4])) for i in range(16)
+            ]
+            responses = [t.result(timeout=60) for t in tickets]
+            counters = svc.metrics_snapshot()["counters"]
+        assert all(r.ok for r in responses)
+        assert counters["service.compiles"] == 4
+        assert counters["service.dedupe_hits"] == 12
+        assert (
+            counters.get("service.singleflight_joins", 0)
+            + counters.get("service.plan_cache_hits", 0)
+        ) == 12
+
+    def test_pb_requests_dedupe_via_memo(self):
+        with ExecutionService(ServiceConfig(workers=2)) as svc:
+            first = svc.submit(edge_request(planner="pb")).result(timeout=60)
+            second = svc.submit(edge_request(planner="pb")).result(timeout=60)
+        assert first.ok and second.ok
+        assert first.planner_used.startswith("pb")
+        assert second.deduped
+
+
+@pytest.mark.timeout(60)
+class TestDeadlines:
+    def test_expired_heuristic_request_is_rejected_loudly(self):
+        with ExecutionService(ServiceConfig(workers=1)) as svc:
+            resp = svc.submit(
+                edge_request(planner="heuristic", deadline=0.0)
+            ).result(timeout=30)
+        assert resp.status is RequestStatus.EXPIRED
+        assert "deadline expired" in resp.error
+        assert resp.value is None
+
+    def test_expired_pb_request_degrades_to_heuristic(self):
+        with ExecutionService(ServiceConfig(workers=1)) as svc:
+            resp = svc.submit(
+                edge_request(planner="pb", deadline=0.0)
+            ).result(timeout=30)
+            counters = svc.metrics_snapshot()["counters"]
+        assert resp.ok
+        assert resp.degraded
+        assert resp.planner_used == "heuristic-degraded"
+        assert counters["service.degraded"] == 1
+
+    def test_degradation_disabled_expires_instead(self):
+        cfg = ServiceConfig(workers=1, degrade_on_deadline=False)
+        with ExecutionService(cfg) as svc:
+            resp = svc.submit(
+                edge_request(planner="pb", deadline=0.0)
+            ).result(timeout=30)
+        assert resp.status is RequestStatus.EXPIRED
+
+    def test_deadline_pressure_mid_retry_expires_heuristic(self):
+        # Backoff (1s) cannot fit in the 50 ms deadline, and a heuristic
+        # request has nothing to degrade to: explicit expiry.
+        sleeps = []
+        cfg = ServiceConfig(
+            workers=1,
+            retry=RetryPolicy(max_attempts=5, backoff_base=1.0),
+            fault_spec=FaultSpec(transfer_failure_rate=1.0, seed=1, max_faults=4),
+        )
+        with ExecutionService(cfg, sleep=sleeps.append) as svc:
+            resp = svc.submit(
+                edge_request(
+                    mode="execute",
+                    inputs=find_edges_inputs(64, 64, 8, 2),
+                    deadline=0.05,
+                )
+            ).result(timeout=30)
+        assert resp.status is RequestStatus.EXPIRED
+        assert "backoff" in resp.error
+        assert sleeps == []  # expired instead of sleeping past the deadline
+
+    def test_deadline_pressure_mid_retry_degrades_pb(self):
+        cfg = ServiceConfig(
+            workers=1,
+            retry=RetryPolicy(max_attempts=5, backoff_base=1.0),
+            fault_spec=FaultSpec(transfer_failure_rate=1.0, seed=1, max_faults=1),
+        )
+        with ExecutionService(cfg, sleep=lambda s: None) as svc:
+            resp = svc.submit(
+                edge_request(
+                    mode="execute",
+                    planner="pb",
+                    inputs=find_edges_inputs(64, 64, 8, 2),
+                    deadline=0.05,
+                )
+            ).result(timeout=60)
+        assert resp.ok
+        assert resp.degraded
+        assert resp.planner_used.endswith("-degraded")
+
+    def test_default_deadline_from_config(self):
+        cfg = ServiceConfig(workers=1, default_deadline=1e-9,
+                            degrade_on_deadline=False)
+        with ExecutionService(cfg) as svc:
+            resp = svc.submit(edge_request()).result(timeout=30)
+        assert resp.status is RequestStatus.EXPIRED
+
+
+@pytest.mark.timeout(60)
+class TestAdmissionAndCancellation:
+    def blocked_service(self, monkeypatch, **cfg):
+        release = threading.Event()
+        original = Framework.compile
+
+        def blocking_compile(self, template, **kwargs):
+            release.wait(30)
+            return original(self, template, **kwargs)
+
+        monkeypatch.setattr(Framework, "compile", blocking_compile)
+        return ExecutionService(ServiceConfig(**cfg)), release
+
+    def test_queue_full_is_explicit(self, monkeypatch):
+        svc, release = self.blocked_service(
+            monkeypatch, workers=1, max_queue_depth=1
+        )
+        with svc:
+            running = svc.submit(edge_request(size=48))
+            assert wait_until(lambda: svc.queue_depth() == 0)
+            queued = svc.submit(edge_request(size=64))
+            with pytest.raises(QueueFullError, match="queue depth"):
+                svc.submit(edge_request(size=80))
+            counters = svc.metrics_snapshot()["counters"]
+            assert counters["service.rejected"] == 1
+            release.set()
+            assert running.result(timeout=30).ok
+            assert queued.result(timeout=30).ok
+
+    def test_cancel_queued_request(self, monkeypatch):
+        svc, release = self.blocked_service(
+            monkeypatch, workers=1, max_queue_depth=8
+        )
+        with svc:
+            running = svc.submit(edge_request(size=48))
+            assert wait_until(lambda: svc.queue_depth() == 0)
+            queued = svc.submit(edge_request(size=64))
+            assert queued.cancel() is True
+            resp = queued.result(timeout=5)
+            assert resp.status is RequestStatus.CANCELLED
+            # cancelling a running (or finished) request is a no-op
+            assert running.cancel() is False
+            release.set()
+            assert running.result(timeout=30).ok
+
+    def test_submit_after_close_raises(self):
+        svc = ExecutionService(ServiceConfig(workers=1))
+        svc.close()
+        with pytest.raises(ServiceClosedError):
+            svc.submit(edge_request())
+
+    def test_close_drains_queue(self):
+        with ExecutionService(ServiceConfig(workers=2)) as svc:
+            tickets = svc.submit_all([edge_request(size=s) for s in (48, 64, 80)])
+        # context exit closes + joins: everything must have finished
+        assert all(t.result(timeout=1).ok for t in tickets)
+
+    def test_close_cancel_pending(self, monkeypatch):
+        svc, release = self.blocked_service(
+            monkeypatch, workers=1, max_queue_depth=8
+        )
+        running = svc.submit(edge_request(size=48))
+        assert wait_until(lambda: svc.queue_depth() == 0)
+        queued = svc.submit(edge_request(size=64))
+        release.set()
+        svc.close(cancel_pending=True)
+        assert running.result(timeout=5).ok
+        assert queued.result(timeout=5).status is RequestStatus.CANCELLED
+
+    def test_result_timeout(self, monkeypatch):
+        svc, release = self.blocked_service(monkeypatch, workers=1)
+        with svc:
+            ticket = svc.submit(edge_request())
+            with pytest.raises(TimeoutError, match="not done"):
+                ticket.result(timeout=0.01)
+            release.set()
+            assert ticket.result(timeout=30).ok
+
+
+@pytest.mark.timeout(60)
+class TestRetries:
+    def test_seeded_faults_retry_to_completion(self):
+        """The acceptance demo: 20% seeded transfer faults, every request
+        completes via retries, counters visible."""
+        cfg = ServiceConfig(
+            workers=4,
+            retry=RetryPolicy(max_attempts=8, backoff_base=1e-4),
+            fault_spec=FaultSpec(transfer_failure_rate=0.2, seed=7),
+        )
+        inputs = find_edges_inputs(64, 64, 8, 2)
+        with ExecutionService(cfg) as svc:
+            tickets = [
+                svc.submit(edge_request(mode="execute", inputs=inputs))
+                for _ in range(8)
+            ]
+            responses = [t.result(timeout=120) for t in tickets]
+            counters = svc.metrics_snapshot()["counters"]
+        assert all(r.ok for r in responses)
+        assert counters["service.retries"] > 0
+        assert counters["service.faults"] == counters["service.retries"]
+        assert counters["gpu.faults.transfer"] == counters["service.faults"]
+
+    def test_retry_is_deterministic_per_seed(self):
+        def attempts_for(seed):
+            cfg = ServiceConfig(
+                workers=1,
+                retry=RetryPolicy(max_attempts=8, backoff_base=1e-4),
+                fault_spec=FaultSpec(transfer_failure_rate=0.3, seed=seed),
+            )
+            with ExecutionService(cfg) as svc:
+                resp = svc.submit(
+                    edge_request(
+                        mode="execute",
+                        inputs=find_edges_inputs(64, 64, 8, 2),
+                    )
+                ).result(timeout=60)
+            assert resp.ok
+            return resp.attempts
+
+        assert attempts_for(3) == attempts_for(3)
+
+    def test_backoff_schedule_and_injectable_sleep(self):
+        sleeps = []
+        policy = RetryPolicy(
+            max_attempts=5, backoff_base=0.01, backoff_multiplier=2.0,
+            backoff_max=1.0,
+        )
+        cfg = ServiceConfig(
+            workers=1,
+            retry=policy,
+            fault_spec=FaultSpec(
+                transfer_failure_rate=1.0, seed=0, max_faults=2
+            ),
+        )
+        with ExecutionService(cfg, sleep=sleeps.append) as svc:
+            resp = svc.submit(
+                edge_request(
+                    mode="execute", inputs=find_edges_inputs(64, 64, 8, 2)
+                )
+            ).result(timeout=60)
+        assert resp.ok
+        assert resp.attempts == 3 and resp.retries == 2
+        assert sleeps == [policy.backoff(1), policy.backoff(2)]
+
+    def test_exhausted_retries_fail_with_last_fault(self):
+        cfg = ServiceConfig(
+            workers=1,
+            retry=RetryPolicy(max_attempts=2, backoff_base=1e-4),
+            fault_spec=FaultSpec(transfer_failure_rate=1.0, seed=0),
+        )
+        with ExecutionService(cfg) as svc:
+            resp = svc.submit(
+                edge_request(
+                    mode="execute", inputs=find_edges_inputs(64, 64, 8, 2)
+                )
+            ).result(timeout=60)
+        assert resp.status is RequestStatus.FAILED
+        assert "gave up after 2 attempts" in resp.error
+        assert "injected" in resp.error
+
+    def test_results_correct_despite_faults(self):
+        g = find_edges_graph(64, 64, 8, 2)
+        inputs = find_edges_inputs(64, 64, 8, 2)
+        cfg = ServiceConfig(
+            workers=2,
+            retry=RetryPolicy(max_attempts=8, backoff_base=1e-4),
+            fault_spec=FaultSpec(transfer_failure_rate=0.25, seed=5),
+        )
+        with ExecutionService(cfg) as svc:
+            resp = svc.submit(
+                ServiceRequest(
+                    template=g, device=DEV, host=XEON_WORKSTATION,
+                    mode="execute", inputs=inputs,
+                )
+            ).result(timeout=120)
+        assert resp.ok and resp.retries > 0
+        reference = reference_execute(g, inputs)
+        for name, arr in reference.items():
+            np.testing.assert_allclose(
+                resp.value.outputs[name], arr, atol=1e-4
+            )
+
+
+@pytest.mark.timeout(60)
+class TestModesAndPlanners:
+    def test_simulate_mode(self):
+        with ExecutionService(ServiceConfig(workers=1)) as svc:
+            resp = svc.submit(edge_request(mode="simulate")).result(timeout=30)
+        assert resp.ok
+        assert resp.value.total_time > 0
+
+    def test_auto_planner_picks_pb_for_small_templates(self):
+        cfg = ServiceConfig(workers=1, pb_max_ops=64)
+        with ExecutionService(cfg) as svc:
+            resp = svc.submit(edge_request(planner="auto")).result(timeout=60)
+        assert resp.ok
+        assert resp.planner_used.startswith("pb")
+
+    def test_auto_planner_falls_back_for_large_templates(self):
+        cfg = ServiceConfig(workers=1, pb_max_ops=1)
+        with ExecutionService(cfg) as svc:
+            resp = svc.submit(edge_request(planner="auto")).result(timeout=30)
+        assert resp.ok
+        assert resp.planner_used == "heuristic"
+
+    def test_compile_on_full_size_device(self):
+        with ExecutionService(ServiceConfig(workers=1)) as svc:
+            resp = svc.submit(
+                ServiceRequest(
+                    template=find_edges_graph(64, 64, 8, 2),
+                    device=TESLA_C870,
+                    host=XEON_WORKSTATION,
+                )
+            ).result(timeout=30)
+        assert resp.ok
+        assert resp.value.plan.launches()
+
+
+@pytest.mark.timeout(60)
+class TestObservability:
+    def test_metrics_snapshot_shape(self):
+        with ExecutionService(ServiceConfig(workers=2)) as svc:
+            tickets = [svc.submit(edge_request()) for _ in range(3)]
+            [t.result(timeout=30) for t in tickets]
+            snap = svc.metrics_snapshot()
+        counters, gauges = snap["counters"], snap["gauges"]
+        histograms = snap["histograms"]
+        assert counters["service.submitted"] == 3
+        assert counters["service.completed"] == 3
+        assert counters["service.ok"] == 3
+        assert gauges["service.queue_depth"]["value"] == 0
+        assert gauges["service.in_flight"]["value"] == 0
+        assert histograms["service.wait_seconds"]["count"] == 3
+        assert histograms["service.service_seconds"]["count"] == 3
+
+    def test_traces_collected_per_request(self):
+        with ExecutionService(ServiceConfig(workers=2)) as svc:
+            svc.submit(edge_request()).result(timeout=30)
+            svc.submit(edge_request()).result(timeout=30)
+            spans = svc.tracer.find("service.request")
+        assert len(spans) == 2
+        assert {sp.attrs["status"] for sp in spans} == {"ok"}
+
+    def test_response_to_dict_is_json_ready(self):
+        import json
+
+        with ExecutionService(ServiceConfig(workers=1)) as svc:
+            resp = svc.submit(edge_request()).result(timeout=30)
+        payload = json.loads(json.dumps(resp.to_dict()))
+        assert payload["status"] == "ok"
+        assert payload["attempts"] == 1
