@@ -646,6 +646,15 @@ def _request_from_spec(spec: dict, args, index: int) -> ServiceRequest:
 def _run_service(args, requests: list[ServiceRequest]) -> int:
     """Drive one batch through an :class:`ExecutionService`; exit code."""
     with ExecutionService(_service_config(args)) as svc:
+        if getattr(args, "status_port", None) is not None:
+            server = svc.serve_status(
+                host=args.status_host, port=args.status_port
+            )
+            print(
+                f"status endpoint: {server.url} "
+                f"(/metrics /slo /requests /healthz)",
+                file=sys.stderr,
+            )
         tickets = []
         rejected = []
         for req in requests:
@@ -726,6 +735,83 @@ def cmd_serve(args) -> int:
         count = int(spec.get("count", 1)) if isinstance(spec, dict) else 1
         requests.extend([req] * max(count, 1))
     return _run_service(args, requests)
+
+
+def _fetch_status(base: str, path: str, timeout: float):
+    """GET ``base + path`` from a status endpoint; parsed JSON."""
+    import urllib.request
+
+    with urllib.request.urlopen(base + path, timeout=timeout) as resp:
+        return json.load(resp)
+
+
+def cmd_top(args) -> int:
+    import urllib.error
+
+    base = args.url.rstrip("/")
+    if "://" not in base:
+        base = f"http://{base}"
+    try:
+        snap = _fetch_status(base, "/slo", args.timeout)
+    except (urllib.error.URLError, OSError, json.JSONDecodeError) as exc:
+        # A dead or unreachable endpoint is an operational failure, not
+        # a usage error — and main() maps OSError onto exit code 2, so
+        # it must be handled here to exit 1 as `top` documents.
+        print(f"repro top: cannot reach {base}/slo: {exc}", file=sys.stderr)
+        if os.environ.get("REPRO_DEBUG"):
+            import traceback
+
+            traceback.print_exc()
+        return EXIT_FAILURE
+    if args.json:
+        print(json.dumps(snap, indent=1, sort_keys=True))
+        return EXIT_OK
+    window = snap.get("window", {})
+    cache = snap.get("plan_cache", {})
+    events = snap.get("events", {})
+    lookups = (
+        cache.get("hits", 0) + cache.get("disk_hits", 0)
+        + cache.get("misses", 0)
+    )
+    hit_rate = (
+        (cache.get("hits", 0) + cache.get("disk_hits", 0)) / lookups
+        if lookups else 0.0
+    )
+    counters = snap.get("counters", {})
+    print(f"repro top — {base}  "
+          f"({'closed' if snap.get('closed') else 'serving'})")
+    print(f"  queue depth: {snap.get('queue_depth', 0)}   "
+          f"in flight: {snap.get('in_flight', 0)}   "
+          f"workers: {snap.get('workers', 0)}   "
+          f"submitted: {counters.get('service.submitted', 0):.0f}   "
+          f"completed: {counters.get('service.completed', 0):.0f}")
+    print(f"  window ({window.get('window_seconds', 0):.0f}s): "
+          f"{window.get('count', 0)} done, "
+          f"{window.get('rate', 0.0):.2f} req/s, latency "
+          f"p50 {window.get('p50', 0.0) * 1e3:.2f}ms "
+          f"p95 {window.get('p95', 0.0) * 1e3:.2f}ms "
+          f"p99 {window.get('p99', 0.0) * 1e3:.2f}ms")
+    print(f"  plan cache: {cache.get('hits', 0)} mem + "
+          f"{cache.get('disk_hits', 0)} disk hits, "
+          f"{cache.get('misses', 0)} misses "
+          f"({hit_rate:.0%} hit-rate), {cache.get('entries', 0)} entries")
+    for obj in snap.get("slo", {}).get("objectives", []):
+        flag = "  ** BREACHED **" if obj.get("breached") else ""
+        print(f"  slo {obj.get('name')}: "
+              f"compliance {obj.get('compliance', 0.0):.4f} "
+              f"(target {obj.get('target', 0.0)}), "
+              f"budget remaining "
+              f"{obj.get('budget_remaining_fraction', 0.0):.0%}{flag}")
+    for shard in snap.get("shards", []):
+        print(f"  shard {shard.get('shard')}: "
+              f"queue={shard.get('queue_depth', 0)} "
+              f"in_flight={shard.get('in_flight', 0)} "
+              f"workers={shard.get('workers', 0)} "
+              f"cache_entries={shard.get('plan_cache', {}).get('entries', 0)}")
+    print(f"  events: {events.get('emitted', 0)} emitted, "
+          f"{events.get('dropped', 0)} dropped "
+          f"(ring {events.get('capacity', 0)})")
+    return EXIT_OK
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -871,6 +957,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="seconds to wait for each result")
         p.add_argument("--json", action="store_true",
                        help="machine-readable JSON output (incl. metrics)")
+        p.add_argument("--status-port", type=int, default=None,
+                       metavar="PORT",
+                       help="serve the live status endpoint (/metrics, "
+                            "/slo, /requests, /healthz) on this port while "
+                            "the batch runs (0 = ephemeral)")
+        p.add_argument("--status-host", default="127.0.0.1",
+                       help="bind address for --status-port")
 
     p = sub.add_parser(
         "submit",
@@ -900,6 +993,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="default GPU preset for jobs without a 'device' key")
     service_flags(p)
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "top",
+        help="one-shot live view of a serving status endpoint "
+             "(see 'serve --status-port')",
+    )
+    p.add_argument("url", help="status endpoint, host:port or http://...")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw /slo JSON snapshot")
+    p.add_argument("--timeout", type=float, default=5.0,
+                   help="HTTP timeout in seconds")
+    p.set_defaults(func=cmd_top)
     return parser
 
 

@@ -30,6 +30,7 @@ from repro._compat import explicit_kwargs as _explicit
 from repro._compat import legacy_positional
 from repro.gpusim import GpuDevice, HostSystem, SimRuntime
 from repro.obs import MetricsRegistry, Span, Tracer, provenance_summary
+from repro.obs.live.events import publish
 from repro.runtime.executor import (
     ExecutionResult,
     SimulatedRun,
@@ -182,13 +183,25 @@ class Framework:
         Pass ``plan_cache=False`` to the constructor to opt out.
         """
         opts = options if options is not None else self.options
+        publish(
+            "compile.start",
+            template=template.name,
+            device=self.device.name,
+        )
         cache = self.plan_cache
         key: str | None = None
         if cache is not None:
             key = plan_key(template, self.device, opts)
             entry = cache.get(key)
             if entry is not None:
-                return self._compile_from_cache(entry, key, opts)
+                compiled = self._compile_from_cache(entry, key, opts)
+                publish(
+                    "compile.done",
+                    template=template.name,
+                    cached=True,
+                    seconds=sum(s.duration for s in compiled.spans),
+                )
+                return compiled
         capacity = self.device.usable_memory_floats
         out_of_core = (
             opts.split
@@ -247,6 +260,14 @@ class Framework:
                     metrics=best.metrics,
                 ),
             )
+        publish(
+            "compile.done",
+            template=template.name,
+            cached=False,
+            seconds=tracer.total_time(),
+            candidates=len(candidates),
+            launches=len(best.plan.launches()),
+        )
         return best
 
     def _compile_from_cache(

@@ -37,6 +37,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any
 
+from ..obs.live.events import publish
 from .graph import OperatorGraph
 from .plan import ExecutionPlan
 from .serialize import graph_from_dict, graph_to_dict, plan_from_dict, plan_to_dict
@@ -177,18 +178,22 @@ class PlanCache:
         if entry is not None:
             self._mem.move_to_end(key)
             self.hits += 1
+            publish("plancache.hit", tier="memory", key=key[:12])
             return entry
         entry = self._disk_get(key)
         if entry is not None:
             self.disk_hits += 1
             self._mem_put(key, entry)
+            publish("plancache.hit", tier="disk", key=key[:12])
             return entry
         self.misses += 1
+        publish("plancache.miss", key=key[:12])
         return None
 
     def put(self, key: str, entry: CachedPlan) -> None:
         self._mem_put(key, entry)
         self._disk_put(key, entry)
+        publish("plancache.store", key=key[:12], entries=len(self._mem))
 
     def clear(self) -> None:
         self._mem.clear()

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.live.events import publish
 from repro.obs.metrics import MetricsRegistry
 
 from .device import FLOAT_BYTES, GpuDevice, HostSystem
@@ -77,8 +78,12 @@ class SimRuntime:
             # Raised before any allocator mutation so a retry starts clean.
             try:
                 self.fault_injector.on_alloc(name, nbytes)
-            except Exception:
+            except Exception as exc:
                 self.metrics.counter("gpu.faults.alloc").inc()
+                publish(
+                    "sim.fault", site="alloc", buffer=name,
+                    error=type(exc).__name__,
+                )
                 raise
         try:
             offset = self.allocator.alloc(nbytes)
@@ -117,6 +122,10 @@ class SimRuntime:
         self.metrics.counter("gpu.compactions").inc()
         self.metrics.counter("gpu.compaction_moves").inc(moves)
         self.metrics.counter("gpu.compaction_bytes").inc(moved_bytes)
+        publish(
+            "sim.compaction", moves=moves, moved_bytes=moved_bytes,
+            seconds=dt,
+        )
 
     def free(self, name: str) -> None:
         buf = self.buffers.pop(name, None)
@@ -139,14 +148,24 @@ class SimRuntime:
             return
         try:
             self.fault_injector.on_transfer(kind, name, nbytes)
-        except Exception:
+        except Exception as exc:
             self.metrics.counter("gpu.faults.transfer").inc()
+            publish(
+                "sim.fault", site=kind, buffer=name,
+                error=type(exc).__name__,
+            )
             raise
 
     def _transfer_time(self, nbytes: int) -> float:
         """Transfer cost, with host paging penalty while thrashing."""
         dt = self.cost.transfer_time(nbytes)
         if self.cost.thrashing(self.host_working_set):
+            if not self.thrashed:
+                # Only the first episode is published — thrashing runs
+                # can span thousands of transfers and would flood the ring.
+                publish(
+                    "sim.thrashing", host_working_set=self.host_working_set,
+                )
             self.thrashed = True
             self.metrics.counter("gpu.thrashed_transfers").inc()
             if self.host is not None:

@@ -17,7 +17,10 @@ makes the reproduction equally measurable end to end:
 * :mod:`repro.obs.report` — self-contained Markdown/HTML rendering of a
   run analysis (``repro report``);
 * :mod:`repro.obs.bench` — versioned benchmark-result schema, recorder,
-  and the regression comparator behind ``repro bench-compare``.
+  and the regression comparator behind ``repro bench-compare``;
+* :mod:`repro.obs.live` — the push-based live telemetry plane: the
+  request-correlated event bus, sliding-window/SLO aggregation, the
+  Prometheus text exporter, and the HTTP status endpoint.
 
 This package sits at the bottom of the import graph: it never imports
 ``repro.core`` / ``repro.gpusim`` so every layer above can use it.
@@ -51,6 +54,14 @@ from .chrometrace import (
     spans_to_events,
     write_chrome_trace,
 )
+from .live import (
+    EventLog,
+    SlidingWindow,
+    SloObjective,
+    SloTracker,
+    StatusServer,
+    TelemetryEvent,
+)
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .provenance import (
     StepExplanation,
@@ -67,12 +78,18 @@ __all__ = [
     "BenchRecorder",
     "BenchResult",
     "Counter",
+    "EventLog",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "RunAnalysis",
+    "SlidingWindow",
+    "SloObjective",
+    "SloTracker",
     "Span",
+    "StatusServer",
     "StepExplanation",
+    "TelemetryEvent",
     "Tracer",
     "TransferAttribution",
     "TransferRecord",

@@ -1,0 +1,57 @@
+"""Live telemetry plane: event bus, rolling windows, exporters.
+
+Where the rest of :mod:`repro.obs` is *post-hoc* (spans, snapshots,
+reports produced after a run), ``repro.obs.live`` is the **push-based**
+layer a serving tier is operated with:
+
+* :mod:`~repro.obs.live.events` — :class:`EventLog`, a bounded ring of
+  typed, timestamped, request-correlated events, with an ambient
+  :func:`bind`/:func:`publish` context so every layer (service, compile,
+  plan cache, simulator) reports into one end-to-end request trace;
+* :mod:`~repro.obs.live.windows` — :class:`SlidingWindow` rolling
+  percentiles/rates and :class:`SloTracker` error-budget accounting;
+* :mod:`~repro.obs.live.promtext` — Prometheus text-format exposition;
+* :mod:`~repro.obs.live.server` — the stdlib HTTP status endpoint
+  (``/metrics``, ``/slo``, ``/requests``, ``/healthz``) behind
+  ``repro serve --status-port`` and ``repro top``.
+
+Like its parent package, nothing here imports ``repro.core`` /
+``repro.gpusim`` / ``repro.service`` — the contract is callables and
+plain dicts, which is what lets future multi-process shards publish
+into the same exporters.
+"""
+
+from .events import (
+    EventLog,
+    TelemetryEvent,
+    bind,
+    current_request_id,
+    publish,
+    timeline_to_chrome,
+)
+from .promtext import PROM_NAME_RE, PromText, prom_name, registry_to_prom
+from .server import StatusServer
+from .windows import (
+    SlidingWindow,
+    SloObjective,
+    SloTracker,
+    default_objectives,
+)
+
+__all__ = [
+    "PROM_NAME_RE",
+    "EventLog",
+    "PromText",
+    "SlidingWindow",
+    "SloObjective",
+    "SloTracker",
+    "StatusServer",
+    "TelemetryEvent",
+    "bind",
+    "current_request_id",
+    "default_objectives",
+    "prom_name",
+    "publish",
+    "registry_to_prom",
+    "timeline_to_chrome",
+]

@@ -1,0 +1,281 @@
+"""The structured event bus: a bounded ring of request-correlated events.
+
+Post-hoc observability (tracers, metrics snapshots, run reports) tells
+you what happened after a run completes; a *serving* tier needs to be
+watched while traffic is live.  :class:`EventLog` is the push side of
+that plane: every layer that participates in a request — admission,
+plan-cache lookup, compile, simulated execution, retries, completion —
+publishes one typed, timestamped :class:`TelemetryEvent` carrying the
+``request_id`` it is working on, so a single request has one end-to-end
+trace from admission to completion and the whole log is a queryable,
+bounded window onto the service's recent past.
+
+Correlation is ambient: the service binds ``(event_log, request_id)``
+into a :mod:`contextvars` context around each request's processing, and
+any code below it — :meth:`repro.core.Framework.compile`,
+:class:`repro.core.plancache.PlanCache`, :class:`repro.gpusim.SimRuntime`
+— calls :func:`publish` without threading parameters through every
+signature.  Outside a bound context :func:`publish` is a no-op costing
+one context-variable read, so library code pays nothing when no one is
+watching.
+
+The ring is bounded (``capacity`` events, oldest dropped first, drops
+counted — never silently) and every mutation is lock-protected, so many
+worker threads can publish while an exporter thread reads.  A capacity
+of 0 disables the log entirely: ``emit`` returns immediately, which is
+the telemetry-off configuration the overhead benchmark measures against.
+
+This module sits at the bottom of the import graph (no ``repro.core`` /
+``repro.gpusim`` imports), like the rest of :mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+DEFAULT_CAPACITY = 4096
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """One timestamped occurrence on the event bus.
+
+    ``seq`` is a monotonically increasing position in the log (stable
+    across ring-buffer drops, so consumers can detect gaps); ``ts`` is
+    wall-clock epoch seconds; ``kind`` is a dotted type name
+    (``service.admitted``, ``plancache.hit``, ``compile.done``, ...);
+    ``request_id`` correlates the event to one service request (``None``
+    for events outside any request).
+    """
+
+    seq: int
+    ts: float
+    kind: str
+    request_id: int | None = None
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "ts": self.ts,
+            "kind": self.kind,
+            "request_id": self.request_id,
+            **({"fields": dict(self.fields)} if self.fields else {}),
+        }
+
+
+class EventLog:
+    """Bounded, thread-safe ring buffer of :class:`TelemetryEvent`.
+
+    The oldest events are dropped once ``capacity`` is reached;
+    ``dropped`` counts how many.  ``capacity=0`` disables the log
+    (every ``emit`` is a cheap no-op returning ``None``).
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        clock=time.time,
+    ) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = capacity
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._events: list[TelemetryEvent] = []
+        self._start = 0  # ring read index
+        self._seq = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity > 0
+
+    def emit(
+        self, kind: str, *, request_id: int | None = None, **fields: Any
+    ) -> TelemetryEvent | None:
+        """Append one event; returns it (or ``None`` when disabled)."""
+        if self.capacity == 0:
+            return None
+        ts = self._clock()
+        with self._lock:
+            event = TelemetryEvent(
+                seq=self._seq,
+                ts=ts,
+                kind=kind,
+                request_id=request_id,
+                fields=fields,
+            )
+            self._seq += 1
+            if len(self._events) < self.capacity:
+                self._events.append(event)
+            else:  # overwrite the oldest slot
+                self._events[self._start] = event
+                self._start = (self._start + 1) % self.capacity
+        return event
+
+    # -- queries ---------------------------------------------------------
+    def events(
+        self,
+        *,
+        request_id: int | None = None,
+        kind: str | None = None,
+        limit: int | None = None,
+    ) -> list[TelemetryEvent]:
+        """Events in emission order, optionally filtered.
+
+        ``request_id`` keeps only one request's trace; ``kind`` filters
+        by exact kind or dotted prefix (``"service."``); ``limit`` keeps
+        the *newest* N after filtering.
+        """
+        with self._lock:
+            ordered = self._events[self._start:] + self._events[: self._start]
+        if request_id is not None:
+            ordered = [e for e in ordered if e.request_id == request_id]
+        if kind is not None:
+            if kind.endswith("."):
+                ordered = [e for e in ordered if e.kind.startswith(kind)]
+            else:
+                ordered = [e for e in ordered if e.kind == kind]
+        if limit is not None and limit >= 0:
+            ordered = ordered[len(ordered) - min(limit, len(ordered)):]
+        return ordered
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    @property
+    def total_emitted(self) -> int:
+        with self._lock:
+            return self._seq
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted by the ring bound (0 while under capacity)."""
+        with self._lock:
+            return self._seq - len(self._events)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+            self._start = 0
+
+    def to_ndjson(
+        self, *, request_id: int | None = None, limit: int | None = None
+    ) -> str:
+        """Newline-delimited JSON export of the (filtered) log."""
+        lines = [
+            json.dumps(e.to_dict(), sort_keys=True)
+            for e in self.events(request_id=request_id, limit=limit)
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ---------------------------------------------------------------------------
+# Ambient request context
+# ---------------------------------------------------------------------------
+_CONTEXT: contextvars.ContextVar[tuple[EventLog, int | None] | None] = (
+    contextvars.ContextVar("repro_obs_live_context", default=None)
+)
+
+
+@contextmanager
+def bind(log: EventLog, request_id: int | None = None) -> Iterator[None]:
+    """Make ``log``/``request_id`` the ambient publish target.
+
+    Context variables are per-thread (and per-async-task), so worker
+    threads binding different request ids never observe each other's.
+    """
+    token = _CONTEXT.set((log, request_id))
+    try:
+        yield
+    finally:
+        _CONTEXT.reset(token)
+
+
+def publish(kind: str, **fields: Any) -> TelemetryEvent | None:
+    """Emit onto the ambient event log; no-op when none is bound."""
+    ctx = _CONTEXT.get()
+    if ctx is None:
+        return None
+    log, request_id = ctx
+    return log.emit(kind, request_id=request_id, **fields)
+
+
+def current_request_id() -> int | None:
+    """The request id of the ambient context, if any."""
+    ctx = _CONTEXT.get()
+    return None if ctx is None else ctx[1]
+
+
+# ---------------------------------------------------------------------------
+# Chrome-trace export of one request's timeline
+# ---------------------------------------------------------------------------
+def timeline_to_chrome(
+    events: list[TelemetryEvent], *, track: str | None = None
+) -> list[dict[str, Any]]:
+    """Render one request's event list as a single Chrome-trace track.
+
+    Every event becomes an instant ("i") marker; events carrying a
+    ``seconds`` field (``compile.done``, ``service.execute_done``, ...)
+    additionally contribute a complete ("X") span ending at the event's
+    timestamp, so the trace shows both the milestone stream and the
+    stage durations.  Timestamps are microseconds relative to the first
+    event, which is what ``chrome://tracing`` / Perfetto expect.
+    """
+    if not events:
+        return []
+    epoch = events[0].ts
+    rid = events[0].request_id
+    name = track or (f"request {rid}" if rid is not None else "events")
+    out: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": name,
+            "tid": name,
+            "args": {"name": name},
+        }
+    ]
+    for e in events:
+        ts_us = (e.ts - epoch) * 1e6
+        args = {"seq": e.seq, "request_id": e.request_id, **e.fields}
+        seconds = e.fields.get("seconds")
+        if isinstance(seconds, (int, float)) and seconds > 0:
+            out.append({
+                "name": e.kind,
+                "ph": "X",
+                "ts": max(ts_us - seconds * 1e6, 0.0),
+                "dur": seconds * 1e6,
+                "pid": name,
+                "tid": name,
+                "args": args,
+            })
+        else:
+            out.append({
+                "name": e.kind,
+                "ph": "i",
+                "s": "t",
+                "ts": ts_us,
+                "pid": name,
+                "tid": name,
+                "args": args,
+            })
+    return out
+
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "EventLog",
+    "TelemetryEvent",
+    "bind",
+    "current_request_id",
+    "publish",
+    "timeline_to_chrome",
+]

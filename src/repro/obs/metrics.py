@@ -77,14 +77,23 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def percentile(self, p: float) -> float:
-        """Nearest-rank percentile of the sampled observations, p in [0, 100]."""
+        """Nearest-rank percentile of the sampled observations, p in [0, 100].
+
+        Raises :class:`ValueError` on an empty histogram — a fabricated
+        0.0 latency is worse than a loud error.  The extremes come from
+        the exactly-tracked ``min``/``max``, not the reservoir, so
+        ``percentile(100)`` equals the observed maximum even after
+        reservoir decimation has dropped the extreme samples.
+        """
         if not 0 <= p <= 100:
             raise ValueError(f"percentile must be in [0, 100], got {p}")
-        if not self._samples:
-            return 0.0
-        ordered = sorted(self._samples)
+        if not self.count:
+            raise ValueError("percentile of an empty histogram")
         if p == 0:
-            return ordered[0]
+            return self.min
+        if p == 100:
+            return self.max
+        ordered = sorted(self._samples)
         rank = math.ceil(p / 100 * len(ordered))
         return ordered[rank - 1]
 
@@ -128,14 +137,33 @@ class MetricsRegistry:
     def histogram(self, name: str) -> Histogram:
         return self.histograms.setdefault(name, Histogram())
 
+    #: gauge-name suffixes merged by maximum instead of last-write-wins
+    PEAK_GAUGE_SUFFIXES = ("_peak", ".peak")
+
     def merge(self, other: "MetricsRegistry") -> None:
-        """Fold another registry into this one (counters add, gauges keep
-        the other's last value, histograms combine)."""
+        """Fold another registry into this one.
+
+        Counters add and histograms combine — both order-independent.
+        Gauges are last-write-wins by definition, which *is* order
+        dependent: merging per-request registries in completion order
+        would leave an arbitrary request's value behind.  Two rules keep
+        merged snapshots truthful:
+
+        * every gauge's ``peak`` field takes the max of both peaks;
+        * a gauge whose *name* marks it as a high-water mark (ending in
+          ``_peak`` or ``.peak``) takes the **max of both values**, so
+          the merged value is the fleet-wide peak no matter which
+          registry merged first.  Other gauges keep the other
+          registry's last value (the newest observation wins).
+        """
         for name, c in other.counters.items():
             self.counter(name).inc(c.value)
         for name, g in other.gauges.items():
             gauge = self.gauge(name)
-            gauge.set(g.value)
+            if name.endswith(self.PEAK_GAUGE_SUFFIXES):
+                gauge.set(max(gauge.value, g.value))
+            else:
+                gauge.set(g.value)
             gauge.peak = max(gauge.peak, g.peak)
         for name, h in other.histograms.items():
             mine = self.histogram(name)

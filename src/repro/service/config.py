@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.gpusim.faults import FaultSpec
+from repro.obs.live import SloObjective
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -62,6 +63,15 @@ class ServiceConfig:
       cache (the completed-request tier behind single-flight dedupe).
     * ``fault_spec`` — deterministic fault injection applied to every
       ``execute`` request's simulated runtime (demos, chaos tests).
+    * ``telemetry_events`` — capacity of the live telemetry event ring
+      (:class:`repro.obs.live.EventLog`); ``0`` disables the event bus
+      entirely (publishes become no-ops).
+    * ``window_seconds`` — width of the rolling latency/throughput/SLO
+      windows behind ``live_snapshot()`` and ``GET /metrics``.
+    * ``slo_objectives`` — the service-level objectives tracked with
+      error budgets; empty selects
+      :func:`repro.obs.live.default_objectives` (99.9% availability,
+      99% of requests under 1 s).
     """
 
     workers: int = 4
@@ -73,6 +83,9 @@ class ServiceConfig:
     pb_max_ops: int = 12
     plan_cache_entries: int = 64
     fault_spec: FaultSpec | None = None
+    telemetry_events: int = 4096
+    window_seconds: float = 60.0
+    slo_objectives: tuple[SloObjective, ...] = ()
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -81,6 +94,10 @@ class ServiceConfig:
             raise ValueError("max_queue_depth must be >= 1")
         if self.default_deadline is not None and self.default_deadline <= 0:
             raise ValueError("default_deadline must be positive or None")
+        if self.telemetry_events < 0:
+            raise ValueError("telemetry_events must be >= 0")
+        if self.window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
 
 
 __all__ = ["RetryPolicy", "ServiceConfig"]

@@ -106,6 +106,9 @@ class ServiceResponse:
     degraded: bool = False
     #: the compile stage was served by single-flight join or plan cache
     deduped: bool = False
+    #: the request id whose in-flight compile this request joined
+    #: (single-flight followers only; None for leaders and cache hits)
+    deduped_from: int | None = None
     wait_seconds: float = 0.0
     service_seconds: float = 0.0
 
@@ -125,6 +128,7 @@ class ServiceResponse:
             "retries": self.retries,
             "degraded": self.degraded,
             "deduped": self.deduped,
+            "deduped_from": self.deduped_from,
             "wait_seconds": self.wait_seconds,
             "service_seconds": self.service_seconds,
         }

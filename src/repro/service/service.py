@@ -24,6 +24,15 @@ request is counted as a dedupe hit and never recompiles.
 Every path out of a request is explicit: ``ok``, ``failed`` (with the
 last error), ``expired`` (deadline), or ``cancelled`` — and all of them
 are visible in the metrics snapshot and trace spans.
+
+The service is also the root of the **live telemetry plane**
+(:mod:`repro.obs.live`): each worker binds ``(event_log, request_id)``
+around a request's processing, so the service, the compiler, the plan
+cache and the simulator all publish request-correlated events into one
+bounded ring.  ``request_timeline(id)`` returns one request's full
+admission→completion trace, ``live_snapshot()`` / ``prom_text()`` are
+the JSON and Prometheus views of the rolling windows and SLO budgets,
+and ``serve_status()`` exposes all of it over HTTP for ``repro top``.
 """
 
 from __future__ import annotations
@@ -44,6 +53,17 @@ from repro.core.splitting import SplitReport
 from repro.gpusim import SimRuntime
 from repro.gpusim.faults import FaultInjector, TransientFault
 from repro.obs import MetricsRegistry, Tracer
+from repro.obs.live import (
+    EventLog,
+    PromText,
+    SlidingWindow,
+    SloTracker,
+    StatusServer,
+    TelemetryEvent,
+    default_objectives,
+    timeline_to_chrome,
+)
+from repro.obs.live.events import bind, publish
 from repro.runtime.executor import execute_plan, simulate_plan
 
 from .config import ServiceConfig
@@ -80,14 +100,18 @@ class _LockedPlanCache(PlanCache):
 class _Flight:
     """One in-flight compile; followers wait on the leader's event."""
 
-    __slots__ = ("event", "value", "error", "planner_used", "followers")
+    __slots__ = (
+        "event", "value", "error", "planner_used", "followers", "leader_id",
+    )
 
-    def __init__(self) -> None:
+    def __init__(self, leader_id: int) -> None:
         self.event = threading.Event()
         self.value: CompiledTemplate | None = None
         self.error: BaseException | None = None
         self.planner_used = ""
         self.followers = 0
+        #: request id of the leader — followers' timelines reference it
+        self.leader_id = leader_id
 
 
 class ExecutionService:
@@ -113,6 +137,13 @@ class ExecutionService:
         self.config = config or ServiceConfig()
         self.metrics = MetricsRegistry()
         self.tracer = Tracer(clock=time.perf_counter)
+        self.events = EventLog(capacity=self.config.telemetry_events)
+        self._latency_window = SlidingWindow(self.config.window_seconds)
+        self._slo = SloTracker(
+            self.config.slo_objectives or default_objectives(),
+            window_seconds=self.config.window_seconds,
+        )
+        self._status_server: StatusServer | None = None
         self._clock = clock
         self._sleep = sleep
         self._lock = threading.Lock()
@@ -158,6 +189,9 @@ class ExecutionService:
             self._cv.notify_all()
         for t in self._workers:
             t.join()
+        if self._status_server is not None:
+            self._status_server.close()
+            self._status_server = None
 
     # -- submission ------------------------------------------------------
     def submit(self, request: ServiceRequest) -> Ticket:
@@ -177,6 +211,12 @@ class ExecutionService:
                 raise ServiceClosedError("service is closed")
             if len(self._queue) >= self.config.max_queue_depth:
                 self.metrics.counter("service.rejected").inc()
+                self.events.emit(
+                    "service.reject",
+                    reason="queue_full",
+                    queue_depth=len(self._queue),
+                    label=request.label,
+                )
                 raise QueueFullError(
                     f"queue depth {len(self._queue)} at configured limit "
                     f"{self.config.max_queue_depth}; retry with backoff"
@@ -192,6 +232,14 @@ class ExecutionService:
             self._queue.append(ticket)
             self.metrics.counter("service.submitted").inc()
             self.metrics.gauge("service.queue_depth").set(len(self._queue))
+            self.events.emit(
+                "service.admit",
+                request_id=ticket.id,
+                label=request.label,
+                mode=request.mode,
+                planner=request.planner,
+                queue_depth=len(self._queue),
+            )
             self._cv.notify()
         return ticket
 
@@ -211,6 +259,12 @@ class ExecutionService:
 
     def _finish_unstarted(self, ticket: Ticket, status: RequestStatus) -> None:
         self.metrics.counter(f"service.{status.value}").inc()
+        self.events.emit(
+            "service.done",
+            request_id=ticket.id,
+            status=status.value,
+            started=False,
+        )
         ticket._resolve(
             ServiceResponse(
                 request_id=ticket.id,
@@ -231,6 +285,132 @@ class ExecutionService:
         with self._lock:
             return len(self._queue)
 
+    # -- live telemetry --------------------------------------------------
+    def request_timeline(self, request_id: int) -> list[TelemetryEvent]:
+        """One request's end-to-end event trace, in emission order.
+
+        Covers every stage that executed for the request — admission,
+        dequeue, plan-cache lookups, compile, retries, simulated
+        execution, completion — because each worker binds the event log
+        to the request id it is processing.  Empty if the id is unknown
+        or its events have aged out of the ring.
+        """
+        return self.events.events(request_id=request_id)
+
+    def request_chrome_trace(self, request_id: int) -> list[dict[str, Any]]:
+        """The timeline as one Chrome-trace / Perfetto track."""
+        return timeline_to_chrome(self.request_timeline(request_id))
+
+    def live_snapshot(self) -> dict[str, Any]:
+        """JSON-ready operational snapshot: the ``GET /slo`` payload.
+
+        Rolling-window latency percentiles and throughput, SLO
+        error-budget accounting, queue/cache occupancy, event-ring
+        health, and the per-shard breakdown (one in-process shard today;
+        the list shape is the contract multi-process shards will extend).
+        """
+        with self._lock:
+            queue_depth = len(self._queue)
+            in_flight = self._in_flight
+            closed = self._closed
+            counters = {
+                name: c.value
+                for name, c in sorted(self.metrics.counters.items())
+                if name.startswith("service.")
+            }
+        cache_stats = self.plan_cache.stats()
+        shard = {
+            "shard": "local/0",
+            "workers": len(self._workers),
+            "queue_depth": queue_depth,
+            "in_flight": in_flight,
+            "plan_cache": cache_stats,
+            "window": self._latency_window.snapshot(),
+        }
+        return {
+            "closed": closed,
+            "queue_depth": queue_depth,
+            "in_flight": in_flight,
+            "workers": len(self._workers),
+            "counters": counters,
+            "window": self._latency_window.snapshot(),
+            "slo": self._slo.snapshot(),
+            "plan_cache": cache_stats,
+            "events": {
+                "capacity": self.events.capacity,
+                "emitted": self.events.total_emitted,
+                "dropped": self.events.dropped,
+            },
+            "shards": [shard],
+        }
+
+    def prom_text(self) -> str:
+        """Prometheus text exposition (the ``GET /metrics`` payload)."""
+        out = PromText()
+        with self._lock:
+            snap = self.metrics.snapshot()
+        out.registry(snap)
+        out.summary(
+            "service.latency_seconds",
+            self._latency_window.snapshot(),
+            help_text=(
+                "End-to-end request latency over the rolling window"
+            ),
+        )
+        stats = self.plan_cache.stats()
+        out.counter(
+            "plancache.hits", stats["hits"],
+            help_text="Plan-cache memory-tier hits",
+        )
+        out.counter("plancache.disk_hits", stats["disk_hits"])
+        out.counter("plancache.misses", stats["misses"])
+        out.gauge("plancache.entries", stats["entries"])
+        out.counter("telemetry.events", self.events.total_emitted)
+        out.counter("telemetry.dropped", self.events.dropped)
+        for obj in self._slo.snapshot()["objectives"]:
+            base = f"slo.{obj['name']}"
+            out.gauge(f"{base}.compliance", obj["compliance"])
+            out.gauge(
+                f"{base}.budget_remaining",
+                obj["budget_remaining_fraction"],
+            )
+            out.gauge(f"{base}.breached", 1.0 if obj["breached"] else 0.0)
+        return out.render()
+
+    def _health(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "ok": not self._closed,
+                "closed": self._closed,
+                "queue_depth": len(self._queue),
+                "in_flight": self._in_flight,
+                "workers": len(self._workers),
+            }
+
+    def serve_status(
+        self, *, host: str = "127.0.0.1", port: int = 0
+    ) -> StatusServer:
+        """Start the HTTP status endpoint (``/metrics``, ``/slo``,
+        ``/requests``, ``/healthz``) on a daemon thread.
+
+        ``port=0`` binds an ephemeral port; read it back from the
+        returned server's ``.port``.  The server is owned by the
+        service and shut down by ``close()``.
+        """
+        if self._status_server is not None:
+            raise RuntimeError("status server already running")
+        self._status_server = StatusServer(
+            metrics=self.prom_text,
+            slo=self.live_snapshot,
+            requests=lambda request_id, limit: self.events.to_ndjson(
+                request_id=request_id, limit=limit
+            ),
+            health=self._health,
+            host=host,
+            port=port,
+        )
+        return self._status_server
+
     # -- worker loop -----------------------------------------------------
     def _worker_loop(self) -> None:
         while True:
@@ -243,8 +423,11 @@ class ExecutionService:
                 self.metrics.gauge("service.queue_depth").set(len(self._queue))
                 self._in_flight += 1
                 self.metrics.gauge("service.in_flight").set(self._in_flight)
+            # The ambient bind is what correlates everything below —
+            # Framework.compile, PlanCache, SimRuntime — to this request.
             try:
-                self._process(ticket)
+                with bind(self.events, ticket.id):
+                    self._process(ticket)
             except BaseException as exc:  # worker must never die silently
                 self._record_done(
                     ticket,
@@ -275,6 +458,13 @@ class ExecutionService:
         )
         planner = self._effective_planner(req)
         degraded = False
+        publish(
+            "service.start",
+            label=req.label,
+            mode=req.mode,
+            planner=planner,
+            wait_seconds=wait,
+        )
         with tracer.span(
             "service.request",
             id=ticket.id,
@@ -290,6 +480,7 @@ class ExecutionService:
                 if self.config.degrade_on_deadline and planner != "heuristic":
                     degraded = True
                     tracer.event("service.degrade", reason="deadline_expired")
+                    publish("service.degrade", reason="deadline_expired")
                 else:
                     response.status = RequestStatus.EXPIRED
                     response.error = (
@@ -328,14 +519,16 @@ class ExecutionService:
         while True:
             response.attempts += 1
             try:
-                value, planner_used, deduped = self._perform(
-                    req, planner, degraded, injector, tracer
+                value, planner_used, deduped, deduped_from = self._perform(
+                    ticket, planner, degraded, injector, tracer
                 )
                 response.status = RequestStatus.OK
                 response.value = value
                 response.planner_used = planner_used
                 response.degraded = degraded
                 response.deduped = response.deduped or deduped
+                if deduped_from is not None:
+                    response.deduped_from = deduped_from
                 return
             except TransientFault as fault:
                 self.metrics.counter("service.faults").inc()
@@ -361,6 +554,7 @@ class ExecutionService:
                         tracer.event(
                             "service.degrade", reason="deadline_pressure"
                         )
+                        publish("service.degrade", reason="deadline_pressure")
                     else:
                         response.status = RequestStatus.EXPIRED
                         response.error = (
@@ -380,6 +574,12 @@ class ExecutionService:
                     backoff_seconds=backoff,
                     fault=str(fault),
                 )
+                publish(
+                    "service.retry",
+                    attempt=response.attempts,
+                    backoff_seconds=backoff,
+                    fault=str(fault),
+                )
                 self._sleep(backoff)
 
     # -- the work itself -------------------------------------------------
@@ -394,27 +594,31 @@ class ExecutionService:
 
     def _perform(
         self,
-        req: ServiceRequest,
+        ticket: Ticket,
         planner: str,
         degraded: bool,
         injector: FaultInjector | None,
         tracer: Tracer,
-    ) -> tuple[Any, str, bool]:
-        """Run one attempt; returns (value, planner_used, deduped)."""
-        compiled, planner_used, deduped = self._compile_stage(
-            req, "heuristic" if degraded else planner, degraded, tracer
+    ) -> tuple[Any, str, bool, int | None]:
+        """Run one attempt; returns (value, planner_used, deduped,
+        deduped_from)."""
+        req = ticket.request
+        compiled, planner_used, deduped, deduped_from = self._compile_stage(
+            req, "heuristic" if degraded else planner, degraded, tracer,
+            request_id=ticket.id,
         )
         if degraded:
             self.metrics.counter("service.degraded").inc()
             planner_used = f"{planner_used}-degraded"
         if req.mode == "compile":
-            return compiled, planner_used, deduped
+            return compiled, planner_used, deduped, deduped_from
         if req.mode == "simulate":
-            with tracer.span("service.simulate"):
+            with tracer.span("service.simulate") as sp:
                 sim = simulate_plan(
                     compiled.plan, compiled.graph, req.device, req.host
                 )
-            return sim, planner_used, deduped
+            publish("service.simulate_done", seconds=sp.duration)
+            return sim, planner_used, deduped, deduped_from
         # mode == "execute": a fresh runtime per attempt, so a failed
         # attempt leaves no residue; the injector survives across
         # attempts (transient faults, new decisions each retry).
@@ -425,14 +629,15 @@ class ExecutionService:
             fault_injector=injector,
         )
         try:
-            with tracer.span("service.execute"):
+            with tracer.span("service.execute") as sp:
                 result = execute_plan(
                     compiled.plan, compiled.graph, runtime, req.inputs
                 )
+            publish("service.execute_done", seconds=sp.duration)
         finally:
             with self._lock:
                 self.metrics.merge(runtime.metrics)
-        return result, planner_used, deduped
+        return result, planner_used, deduped, deduped_from
 
     def _compile_stage(
         self,
@@ -440,8 +645,16 @@ class ExecutionService:
         planner: str,
         degraded: bool,
         tracer: Tracer,
-    ) -> tuple[CompiledTemplate, str, bool]:
-        """Single-flight compile keyed on the PR-4 content-addressed key."""
+        *,
+        request_id: int,
+    ) -> tuple[CompiledTemplate, str, bool, int | None]:
+        """Single-flight compile keyed on the PR-4 content-addressed key.
+
+        Returns (compiled, planner_used, deduped, deduped_from) —
+        ``deduped_from`` is the leader's request id when this request
+        joined an in-flight compile, so its telemetry timeline points at
+        the request whose compile actually produced the plan.
+        """
         opts = req.options or CompileOptions()
         key = plan_key(
             req.template,
@@ -454,7 +667,7 @@ class ExecutionService:
             flight = self._flights.get(key)
             leader = flight is None
             if leader:
-                flight = _Flight()
+                flight = _Flight(leader_id=request_id)
                 self._flights[key] = flight
             else:
                 flight.followers += 1
@@ -466,13 +679,20 @@ class ExecutionService:
             self.metrics.counter("service.dedupe_hits").inc()
             self.metrics.counter("service.singleflight_joins").inc()
             tracer.event("service.singleflight_join", key=key[:16])
+            publish(
+                "service.dedupe_join",
+                key=key[:16],
+                leader_request_id=flight.leader_id,
+            )
             flight.event.wait()
             if flight.error is not None:
                 raise flight.error
             assert flight.value is not None
-            return flight.value, flight.planner_used, True
+            return flight.value, flight.planner_used, True, flight.leader_id
         try:
-            with tracer.span("service.compile", planner=planner, key=key[:16]):
+            with tracer.span(
+                "service.compile", planner=planner, key=key[:16]
+            ) as sp:
                 compiled, planner_used, cached = self._compile_uncontended(
                     req, planner, opts, key
                 )
@@ -482,9 +702,15 @@ class ExecutionService:
                 tracer.event("service.plan_cache_hit", key=key[:16])
             else:
                 self.metrics.counter("service.compiles").inc()
+            publish(
+                "service.compile_done",
+                planner=planner_used,
+                cached=cached,
+                seconds=sp.duration,
+            )
             flight.value = compiled
             flight.planner_used = planner_used
-            return compiled, planner_used, cached
+            return compiled, planner_used, cached, None
         except BaseException as exc:
             flight.error = exc
             raise
@@ -559,6 +785,19 @@ class ExecutionService:
             )
             if tracer is not None:
                 self.tracer.merge(tracer)
+        latency = response.wait_seconds + response.service_seconds
+        self._latency_window.observe(latency)
+        self._slo.record(ok=response.ok, latency=latency)
+        self.events.emit(
+            "service.done",
+            request_id=ticket.id,
+            status=response.status.value,
+            planner=response.planner_used,
+            attempts=response.attempts,
+            retries=response.retries,
+            deduped=response.deduped,
+            seconds=response.service_seconds,
+        )
         ticket._resolve(response)
 
 

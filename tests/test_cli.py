@@ -447,3 +447,79 @@ class TestServiceCommands:
         jobs.write_text(json.dumps([{"templte": "edge"}]))
         assert main(["serve", str(jobs)]) == 2
         assert "unknown keys" in capsys.readouterr().err
+
+
+@pytest.mark.timeout(120)
+class TestTopCommand:
+    def _serving(self):
+        """A live service with a status endpoint and one finished request."""
+        from repro.gpusim import XEON_WORKSTATION, GpuDevice
+        from repro.service import (
+            ExecutionService,
+            ServiceConfig,
+            ServiceRequest,
+        )
+        from repro.templates import find_edges_graph
+
+        svc = ExecutionService(ServiceConfig(workers=2))
+        server = svc.serve_status()
+        req = ServiceRequest(
+            template=find_edges_graph(48, 48, 8, 2),
+            device=GpuDevice(name="top-dev", memory_bytes=8 * 1024 * 1024),
+            host=XEON_WORKSTATION,
+            label="top-req",
+        )
+        svc.submit(req).result(timeout=60)
+        return svc, server
+
+    def test_top_renders_live_state(self, capsys):
+        svc, server = self._serving()
+        try:
+            rc = main(["top", f"127.0.0.1:{server.port}"])
+        finally:
+            svc.close()
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "queue depth:" in out
+        assert "p99" in out
+        assert "plan cache:" in out
+        assert "hit-rate" in out
+        assert "slo availability" in out
+        assert "shard local/0" in out
+
+    def test_top_json_dumps_snapshot(self, capsys):
+        svc, server = self._serving()
+        try:
+            rc = main(["top", server.url, "--json"])
+        finally:
+            svc.close()
+        assert rc == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert snap["counters"]["service.completed"] == 1
+        assert snap["window"]["count"] == 1
+
+    def test_top_dead_endpoint_exits_1_no_traceback(self, capsys):
+        """A dead endpoint is an operational failure: exit 1, message on
+        stderr, no traceback (main() must not map it onto exit 2)."""
+        rc = main(["top", "127.0.0.1:1", "--timeout", "0.5"])
+        assert rc == 1
+        captured = capsys.readouterr()
+        assert "cannot reach" in captured.err
+        assert "Traceback" not in captured.err
+        assert captured.out == ""
+
+    def test_top_dead_endpoint_honors_repro_debug(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_DEBUG", "1")
+        rc = main(["top", "127.0.0.1:1", "--timeout", "0.5"])
+        assert rc == 1
+        assert "Traceback" in capsys.readouterr().err
+
+    def test_submit_status_port_announces_endpoint(self, capsys):
+        rc = main([
+            "submit", "--template", "edge", "--size", "96x96",
+            "--status-port", "0",
+        ])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "status endpoint: http://127.0.0.1:" in err
+        assert "/metrics" in err

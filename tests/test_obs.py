@@ -324,11 +324,15 @@ class TestHistogramPercentiles:
 
     def test_bounds_checked_and_empty(self):
         h = Histogram()
-        assert h.percentile(50) == 0.0
+        with pytest.raises(ValueError, match="empty"):
+            h.percentile(50)
         with pytest.raises(ValueError):
             h.percentile(-1)
         with pytest.raises(ValueError):
             h.percentile(101)
+        # The empty snapshot keeps its all-zeros shape (stable JSON).
+        assert h.to_dict()["count"] == 0
+        assert h.to_dict()["p99"] == 0.0
 
     def test_snapshot_includes_percentiles(self):
         m = MetricsRegistry()
@@ -365,6 +369,41 @@ class TestHistogramPercentiles:
         a.merge(b)
         assert a.histograms["h"].percentile(100) == 4.0
         assert a.histograms["h"].percentile(0) == 1.0
+
+    def test_extremes_survive_reservoir_decimation(self):
+        """p=100 must equal the observed max (and p=0 the min) even after
+        decimation may have dropped the extreme samples themselves."""
+        h = Histogram()
+        n = Histogram.MAX_SAMPLES * 4
+        for v in range(n):
+            h.observe(float(v))
+        assert h._stride > 1, "test must exercise the decimated reservoir"
+        assert h.percentile(100) == float(n - 1)
+        assert h.percentile(0) == 0.0
+        # the true max is typically no longer in the sample reservoir
+        # (stride skips odd-index observations), yet p100 is exact
+        assert h.max == float(n - 1)
+
+    def test_merge_peak_gauges_take_max(self):
+        """Gauges named ``*_peak``/``*.peak`` merge by max; others stay
+        last-write-wins.  Regression: merging per-request registries in
+        completion order must not let a later, smaller peak win."""
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("gpu.mem_peak").set(100.0)
+        b.gauge("gpu.mem_peak").set(60.0)
+        a.gauge("alloc.watermark.peak").set(10.0)
+        b.gauge("alloc.watermark.peak").set(30.0)
+        a.gauge("service.queue_depth").set(3.0)
+        b.gauge("service.queue_depth").set(1.0)
+        a.merge(b)
+        # *_peak: the smaller later value must NOT overwrite the max
+        assert a.gauges["gpu.mem_peak"].value == 100.0
+        assert a.gauges["alloc.watermark.peak"].value == 30.0
+        # ordinary gauge: the other registry's last value wins
+        assert a.gauges["service.queue_depth"].value == 1.0
+        # and every gauge's peak field is the max of both peaks
+        assert a.gauges["gpu.mem_peak"].peak == 100.0
+        assert a.gauges["service.queue_depth"].peak == 3.0
 
 
 # ---------------------------------------------------------------------------

@@ -126,6 +126,7 @@ class TestSingleFlight:
             ]
             responses = [t.result(timeout=60) for t in tickets]
             counters = svc.metrics_snapshot()["counters"]
+            timelines = {t.id: svc.request_timeline(t.id) for t in tickets}
         assert all(r.ok for r in responses)
         assert counters["service.compiles"] == 4
         assert counters["service.dedupe_hits"] == 12
@@ -133,6 +134,25 @@ class TestSingleFlight:
             counters.get("service.singleflight_joins", 0)
             + counters.get("service.plan_cache_hits", 0)
         ) == 12
+        # Every one of the 16 requests — leaders, single-flight
+        # followers, and plan-cache hits alike — has a complete, ordered
+        # admission -> completion telemetry timeline of its own.
+        for ticket in tickets:
+            timeline = timelines[ticket.id]
+            assert timeline, f"request {ticket.id} has no timeline"
+            assert all(e.request_id == ticket.id for e in timeline)
+            kinds = [e.kind for e in timeline]
+            assert kinds[0] == "service.admit"
+            assert "service.start" in kinds
+            assert kinds[-1] == "service.done"
+            # the compile stage is visible either as this request's own
+            # compile or as a join referencing the leader's
+            assert (
+                "service.compile_done" in kinds
+                or "service.dedupe_join" in kinds
+            )
+            seqs = [e.seq for e in timeline]
+            assert seqs == sorted(seqs)
 
     def test_pb_requests_dedupe_via_memo(self):
         with ExecutionService(ServiceConfig(workers=2)) as svc:
