@@ -67,6 +67,7 @@ from repro.service import (
     ServiceConfig,
     ServiceError,
     ServiceRequest,
+    ShardedExecutionService,
 )
 from repro.templates import (
     LARGE_CNN,
@@ -585,6 +586,8 @@ def _service_config(args) -> ServiceConfig:
             max_queue_depth=args.queue_depth,
             retry=RetryPolicy(max_attempts=args.max_attempts),
             fault_spec=fault_spec,
+            batch_window=getattr(args, "batch_window", 0.0) / 1e3,
+            shared_cache_dir=getattr(args, "shared_cache", None),
         )
     except ValueError as exc:
         raise CLIError(str(exc)) from None
@@ -643,9 +646,19 @@ def _request_from_spec(spec: dict, args, index: int) -> ServiceRequest:
         raise CLIError(f"job #{index}: {exc}") from None
 
 
+def _make_service(args):
+    """The serving tier the flags select: in-process by default, the
+    sharded multi-process fleet with ``--shards N``."""
+    config = _service_config(args)
+    shards = getattr(args, "shards", 0) or 0
+    if shards > 0:
+        return ShardedExecutionService(config, shards=shards)
+    return ExecutionService(config)
+
+
 def _run_service(args, requests: list[ServiceRequest]) -> int:
-    """Drive one batch through an :class:`ExecutionService`; exit code."""
-    with ExecutionService(_service_config(args)) as svc:
+    """Drive one batch through the selected serving tier; exit code."""
+    with _make_service(args) as svc:
         if getattr(args, "status_port", None) is not None:
             server = svc.serve_status(
                 host=args.status_host, port=args.status_port
@@ -678,6 +691,7 @@ def _run_service(args, requests: list[ServiceRequest]) -> int:
             flags = "".join((
                 "D" if resp.deduped else "-",
                 "G" if resp.degraded else "-",
+                "B" if resp.batched else "-",
             ))
             detail = resp.planner_used or (resp.error or "")[:48]
             print(f"  {resp.label or resp.request_id:>10} "
@@ -695,7 +709,8 @@ def _run_service(args, requests: list[ServiceRequest]) -> int:
               f" + plan-cache {counters.get('service.plan_cache_hits', 0)}), "
               f"retries: {counters.get('service.retries', 0)}, "
               f"degraded: {counters.get('service.degraded', 0)}, "
-              f"expired: {counters.get('service.expired', 0)}")
+              f"expired: {counters.get('service.expired', 0)}, "
+              f"batches: {counters.get('service.batches', 0)}")
     ok = all(r.ok for r in responses) and not rejected
     return EXIT_OK if ok else EXIT_FAILURE
 
@@ -780,11 +795,20 @@ def cmd_top(args) -> int:
     counters = snap.get("counters", {})
     print(f"repro top — {base}  "
           f"({'closed' if snap.get('closed') else 'serving'})")
+    fleet = ""
+    if "shard_count" in snap:
+        fleet = (f"   shards: {snap.get('live_shards', 0)}"
+                 f"/{snap.get('shard_count', 0)} live")
     print(f"  queue depth: {snap.get('queue_depth', 0)}   "
           f"in flight: {snap.get('in_flight', 0)}   "
           f"workers: {snap.get('workers', 0)}   "
           f"submitted: {counters.get('service.submitted', 0):.0f}   "
-          f"completed: {counters.get('service.completed', 0):.0f}")
+          f"completed: {counters.get('service.completed', 0):.0f}"
+          f"{fleet}")
+    if counters.get("service.batches"):
+        print(f"  batching: {counters.get('service.batches', 0):.0f} "
+              f"batches, {counters.get('service.batch_joins', 0):.0f} "
+              f"joined requests")
     print(f"  window ({window.get('window_seconds', 0):.0f}s): "
           f"{window.get('count', 0)} done, "
           f"{window.get('rate', 0.0):.2f} req/s, latency "
@@ -803,11 +827,14 @@ def cmd_top(args) -> int:
               f"budget remaining "
               f"{obj.get('budget_remaining_fraction', 0.0):.0%}{flag}")
     for shard in snap.get("shards", []):
+        shard_window = shard.get("window", {})
         print(f"  shard {shard.get('shard')}: "
               f"queue={shard.get('queue_depth', 0)} "
               f"in_flight={shard.get('in_flight', 0)} "
               f"workers={shard.get('workers', 0)} "
-              f"cache_entries={shard.get('plan_cache', {}).get('entries', 0)}")
+              f"cache_entries={shard.get('plan_cache', {}).get('entries', 0)} "
+              f"done={shard_window.get('count', 0)} "
+              f"p99={shard_window.get('p99', 0.0) * 1e3:.2f}ms")
     print(f"  events: {events.get('emitted', 0)} emitted, "
           f"{events.get('dropped', 0)} dropped "
           f"(ring {events.get('capacity', 0)})")
@@ -964,6 +991,19 @@ def build_parser() -> argparse.ArgumentParser:
                             "the batch runs (0 = ephemeral)")
         p.add_argument("--status-host", default="127.0.0.1",
                        help="bind address for --status-port")
+        p.add_argument("--shards", type=int, default=0, metavar="N",
+                       help="run N worker *processes* routed by plan key "
+                            "over a consistent-hash ring (0 = one "
+                            "in-process service)")
+        p.add_argument("--batch-window", type=float, default=0.0,
+                       metavar="MS",
+                       help="coalesce compatible queued requests for up "
+                            "to this many milliseconds into one batched "
+                            "plan execution (0 = batching off)")
+        p.add_argument("--shared-cache", default=None, metavar="DIR",
+                       help="cross-process plan-cache directory (shards "
+                            "share one automatically; set this to share "
+                            "plans across separate repro invocations)")
 
     p = sub.add_parser(
         "submit",

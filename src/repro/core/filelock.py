@@ -1,0 +1,167 @@
+"""Advisory cross-process file locks with staleness recovery.
+
+The shared plan-cache tier (:class:`repro.core.plancache.SharedPlanCache`)
+elects one *leader* per cache key across every process on the machine:
+whoever creates ``<key>.lock`` first compiles, everyone else waits for
+the stored entry to appear.  A lock file is therefore a liveness claim,
+and the failure mode that matters is a leader dying mid-compile (or
+mid-write) with the lock still on disk — followers must be able to
+detect that and take over instead of waiting forever.
+
+:class:`FileLock` implements exactly that contract:
+
+* ``acquire()`` is a non-blocking ``O_CREAT | O_EXCL`` create — atomic
+  on every POSIX filesystem and on Windows — that records the owner's
+  pid and wall-clock timestamp in the file body;
+* ``is_stale()`` declares a lock dead when its owning *pid* no longer
+  exists (instant detection of killed leaders) or when the file is
+  older than ``stale_after`` seconds (covers pid reuse and leaders that
+  are alive but wedged);
+* ``break_stale()`` removes a stale lock so the caller can contend for
+  leadership again.  Two followers racing to break the same lock is
+  harmless: both unlinks are idempotent, and the subsequent
+  ``acquire()`` race has exactly one winner.
+
+Locks are advisory — correctness of the cache never depends on them
+(entries are written atomically via ``os.replace``); the lock only
+prevents the *stampede* of N processes doing identical work.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LockOwner:
+    """Who holds a lock file: pid plus creation wall-clock time."""
+
+    pid: int
+    created: float
+
+    @property
+    def alive(self) -> bool:
+        """Best-effort liveness: is a process with this pid running?"""
+        if self.pid <= 0:
+            return False
+        try:
+            os.kill(self.pid, 0)
+        except ProcessLookupError:
+            return False
+        except PermissionError:
+            # A pid we may not signal still exists.
+            return True
+        except OSError:
+            return False
+        return True
+
+
+class FileLock:
+    """One advisory lock file; see module docstring for semantics.
+
+    ``stale_after`` bounds how long a lock held by a *live* process is
+    trusted (a wedged leader eventually loses leadership); a lock whose
+    owner pid is gone is stale immediately.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        stale_after: float = 30.0,
+        clock=time.time,
+    ) -> None:
+        if stale_after <= 0:
+            raise ValueError("stale_after must be > 0 seconds")
+        self.path = path
+        self.stale_after = stale_after
+        self._clock = clock
+        self._held = False
+
+    # -- acquisition -----------------------------------------------------
+    def acquire(self) -> bool:
+        """Try to take the lock; non-blocking.  True iff we now own it."""
+        body = f"{os.getpid()} {self._clock():.6f}\n"
+        try:
+            fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        except OSError:
+            # Unwritable directory: degrade to lockless (no dedupe).
+            return False
+        try:
+            os.write(fd, body.encode("ascii"))
+        finally:
+            os.close(fd)
+        self._held = True
+        return True
+
+    def release(self) -> None:
+        """Drop the lock if we hold it (idempotent)."""
+        if not self._held:
+            return
+        self._held = False
+        try:
+            os.remove(self.path)
+        except OSError:
+            pass
+
+    @property
+    def held(self) -> bool:
+        return self._held
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    # -- observation -----------------------------------------------------
+    def exists(self) -> bool:
+        return os.path.exists(self.path)
+
+    def owner(self) -> LockOwner | None:
+        """Parse the lock file's owner; ``None`` if absent or garbled.
+
+        A garbled (partially written / hand-damaged) lock file has no
+        provable owner and is reported as owned by a dead pid so that
+        staleness detection recovers it.
+        """
+        try:
+            with open(self.path, "r", encoding="ascii") as fh:
+                raw = fh.read()
+        except OSError:
+            return None
+        try:
+            pid_text, ts_text = raw.split()
+            return LockOwner(pid=int(pid_text), created=float(ts_text))
+        except ValueError:
+            return LockOwner(pid=-1, created=0.0)
+
+    def is_stale(self) -> bool:
+        """A lock is stale when its owner is dead or too old to trust."""
+        owner = self.owner()
+        if owner is None:
+            return False  # no lock (or vanished between checks) — not stale
+        if not owner.alive:
+            return True
+        return (self._clock() - owner.created) > self.stale_after
+
+    def break_stale(self) -> bool:
+        """Remove the lock iff it is stale.  True when a lock was removed.
+
+        Safe under contention: a concurrent break (or a concurrent
+        release by the owner) makes the unlink a no-op.
+        """
+        if not self.is_stale():
+            return False
+        try:
+            os.remove(self.path)
+            return True
+        except OSError:
+            return False
+
+
+__all__ = ["FileLock", "LockOwner"]

@@ -216,6 +216,33 @@ class Framework:
         dedupe: dict[str, CompiledTemplate] | None = (
             {} if len(candidates) > 1 else None
         )
+        try:
+            return self._compile_miss(
+                template, opts, capacity, out_of_core, candidates,
+                tracer, best, best_headroom, dedupe, cache, key,
+            )
+        except BaseException:
+            # A shared cross-process cache may have elected this compile
+            # the per-key leader at get() time; failing without abandon()
+            # would leave followers waiting on a fill that never lands.
+            if cache is not None and key is not None:
+                cache.abandon(key)
+            raise
+
+    def _compile_miss(
+        self,
+        template: OperatorGraph,
+        opts: "CompileOptions",
+        capacity: int,
+        out_of_core: bool,
+        candidates,
+        tracer: Tracer,
+        best: "CompiledTemplate | None",
+        best_headroom,
+        dedupe,
+        cache,
+        key: str | None,
+    ) -> "CompiledTemplate":
         with tracer.span(
             "compile",
             template=template.name,

@@ -33,11 +33,14 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
 from ..obs.live.events import publish
+from .filelock import FileLock
 from .graph import OperatorGraph
 from .plan import ExecutionPlan
 from .serialize import graph_from_dict, graph_to_dict, plan_from_dict, plan_to_dict
@@ -198,6 +201,14 @@ class PlanCache:
     def clear(self) -> None:
         self._mem.clear()
 
+    def abandon(self, key: str) -> None:
+        """Give up on a pending fill for ``key`` (compile failed).
+
+        A plain cache has nothing to clean up; the shared cross-process
+        tier overrides this to release the key's leadership lock so
+        followers stop waiting on a compile that will never land.
+        """
+
     def __len__(self) -> int:
         return len(self._mem)
 
@@ -256,6 +267,205 @@ class PlanCache:
             self.disk_writes += 1
         except OSError:
             pass  # a read-only or full disk degrades to memory-only
+
+
+# ---------------------------------------------------------------------------
+# Shared cross-process tier
+# ---------------------------------------------------------------------------
+class SharedPlanCache(PlanCache):
+    """A :class:`PlanCache` whose disk tier is shared across processes,
+    with stampede protection.
+
+    Many independent processes (shard workers, CLI invocations, test
+    runners) cold-starting against the same template would all compile
+    it concurrently — N× the work for one cache entry.  This tier adds
+    per-key **leader election** over advisory lock files
+    (:class:`repro.core.filelock.FileLock`):
+
+    * the first process to miss on a key acquires ``<key>.lock`` and
+      becomes the *leader*; its ``get()`` returns ``None`` and its
+      eventual ``put()`` stores the entry (atomic ``os.replace``) and
+      releases the lock;
+    * every other process missing on the same key becomes a *follower*:
+      its ``get()`` blocks, polling for the stored entry, and returns
+      the leader's bytes — exactly one compile happens machine-wide;
+    * a leader that dies mid-compile (or mid-write) leaves a lock whose
+      pid is dead: followers detect the **stale lock**, break it, and
+      contend to become the new leader.  Partial entry files are never
+      visible (atomic replace); orphaned ``.tmp-*`` spill files are
+      swept when a stale lock is broken.
+    * a follower that waits longer than ``lock_timeout`` gives up on
+      dedupe and compiles locally — availability beats deduplication.
+
+    The class is also thread-safe (the in-memory tier and counters are
+    lock-protected), so one instance can serve a whole worker pool
+    without the service-side locking wrapper.
+    """
+
+    def __init__(
+        self,
+        disk_dir: str,
+        max_entries: int = 32,
+        *,
+        lock_timeout: float = 60.0,
+        stale_after: float = 10.0,
+        poll_interval: float = 0.005,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if not disk_dir:
+            raise ValueError("SharedPlanCache requires a disk_dir")
+        if lock_timeout <= 0 or poll_interval <= 0:
+            raise ValueError("lock_timeout and poll_interval must be > 0")
+        super().__init__(max_entries=max_entries, disk_dir=disk_dir)
+        self.lock_timeout = lock_timeout
+        self.stale_after = stale_after
+        self.poll_interval = poll_interval
+        self._clock = clock
+        self._sleep = sleep
+        self._tlock = threading.RLock()
+        self._held: dict[str, FileLock] = {}
+        self.lock_waits = 0  # gets that entered the follower wait
+        self.follower_hits = 0  # waits resolved by the leader's entry
+        self.lock_breaks = 0  # stale locks broken
+        self.lock_timeouts = 0  # waits abandoned -> local compile
+
+    # -- lock plumbing ---------------------------------------------------
+    def _lock_path(self, key: str) -> str:
+        assert self.disk_dir is not None
+        return os.path.join(self.disk_dir, f"{key}.lock")
+
+    def _make_lock(self, key: str) -> FileLock:
+        os.makedirs(self.disk_dir, exist_ok=True)  # type: ignore[arg-type]
+        return FileLock(self._lock_path(key), stale_after=self.stale_after)
+
+    def _sweep_tmp(self) -> None:
+        """Remove orphaned atomic-write spill files left by dead writers."""
+        try:
+            with os.scandir(self.disk_dir) as it:  # type: ignore[arg-type]
+                now = time.time()
+                for entry in it:
+                    if not entry.name.startswith(".tmp-"):
+                        continue
+                    try:
+                        if now - entry.stat().st_mtime > self.stale_after:
+                            os.remove(entry.path)
+                    except OSError:
+                        continue
+        except OSError:
+            pass
+
+    # -- hits ------------------------------------------------------------
+    def _mem_hit(self, key: str) -> CachedPlan | None:
+        with self._tlock:
+            entry = self._mem.get(key)
+            if entry is None:
+                return None
+            self._mem.move_to_end(key)
+            self.hits += 1
+        publish("plancache.hit", tier="memory", key=key[:12])
+        return entry
+
+    def _disk_hit(self, key: str, *, follower: bool = False) -> CachedPlan | None:
+        entry = self._disk_get(key)
+        if entry is None:
+            return None
+        with self._tlock:
+            self.disk_hits += 1
+            if follower:
+                self.follower_hits += 1
+            self._mem_put(key, entry)
+        publish(
+            "plancache.hit",
+            tier="disk",
+            key=key[:12],
+            follower=follower,
+        )
+        return entry
+
+    # -- the shared protocol ---------------------------------------------
+    def get(self, key: str) -> CachedPlan | None:  # type: ignore[override]
+        entry = self._mem_hit(key)
+        if entry is not None:
+            return entry
+        entry = self._disk_hit(key)
+        if entry is not None:
+            return entry
+        # Cold machine-wide (or leader in flight): contend for leadership.
+        lock = self._make_lock(key)
+        deadline = self._clock() + self.lock_timeout
+        waited = False
+        while True:
+            if lock.acquire():
+                # Double-check: the previous leader may have stored the
+                # entry between our probe and its release.
+                entry = self._disk_hit(key, follower=waited)
+                if entry is not None:
+                    lock.release()
+                    return entry
+                with self._tlock:
+                    self._held[key] = lock
+                    self.misses += 1
+                publish("plancache.miss", key=key[:12], leader=True)
+                return None  # we are the leader; caller compiles + put()s
+            if not waited:
+                waited = True
+                with self._tlock:
+                    self.lock_waits += 1
+                publish("plancache.lock_wait", key=key[:12])
+            if lock.is_stale():
+                if lock.break_stale():
+                    with self._tlock:
+                        self.lock_breaks += 1
+                    self._sweep_tmp()
+                    publish("plancache.lock_break", key=key[:12])
+                continue  # recontend immediately
+            if self._clock() >= deadline:
+                with self._tlock:
+                    self.lock_timeouts += 1
+                    self.misses += 1
+                publish("plancache.lock_timeout", key=key[:12])
+                return None  # give up on dedupe; compile locally
+            self._sleep(self.poll_interval)
+            entry = self._disk_hit(key, follower=True)
+            if entry is not None:
+                return entry
+
+    def put(self, key: str, entry: CachedPlan) -> None:  # type: ignore[override]
+        with self._tlock:
+            self._mem_put(key, entry)
+        self._disk_put(key, entry)
+        publish("plancache.store", key=key[:12], entries=len(self))
+        self.abandon(key)  # release leadership, if we held it
+
+    def abandon(self, key: str) -> None:
+        """Release ``key``'s leadership lock without storing an entry."""
+        with self._tlock:
+            lock = self._held.pop(key, None)
+        if lock is not None:
+            lock.release()
+
+    def clear(self) -> None:
+        with self._tlock:
+            super().clear()
+            held, self._held = dict(self._held), {}
+        for lock in held.values():
+            lock.release()
+
+    def __len__(self) -> int:
+        with self._tlock:
+            return len(self._mem)
+
+    def stats(self) -> dict[str, int]:
+        with self._tlock:
+            out = super().stats()
+            out.update({
+                "lock_waits": self.lock_waits,
+                "follower_hits": self.follower_hits,
+                "lock_breaks": self.lock_breaks,
+                "lock_timeouts": self.lock_timeouts,
+            })
+            return out
 
 
 # ---------------------------------------------------------------------------

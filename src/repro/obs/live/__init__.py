@@ -36,6 +36,8 @@ from .windows import (
     SloObjective,
     SloTracker,
     default_objectives,
+    merge_slo_snapshots,
+    merge_window_samples,
 )
 
 __all__ = [
@@ -50,6 +52,8 @@ __all__ = [
     "bind",
     "current_request_id",
     "default_objectives",
+    "merge_slo_snapshots",
+    "merge_window_samples",
     "prom_name",
     "publish",
     "registry_to_prom",

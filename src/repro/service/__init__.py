@@ -29,10 +29,13 @@ from .request import (
     Ticket,
 )
 from .service import ExecutionService
+from .shard import ShardDiedError, ShardedExecutionService
 
 __all__ = [
     "ExecutionService",
     "QueueFullError",
+    "ShardDiedError",
+    "ShardedExecutionService",
     "RequestStatus",
     "RetryPolicy",
     "ServiceClosedError",

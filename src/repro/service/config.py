@@ -63,6 +63,19 @@ class ServiceConfig:
       cache (the completed-request tier behind single-flight dedupe).
     * ``fault_spec`` — deterministic fault injection applied to every
       ``execute`` request's simulated runtime (demos, chaos tests).
+    * ``batch_window`` — request-batching coalescing window in seconds:
+      a worker dequeuing a request waits up to this long, gathering
+      *compatible* queued requests (same template, device, options,
+      planner, mode — i.e. the same batch key) and serves the whole
+      batch from one compiled plan.  ``0`` (default) disables batching.
+    * ``batch_max`` — upper bound on requests coalesced into one batch.
+    * ``shared_cache_dir`` — directory of the **cross-process** plan
+      cache (:class:`repro.core.plancache.SharedPlanCache`): shard
+      worker processes (and any other process pointed at the same
+      directory) share compiled plans with stampede protection.
+      ``None`` keeps the cache process-private.
+    * ``shard_label`` — this service's name in ``live_snapshot()``'s
+      per-shard breakdown (the shard router names workers ``proc/N``).
     * ``telemetry_events`` — capacity of the live telemetry event ring
       (:class:`repro.obs.live.EventLog`); ``0`` disables the event bus
       entirely (publishes become no-ops).
@@ -83,6 +96,10 @@ class ServiceConfig:
     pb_max_ops: int = 12
     plan_cache_entries: int = 64
     fault_spec: FaultSpec | None = None
+    batch_window: float = 0.0
+    batch_max: int = 16
+    shared_cache_dir: str | None = None
+    shard_label: str = "local/0"
     telemetry_events: int = 4096
     window_seconds: float = 60.0
     slo_objectives: tuple[SloObjective, ...] = ()
@@ -94,6 +111,11 @@ class ServiceConfig:
             raise ValueError("max_queue_depth must be >= 1")
         if self.default_deadline is not None and self.default_deadline <= 0:
             raise ValueError("default_deadline must be positive or None")
+        if self.batch_window < 0:
+            raise ValueError("batch_window must be >= 0 seconds")
+        if self.batch_max < 2:
+            raise ValueError("batch_max must be >= 2 (a batch of one is "
+                             "just a request)")
         if self.telemetry_events < 0:
             raise ValueError("telemetry_events must be >= 0")
         if self.window_seconds <= 0:

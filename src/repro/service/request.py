@@ -109,12 +109,19 @@ class ServiceResponse:
     #: the request id whose in-flight compile this request joined
     #: (single-flight followers only; None for leaders and cache hits)
     deduped_from: int | None = None
+    #: the *other* request ids coalesced into the same batched plan
+    #: execution (empty when the request ran unbatched)
+    batched_with: tuple[int, ...] = ()
     wait_seconds: float = 0.0
     service_seconds: float = 0.0
 
     @property
     def ok(self) -> bool:
         return self.status is RequestStatus.OK
+
+    @property
+    def batched(self) -> bool:
+        return bool(self.batched_with)
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-ready summary (the value itself is not serialized)."""
@@ -129,9 +136,30 @@ class ServiceResponse:
             "degraded": self.degraded,
             "deduped": self.deduped,
             "deduped_from": self.deduped_from,
+            "batched_with": list(self.batched_with),
             "wait_seconds": self.wait_seconds,
             "service_seconds": self.service_seconds,
         }
+
+    @classmethod
+    def from_dict(cls, raw: Mapping[str, Any]) -> "ServiceResponse":
+        """Rebuild a response from :meth:`to_dict` output (the shard IPC
+        channel ships responses as dicts; the value travels separately)."""
+        return cls(
+            request_id=int(raw["request_id"]),
+            label=str(raw.get("label", "")),
+            status=RequestStatus(raw["status"]),
+            error=raw.get("error"),
+            planner_used=str(raw.get("planner_used", "")),
+            attempts=int(raw.get("attempts", 0)),
+            retries=int(raw.get("retries", 0)),
+            degraded=bool(raw.get("degraded", False)),
+            deduped=bool(raw.get("deduped", False)),
+            deduped_from=raw.get("deduped_from"),
+            batched_with=tuple(raw.get("batched_with", ())),
+            wait_seconds=float(raw.get("wait_seconds", 0.0)),
+            service_seconds=float(raw.get("service_seconds", 0.0)),
+        )
 
 
 @dataclass(eq=False)
@@ -146,6 +174,7 @@ class Ticket:
     _response: ServiceResponse | None = field(default=None, repr=False)
     _status: RequestStatus = RequestStatus.PENDING
     _cancel_hook: Any = field(default=None, repr=False)
+    _done_callbacks: list = field(default_factory=list, repr=False)
 
     @property
     def status(self) -> RequestStatus:
@@ -177,11 +206,37 @@ class Ticket:
             return False
         return bool(self._cancel_hook(self))
 
+    def add_done_callback(self, fn) -> None:
+        """Call ``fn(ticket)`` once the request reaches a terminal state.
+
+        Fires immediately if the ticket is already resolved.  Callbacks
+        run on the resolving worker thread, so they must be brief and
+        non-blocking (the shard worker uses this to pump completed
+        responses back over the IPC channel).
+        """
+        fire = False
+        if self._event.is_set():
+            fire = True
+        else:
+            self._done_callbacks.append(fn)
+            # _resolve may have run between the check and the append
+            fire = self._event.is_set() and fn in self._done_callbacks
+            if fire:
+                self._done_callbacks.remove(fn)
+        if fire:
+            fn(self)
+
     # -- service side ----------------------------------------------------
     def _resolve(self, response: ServiceResponse) -> None:
         self._response = response
         self._status = response.status
         self._event.set()
+        callbacks, self._done_callbacks = self._done_callbacks, []
+        for fn in callbacks:
+            try:
+                fn(self)
+            except Exception:
+                pass  # a broken observer must not fail the request
 
 
 __all__ = [

@@ -48,7 +48,7 @@ from repro.core.framework import (
     Framework,
 )
 from repro.core.pbopt import pb_plan_or_heuristic
-from repro.core.plancache import PlanCache, plan_key
+from repro.core.plancache import PlanCache, SharedPlanCache, plan_key
 from repro.core.splitting import SplitReport
 from repro.gpusim import SimRuntime
 from repro.gpusim.faults import FaultInjector, TransientFault
@@ -114,6 +114,32 @@ class _Flight:
         self.leader_id = leader_id
 
 
+class _Batch:
+    """One coalesced batch: requests sharing a compiled plan execution.
+
+    The worker that dequeued the leader pulls every *compatible* queued
+    request (same batch key: template, device, options, planner, mode,
+    host) within the coalescing window and processes them as one unit:
+    the leader compiles (or hits the cache) once, followers reuse the
+    compiled plan directly — and, for ``compile``/``simulate`` requests,
+    the result value itself — with ``batched_with``/``deduped_from``
+    provenance on every response.
+    """
+
+    __slots__ = ("ids", "leader_id", "compiled", "planner_used",
+                 "shared_value", "error")
+
+    def __init__(self, ids: tuple[int, ...], leader_id: int) -> None:
+        self.ids = ids
+        self.leader_id = leader_id
+        self.compiled: CompiledTemplate | None = None
+        self.planner_used = ""
+        #: the leader's result value, reusable verbatim by followers
+        #: (compile and simulate modes only — execute inputs differ)
+        self.shared_value: Any = None
+        self.error: BaseException | None = None
+
+
 class ExecutionService:
     """Accepts template requests concurrently; see module docstring.
 
@@ -156,9 +182,19 @@ class ExecutionService:
         self._closed = False
         self._next_id = 0
         self._in_flight = 0
-        self.plan_cache = plan_cache or _LockedPlanCache(
-            max_entries=self.config.plan_cache_entries
-        )
+        if plan_cache is not None:
+            self.plan_cache = plan_cache
+        elif self.config.shared_cache_dir:
+            # Cross-process tier: shared with sibling shard processes
+            # (stampede-protected, internally thread-safe).
+            self.plan_cache = SharedPlanCache(
+                self.config.shared_cache_dir,
+                max_entries=self.config.plan_cache_entries,
+            )
+        else:
+            self.plan_cache = _LockedPlanCache(
+                max_entries=self.config.plan_cache_entries
+            )
         self._workers = [
             threading.Thread(
                 target=self._worker_loop, name=f"repro-svc-{i}", daemon=True
@@ -240,7 +276,11 @@ class ExecutionService:
                 planner=request.planner,
                 queue_depth=len(self._queue),
             )
-            self._cv.notify()
+            # notify_all: with batching enabled, a gathering worker also
+            # waits on this condition — a single notify could wake it
+            # instead of an idle worker and delay an incompatible request
+            # by a full batch window.
+            self._cv.notify_all()
         return ticket
 
     def submit_all(self, requests: list[ServiceRequest]) -> list[Ticket]:
@@ -320,7 +360,7 @@ class ExecutionService:
             }
         cache_stats = self.plan_cache.stats()
         shard = {
-            "shard": "local/0",
+            "shard": self.config.shard_label,
             "workers": len(self._workers),
             "queue_depth": queue_depth,
             "in_flight": in_flight,
@@ -423,28 +463,93 @@ class ExecutionService:
                 self.metrics.gauge("service.queue_depth").set(len(self._queue))
                 self._in_flight += 1
                 self.metrics.gauge("service.in_flight").set(self._in_flight)
-            # The ambient bind is what correlates everything below —
-            # Framework.compile, PlanCache, SimRuntime — to this request.
-            try:
-                with bind(self.events, ticket.id):
-                    self._process(ticket)
-            except BaseException as exc:  # worker must never die silently
-                self._record_done(
-                    ticket,
-                    ServiceResponse(
-                        request_id=ticket.id,
-                        label=ticket.request.label,
-                        status=RequestStatus.FAILED,
-                        error=f"internal: {type(exc).__name__}: {exc}",
-                    ),
-                    tracer=None,
+            tickets = [ticket]
+            if self.config.batch_window > 0:
+                tickets += self._gather_batch(ticket)
+            batch: _Batch | None = None
+            if len(tickets) > 1:
+                batch = _Batch(
+                    ids=tuple(t.id for t in tickets), leader_id=ticket.id
                 )
-            finally:
-                with self._lock:
-                    self._in_flight -= 1
-                    self.metrics.gauge("service.in_flight").set(self._in_flight)
+                self.metrics.counter("service.batches").inc()
+                self.metrics.histogram("service.batch_size").observe(
+                    len(tickets)
+                )
+            for t in tickets:
+                # The ambient bind is what correlates everything below —
+                # Framework.compile, PlanCache, SimRuntime — to this
+                # request.
+                try:
+                    with bind(self.events, t.id):
+                        self._process(t, batch=batch)
+                except BaseException as exc:  # worker must never die silently
+                    self._record_done(
+                        t,
+                        ServiceResponse(
+                            request_id=t.id,
+                            label=t.request.label,
+                            status=RequestStatus.FAILED,
+                            error=f"internal: {type(exc).__name__}: {exc}",
+                        ),
+                        tracer=None,
+                    )
+            with self._lock:
+                self._in_flight -= 1
+                self.metrics.gauge("service.in_flight").set(self._in_flight)
 
-    def _process(self, ticket: Ticket) -> None:
+    def _ticket_batch_key(self, ticket: Ticket) -> str:
+        """The coalescing key: requests sharing it can share one batched
+        plan execution.  Memoized per ticket (the key hashes the graph)."""
+        cached = getattr(ticket, "_batch_key", None)
+        if cached is not None:
+            return cached
+        req = ticket.request
+        key = plan_key(
+            req.template,
+            req.device,
+            req.options or CompileOptions(),
+            kind="service-batch",
+            extra={
+                "planner": self._effective_planner(req),
+                "mode": req.mode,
+                "host": req.host,
+            },
+        )
+        ticket._batch_key = key  # type: ignore[attr-defined]
+        return key
+
+    def _gather_batch(self, leader: Ticket) -> list[Ticket]:
+        """Coalesce queued requests compatible with ``leader``.
+
+        Waits up to ``config.batch_window`` seconds for more compatible
+        arrivals (bounded by ``config.batch_max``), removing gathered
+        tickets from the queue — they are now owned by this worker and
+        processed on the leader's compiled plan.
+        """
+        key = self._ticket_batch_key(leader)
+        window_end = self._clock() + self.config.batch_window
+        gathered: list[Ticket] = []
+        limit = self.config.batch_max - 1
+        with self._cv:
+            while True:
+                for t in list(self._queue):
+                    if len(gathered) >= limit:
+                        break
+                    if self._ticket_batch_key(t) == key:
+                        self._queue.remove(t)
+                        gathered.append(t)
+                self.metrics.gauge("service.queue_depth").set(
+                    len(self._queue)
+                )
+                if len(gathered) >= limit or self._closed:
+                    break
+                remaining = window_end - self._clock()
+                if remaining <= 0:
+                    break
+                self._cv.wait(remaining)
+        return gathered
+
+    def _process(self, ticket: Ticket, batch: _Batch | None = None) -> None:
         req = ticket.request
         start = self._clock()
         wait = start - ticket.submitted_at
@@ -465,6 +570,21 @@ class ExecutionService:
             planner=planner,
             wait_seconds=wait,
         )
+        if batch is not None:
+            response.batched_with = tuple(
+                i for i in batch.ids if i != ticket.id
+            )
+            if ticket.id == batch.leader_id:
+                publish(
+                    "service.batch",
+                    size=len(batch.ids),
+                    batched_with=list(response.batched_with),
+                )
+            else:
+                publish(
+                    "service.batch_join",
+                    leader_request_id=batch.leader_id,
+                )
         with tracer.span(
             "service.request",
             id=ticket.id,
@@ -490,7 +610,9 @@ class ExecutionService:
                     root.set(status=response.status.value)
                     self._record_done(ticket, response, tracer=tracer)
                     return
-            self._attempt_loop(ticket, response, planner, degraded, tracer)
+            self._attempt_loop(
+                ticket, response, planner, degraded, tracer, batch=batch
+            )
             root.set(
                 status=response.status.value,
                 attempts=response.attempts,
@@ -508,6 +630,7 @@ class ExecutionService:
         planner: str,
         degraded: bool,
         tracer: Tracer,
+        batch: _Batch | None = None,
     ) -> None:
         req = ticket.request
         retry = self.config.retry
@@ -520,7 +643,7 @@ class ExecutionService:
             response.attempts += 1
             try:
                 value, planner_used, deduped, deduped_from = self._perform(
-                    ticket, planner, degraded, injector, tracer
+                    ticket, planner, degraded, injector, tracer, batch=batch
                 )
                 response.status = RequestStatus.OK
                 response.value = value
@@ -599,25 +722,41 @@ class ExecutionService:
         degraded: bool,
         injector: FaultInjector | None,
         tracer: Tracer,
+        batch: _Batch | None = None,
     ) -> tuple[Any, str, bool, int | None]:
         """Run one attempt; returns (value, planner_used, deduped,
         deduped_from)."""
         req = ticket.request
+        is_batch_follower = (
+            batch is not None and ticket.id != batch.leader_id
+        )
         compiled, planner_used, deduped, deduped_from = self._compile_stage(
             req, "heuristic" if degraded else planner, degraded, tracer,
-            request_id=ticket.id,
+            request_id=ticket.id, batch=batch,
         )
         if degraded:
             self.metrics.counter("service.degraded").inc()
             planner_used = f"{planner_used}-degraded"
         if req.mode == "compile":
+            if batch is not None and ticket.id == batch.leader_id:
+                batch.shared_value = compiled
             return compiled, planner_used, deduped, deduped_from
         if req.mode == "simulate":
+            # One batched plan execution: the leader simulates, followers
+            # reuse the value verbatim (the batch key pins template,
+            # device, options, and host, so the timing is identical).
+            if is_batch_follower and batch.shared_value is not None:
+                tracer.event("service.batch_shared_value")
+                return (
+                    batch.shared_value, planner_used, deduped, deduped_from
+                )
             with tracer.span("service.simulate") as sp:
                 sim = simulate_plan(
                     compiled.plan, compiled.graph, req.device, req.host
                 )
             publish("service.simulate_done", seconds=sp.duration)
+            if batch is not None and ticket.id == batch.leader_id:
+                batch.shared_value = sim
             return sim, planner_used, deduped, deduped_from
         # mode == "execute": a fresh runtime per attempt, so a failed
         # attempt leaves no residue; the injector survives across
@@ -647,6 +786,7 @@ class ExecutionService:
         tracer: Tracer,
         *,
         request_id: int,
+        batch: _Batch | None = None,
     ) -> tuple[CompiledTemplate, str, bool, int | None]:
         """Single-flight compile keyed on the PR-4 content-addressed key.
 
@@ -654,7 +794,30 @@ class ExecutionService:
         ``deduped_from`` is the leader's request id when this request
         joined an in-flight compile, so its telemetry timeline points at
         the request whose compile actually produced the plan.
+
+        A batch follower short-circuits everything: its leader already
+        compiled (or failed) on this very worker thread, so the result
+        is taken straight off the batch — no locks, no flights.
         """
+        if batch is not None and request_id != batch.leader_id:
+            if batch.error is not None:
+                raise batch.error
+            if batch.compiled is not None:
+                self.metrics.counter("service.dedupe_hits").inc()
+                self.metrics.counter("service.batch_joins").inc()
+                tracer.event(
+                    "service.batch_join", leader_request_id=batch.leader_id
+                )
+                publish(
+                    "service.dedupe_join",
+                    leader_request_id=batch.leader_id,
+                    via="batch",
+                )
+                return (
+                    batch.compiled, batch.planner_used, True, batch.leader_id
+                )
+            # Leader finished without a compile result (should not
+            # happen) — fall through and compile independently.
         opts = req.options or CompileOptions()
         key = plan_key(
             req.template,
@@ -686,8 +849,13 @@ class ExecutionService:
             )
             flight.event.wait()
             if flight.error is not None:
+                if batch is not None and request_id == batch.leader_id:
+                    batch.error = flight.error
                 raise flight.error
             assert flight.value is not None
+            if batch is not None and request_id == batch.leader_id:
+                batch.compiled = flight.value
+                batch.planner_used = flight.planner_used
             return flight.value, flight.planner_used, True, flight.leader_id
         try:
             with tracer.span(
@@ -710,9 +878,14 @@ class ExecutionService:
             )
             flight.value = compiled
             flight.planner_used = planner_used
+            if batch is not None and request_id == batch.leader_id:
+                batch.compiled = compiled
+                batch.planner_used = planner_used
             return compiled, planner_used, cached, None
         except BaseException as exc:
             flight.error = exc
+            if batch is not None and request_id == batch.leader_id:
+                batch.error = exc
             raise
         finally:
             with self._lock:
@@ -796,6 +969,7 @@ class ExecutionService:
             attempts=response.attempts,
             retries=response.retries,
             deduped=response.deduped,
+            batched=bool(response.batched_with),
             seconds=response.service_seconds,
         )
         ticket._resolve(response)

@@ -1,0 +1,644 @@
+"""Sharded multi-process serving tier.
+
+:class:`ShardedExecutionService` runs N worker *processes* (each a full
+:class:`~repro.service.ExecutionService` — see
+:mod:`repro.service.worker`) and routes every submission by its
+content-addressed plan key over a consistent-hash ring
+(:mod:`repro.service.hashring`).  Identical templates therefore always
+land on the same shard, which is where single-flight dedupe and request
+batching live — the router never needs a cross-process flight table.
+The fleet additionally shares one cross-process plan-cache directory
+(:class:`repro.core.plancache.SharedPlanCache`), so a plan compiled on
+any shard is a disk hit for every other process pointed at the
+directory, with stampede protection when several shards cold-start the
+same key at once.
+
+The router mirrors the single-process service's surface — ``submit()``
+returns a :class:`~repro.service.Ticket`, plus ``live_snapshot()`` /
+``prom_text()`` / ``request_timeline()`` / ``serve_status()`` — so
+callers and the CLI swap tiers without code changes.  Telemetry is
+aggregated correctly, not averaged: fleet latency percentiles are
+recomputed over the union of every shard's raw window samples
+(:func:`repro.obs.live.merge_window_samples`) and SLO error budgets sum
+good/bad counts (:func:`repro.obs.live.merge_slo_snapshots`).
+
+Request ids are fleet-global: the router assigns them, workers ack with
+their shard-local id, and provenance fields coming back in responses
+(``deduped_from``, ``batched_with``) are rewritten from shard-local to
+global ids so cross-request references stay meaningful to the caller.
+
+Failure semantics: a shard process that dies mid-flight fails *only*
+its own in-flight requests (each resolved ``FAILED`` with an explicit
+``shard ... died`` error); the ring keeps routing the remaining shards.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import multiprocessing
+import shutil
+import tempfile
+import threading
+from typing import Any
+
+from repro.core.framework import CompileOptions
+from repro.core.plancache import plan_key
+from repro.obs.live import (
+    PromText,
+    StatusServer,
+    TelemetryEvent,
+    merge_slo_snapshots,
+    merge_window_samples,
+)
+from repro.service.config import ServiceConfig
+from repro.service.hashring import HashRing
+from repro.service.ipc import send_message, recv_message
+from repro.service.request import (
+    QueueFullError,
+    RequestStatus,
+    ServiceClosedError,
+    ServiceError,
+    ServiceRequest,
+    ServiceResponse,
+    Ticket,
+)
+
+#: seconds the router waits for a worker to ack one control frame
+_RPC_TIMEOUT = 60.0
+
+
+class ShardDiedError(ServiceError):
+    """The shard owning this request exited before answering."""
+
+
+class _Shard:
+    """Router-side state for one worker process."""
+
+    __slots__ = (
+        "name", "process", "conn", "receiver", "alive",
+        "local_to_global", "lock",
+    )
+
+    def __init__(self, name: str, process: Any, conn: Any) -> None:
+        self.name = name
+        self.process = process
+        self.conn = conn
+        self.receiver: threading.Thread | None = None
+        self.alive = True
+        #: shard-local request id -> fleet-global id (provenance rewrite)
+        self.local_to_global: dict[int, int] = {}
+        self.lock = threading.Lock()
+
+
+class _Waiter:
+    """One correlated reply slot (submit ack or control RPC)."""
+
+    __slots__ = ("event", "message")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.message: dict[str, Any] | None = None
+
+
+class ShardedExecutionService:
+    """A fleet of shard processes behind one service-shaped facade.
+
+    ``shards`` worker processes are spawned immediately; each runs
+    ``config`` (with its own ``shard_label`` of the form ``proc/N``).
+    Unless the config already names a ``shared_cache_dir``, the router
+    creates a private directory for the fleet's cross-process plan
+    cache and removes it on ``close()``.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        *,
+        shards: int = 2,
+        mp_context: Any = None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        base = config or ServiceConfig()
+        self._owns_cache_dir = base.shared_cache_dir is None
+        if self._owns_cache_dir:
+            cache_dir = tempfile.mkdtemp(prefix="repro-shard-cache-")
+            base = dataclasses.replace(base, shared_cache_dir=cache_dir)
+        self.config = base
+        self._ctx = mp_context or multiprocessing.get_context()
+        self._lock = threading.Lock()
+        self._closed = False
+        self._next_id = itertools.count(1)
+        #: global id -> (shard, Ticket) for in-flight requests
+        self._pending: dict[int, tuple[_Shard, Ticket]] = {}
+        #: global id -> _Waiter for submit acks and control RPCs
+        self._waiters: dict[int, _Waiter] = {}
+        self._status_server: StatusServer | None = None
+        self._shards: dict[str, _Shard] = {}
+        self.ring = HashRing()
+        # Import here so the worker entry resolves identically under
+        # fork and spawn.
+        from repro.service.worker import shard_worker_main
+
+        for i in range(shards):
+            name = f"proc/{i}"
+            parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+            shard_config = dataclasses.replace(base, shard_label=name)
+            process = self._ctx.Process(
+                target=shard_worker_main,
+                args=(child_conn, shard_config),
+                name=f"repro-shard-{i}",
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            shard = _Shard(name, process, parent_conn)
+            shard.receiver = threading.Thread(
+                target=self._receiver_loop,
+                args=(shard,),
+                name=f"repro-shard-recv-{i}",
+                daemon=True,
+            )
+            self._shards[name] = shard
+            self.ring.add(name)
+            shard.receiver.start()
+
+    # -- lifecycle -------------------------------------------------------
+    def __enter__(self) -> "ShardedExecutionService":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    @property
+    def shard_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._shards))
+
+    def close(self, *, cancel_pending: bool = False) -> None:
+        """Drain every shard, stop their processes, release resources."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for shard in self._shards.values():
+            if not shard.alive:
+                continue
+            try:
+                self._rpc(
+                    shard,
+                    {"kind": "close", "cancel_pending": cancel_pending},
+                    expect="closed",
+                )
+            except (ShardDiedError, TimeoutError):
+                pass  # already gone; reap below
+        for shard in self._shards.values():
+            try:
+                shard.conn.close()
+            except Exception:
+                pass
+            shard.process.join(timeout=10)
+            if shard.process.is_alive():  # pragma: no cover - stuck shard
+                shard.process.terminate()
+                shard.process.join(timeout=10)
+            if shard.receiver is not None:
+                shard.receiver.join(timeout=10)
+        if self._status_server is not None:
+            self._status_server.close()
+            self._status_server = None
+        if self._owns_cache_dir and self.config.shared_cache_dir:
+            shutil.rmtree(self.config.shared_cache_dir, ignore_errors=True)
+
+    # -- routing ---------------------------------------------------------
+    def route_key(self, request: ServiceRequest) -> str:
+        """The content-addressed key this request is routed by.
+
+        Deliberately the *batch/dedupe* identity (template + device +
+        options + effective planner + mode + host) so every request that
+        could share one compiled plan lands on the same shard, where the
+        in-process single-flight and batching tiers collapse them.
+        """
+        planner = request.planner
+        if planner == "auto":
+            planner = (
+                "pb"
+                if len(request.template.operators) <= self.config.pb_max_ops
+                else "heuristic"
+            )
+        return plan_key(
+            request.template,
+            request.device,
+            request.options or CompileOptions(),
+            kind="service-batch",
+            extra={
+                "planner": planner,
+                "mode": request.mode,
+                "host": request.host,
+            },
+        )
+
+    def route(self, request: ServiceRequest) -> str:
+        """Name of the shard that would serve ``request``."""
+        return self.ring.route(self.route_key(request))
+
+    # -- submission ------------------------------------------------------
+    def submit(self, request: ServiceRequest) -> Ticket:
+        """Route and admit one request; returns a fleet-global ticket.
+
+        Admission is synchronous — the owning shard's accept/reject
+        round-trips before this returns, so :class:`QueueFullError` and
+        :class:`ServiceClosedError` raise here exactly as they do on the
+        single-process tier.
+        """
+        with self._lock:
+            if self._closed:
+                raise ServiceClosedError("sharded service is closed")
+        shard = self._shards[self.route(request)]
+        if not shard.alive:
+            raise ShardDiedError(f"shard {shard.name} died")
+        gid = next(self._next_id)
+        ticket = Ticket(
+            id=gid,
+            request=request,
+            submitted_at=0.0,
+            deadline_at=None,
+        )
+        waiter = _Waiter()
+        with self._lock:
+            self._waiters[gid] = waiter
+            self._pending[gid] = (shard, ticket)
+        try:
+            self._send(shard, {"kind": "submit", "id": gid,
+                               "request": request})
+            if not waiter.event.wait(_RPC_TIMEOUT):
+                raise TimeoutError(
+                    f"shard {shard.name} did not ack submit {gid} "
+                    f"within {_RPC_TIMEOUT} s"
+                )
+            reply = waiter.message
+            assert reply is not None
+            if reply["kind"] == "error":
+                error_type = reply.get("error_type", "")
+                message = reply.get("error", "shard rejected request")
+                if error_type == "QueueFullError":
+                    raise QueueFullError(message)
+                if error_type == "ServiceClosedError":
+                    raise ServiceClosedError(message)
+                raise ServiceError(message)
+        except BaseException:
+            with self._lock:
+                self._pending.pop(gid, None)
+            raise
+        finally:
+            with self._lock:
+                self._waiters.pop(gid, None)
+        return ticket
+
+    def submit_all(self, requests: list[ServiceRequest]) -> list[Ticket]:
+        return [self.submit(r) for r in requests]
+
+    # -- receiver --------------------------------------------------------
+    def _send(self, shard: _Shard, message: dict[str, Any]) -> None:
+        try:
+            send_message(shard.conn, message)
+        except (OSError, ValueError, BrokenPipeError) as exc:
+            self._mark_dead(shard, reason=str(exc))
+            raise ShardDiedError(
+                f"shard {shard.name} died: {exc}"
+            ) from exc
+
+    def _receiver_loop(self, shard: _Shard) -> None:
+        while True:
+            try:
+                message = recv_message(shard.conn)
+            except (EOFError, OSError):
+                break
+            except Exception:
+                break
+            self._dispatch(shard, message)
+        self._mark_dead(shard, reason="pipe closed")
+
+    def _dispatch(self, shard: _Shard, message: dict[str, Any]) -> None:
+        kind = message["kind"]
+        gid = message.get("id", -1)
+        if kind == "response":
+            with self._lock:
+                entry = self._pending.pop(gid, None)
+            if entry is None:
+                return  # late reply for an abandoned submit
+            _, ticket = entry
+            response = self._rebuild_response(shard, gid, message)
+            ticket._resolve(response)
+            return
+        if kind == "accepted":
+            # Record the local->global mapping here, on the receiver,
+            # *before* waking the submitter: the pipe guarantees this
+            # frame precedes any response that references the local id,
+            # so provenance rewrites never observe a missing mapping.
+            with shard.lock:
+                shard.local_to_global[message["local_id"]] = gid
+        # accepted / error (submit acks) and *_result / closed (RPCs)
+        with self._lock:
+            waiter = self._waiters.get(gid)
+        if waiter is not None:
+            waiter.message = message
+            waiter.event.set()
+
+    def _rebuild_response(
+        self, shard: _Shard, gid: int, message: dict[str, Any]
+    ) -> ServiceResponse:
+        response = ServiceResponse.from_dict(message["response"])
+        response.request_id = gid
+        response.value = message.get("value")
+        if message.get("value_error"):
+            note = message["value_error"]
+            response.error = (
+                f"{response.error}; {note}" if response.error else note
+            )
+        # Rewrite shard-local provenance ids to fleet-global ids.
+        with shard.lock:
+            mapping = dict(shard.local_to_global)
+        if response.deduped_from is not None:
+            response.deduped_from = mapping.get(
+                response.deduped_from, response.deduped_from
+            )
+        if response.batched_with:
+            response.batched_with = tuple(
+                mapping.get(i, i) for i in response.batched_with
+            )
+        return response
+
+    def _mark_dead(self, shard: _Shard, *, reason: str) -> None:
+        with self._lock:
+            if not shard.alive:
+                return
+            shard.alive = False
+            orphaned = [
+                (gid, ticket)
+                for gid, (owner, ticket) in list(self._pending.items())
+                if owner is shard
+            ]
+            for gid, _ in orphaned:
+                self._pending.pop(gid, None)
+            waiters = list(self._waiters.values())
+            closed = self._closed
+        for gid, ticket in orphaned:
+            ticket._resolve(
+                ServiceResponse(
+                    request_id=gid,
+                    label=ticket.request.label,
+                    status=RequestStatus.FAILED,
+                    error=f"shard {shard.name} died ({reason})",
+                )
+            )
+        if not closed:
+            # Unblock submit()/RPC callers waiting on this shard; their
+            # timeout-free path is an error message, not a hang.
+            for waiter in waiters:
+                if not waiter.event.is_set():
+                    waiter.message = {
+                        "kind": "error",
+                        "id": -1,
+                        "error": f"shard {shard.name} died ({reason})",
+                        "error_type": "ShardDiedError",
+                    }
+                    waiter.event.set()
+
+    # -- control RPCs ----------------------------------------------------
+    def _rpc(
+        self, shard: _Shard, message: dict[str, Any], *, expect: str
+    ) -> dict[str, Any]:
+        if not shard.alive:
+            raise ShardDiedError(f"shard {shard.name} died")
+        gid = next(self._next_id)
+        waiter = _Waiter()
+        with self._lock:
+            self._waiters[gid] = waiter
+        try:
+            self._send(shard, {**message, "id": gid})
+            if not waiter.event.wait(_RPC_TIMEOUT):
+                raise TimeoutError(
+                    f"shard {shard.name} did not answer "
+                    f"{message['kind']!r} within {_RPC_TIMEOUT} s"
+                )
+            reply = waiter.message
+            assert reply is not None
+            if reply["kind"] == "error":
+                raise ShardDiedError(
+                    reply.get("error", f"shard {shard.name} errored")
+                ) if reply.get("error_type") == "ShardDiedError" else (
+                    ServiceError(reply.get("error", "shard errored"))
+                )
+            if reply["kind"] != expect:
+                raise ServiceError(
+                    f"shard {shard.name} answered {reply['kind']!r}, "
+                    f"expected {expect!r}"
+                )
+            return reply
+        finally:
+            with self._lock:
+                self._waiters.pop(gid, None)
+
+    def _each_shard(
+        self, message: dict[str, Any], *, expect: str
+    ) -> list[tuple[_Shard, dict[str, Any]]]:
+        """Fan one control RPC out to every live shard (skip the dead)."""
+        out: list[tuple[_Shard, dict[str, Any]]] = []
+        for name in sorted(self._shards):
+            shard = self._shards[name]
+            if not shard.alive:
+                continue
+            try:
+                out.append((shard, self._rpc(shard, dict(message),
+                                             expect=expect)))
+            except (ShardDiedError, TimeoutError):
+                continue
+        return out
+
+    # -- aggregated telemetry --------------------------------------------
+    def live_snapshot(self) -> dict[str, Any]:
+        """Fleet-wide operational snapshot, same shape as the
+        single-process service's, with one ``shards`` entry per worker
+        process.
+
+        Counters sum; latency percentiles are recomputed over the union
+        of every shard's raw window samples; SLO budgets merge good/bad
+        counts — never averages of per-shard percentiles or compliance.
+        """
+        replies = self._each_shard({"kind": "snapshot"},
+                                   expect="snapshot_result")
+        snapshots = [r["snapshot"] for _, r in replies]
+        counters: dict[str, float] = {}
+        for snap in snapshots:
+            for name, value in snap.get("counters", {}).items():
+                counters[name] = counters.get(name, 0) + value
+        plan_cache: dict[str, float] = {}
+        for snap in snapshots:
+            for name, value in snap.get("plan_cache", {}).items():
+                if isinstance(value, (int, float)):
+                    plan_cache[name] = plan_cache.get(name, 0) + value
+        events = {"capacity": 0, "emitted": 0, "dropped": 0}
+        for snap in snapshots:
+            for key in events:
+                events[key] += snap.get("events", {}).get(key, 0)
+        shards = [s for snap in snapshots for s in snap.get("shards", [])]
+        with self._lock:
+            closed = self._closed
+            in_flight_router = len(self._pending)
+        return {
+            "closed": closed,
+            "queue_depth": sum(s.get("queue_depth", 0) for s in snapshots),
+            "in_flight": sum(s.get("in_flight", 0) for s in snapshots),
+            "router_in_flight": in_flight_router,
+            "workers": sum(s.get("workers", 0) for s in snapshots),
+            "shard_count": len(self._shards),
+            "live_shards": sum(
+                1 for s in self._shards.values() if s.alive
+            ),
+            "counters": dict(sorted(counters.items())),
+            "window": merge_window_samples(
+                [r.get("latency_samples", []) for _, r in replies],
+                self.config.window_seconds,
+            ),
+            "slo": merge_slo_snapshots(
+                [snap.get("slo", {}) for snap in snapshots]
+            ),
+            "plan_cache": plan_cache,
+            "events": events,
+            "shards": shards,
+        }
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """Aggregated counters plus the per-shard raw snapshots."""
+        snap = self.live_snapshot()
+        return {
+            "counters": snap["counters"],
+            "shards": snap["shards"],
+        }
+
+    def queue_depth(self) -> int:
+        return int(self.live_snapshot()["queue_depth"])
+
+    def request_timeline(self, request_id: int) -> list[TelemetryEvent]:
+        """One request's trace, fetched from the shard that served it.
+
+        The shard records events under its local id; they are returned
+        verbatim (local ids intact) — the caller's global id selects
+        which shard/local stream to read.
+        """
+        with self._lock:
+            entry = self._pending.get(request_id)
+        shard = entry[0] if entry is not None else None
+        if shard is None:
+            for candidate in self._shards.values():
+                with candidate.lock:
+                    hit = any(
+                        g == request_id
+                        for g in candidate.local_to_global.values()
+                    )
+                if hit:
+                    shard = candidate
+                    break
+        if shard is None or not shard.alive:
+            return []
+        with shard.lock:
+            local_id = next(
+                (
+                    loc
+                    for loc, g in shard.local_to_global.items()
+                    if g == request_id
+                ),
+                None,
+            )
+        if local_id is None:
+            return []
+        reply = self._rpc(
+            shard,
+            {"kind": "events", "request_id": local_id},
+            expect="events_result",
+        )
+        return list(reply.get("events", []))
+
+    def prom_text(self) -> str:
+        """Fleet-level Prometheus exposition built from the merged
+        snapshot (shard-level series stay on each shard's own
+        endpoint)."""
+        snap = self.live_snapshot()
+        out = PromText()
+        out.registry({
+            "counters": snap["counters"],
+            "gauges": {
+                "service.queue_depth": {"value": snap["queue_depth"]},
+                "service.in_flight": {"value": snap["in_flight"]},
+                "service.shards_live": {"value": snap["live_shards"]},
+            },
+            "histograms": {},
+        })
+        out.summary(
+            "service.latency_seconds",
+            snap["window"],
+            help_text=(
+                "Fleet end-to-end latency (union of shard windows)"
+            ),
+        )
+        for name, value in snap["plan_cache"].items():
+            out.gauge(f"plancache.{name}", value)
+        for obj in snap["slo"].get("objectives", []):
+            base = f"slo.{obj['name']}"
+            out.gauge(f"{base}.compliance", obj["compliance"])
+            out.gauge(
+                f"{base}.budget_remaining",
+                obj["budget_remaining_fraction"],
+            )
+            out.gauge(f"{base}.breached", 1.0 if obj["breached"] else 0.0)
+        return out.render()
+
+    def _health(self) -> dict[str, Any]:
+        with self._lock:
+            closed = self._closed
+            in_flight = len(self._pending)
+        live = sum(1 for s in self._shards.values() if s.alive)
+        return {
+            "ok": not closed and live == len(self._shards),
+            "closed": closed,
+            "shards": len(self._shards),
+            "live_shards": live,
+            "in_flight": in_flight,
+        }
+
+    def serve_status(
+        self, *, host: str = "127.0.0.1", port: int = 0
+    ) -> StatusServer:
+        """Fleet status endpoint; same routes as the single-process one."""
+        if self._status_server is not None:
+            raise RuntimeError("status server already running")
+
+        def requests_ndjson(request_id: int | None, limit: int | None) -> str:
+            import json
+
+            events = []
+            if request_id is not None:
+                events = self.request_timeline(request_id)
+            else:
+                for shard, reply in self._each_shard(
+                    {"kind": "events", "limit": limit},
+                    expect="events_result",
+                ):
+                    events.extend(reply.get("events", []))
+            lines = [
+                json.dumps(e.to_dict(), sort_keys=True) for e in events
+            ]
+            return "\n".join(lines) + ("\n" if lines else "")
+
+        self._status_server = StatusServer(
+            metrics=self.prom_text,
+            slo=self.live_snapshot,
+            requests=requests_ndjson,
+            health=self._health,
+            host=host,
+            port=port,
+        )
+        return self._status_server
+
+
+__all__ = ["ShardDiedError", "ShardedExecutionService"]

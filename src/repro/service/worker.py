@@ -1,0 +1,164 @@
+"""Shard worker process: one :class:`ExecutionService` behind a pipe.
+
+:func:`shard_worker_main` is the entry point the shard router spawns in
+each worker process.  It owns a full in-process execution service —
+worker threads, plan cache (cross-process tier when the config names a
+``shared_cache_dir``), telemetry plane — and speaks the
+:mod:`repro.service.ipc` frame protocol over its end of a duplex pipe:
+
+* ``submit`` frames are admitted into the inner service; the worker
+  acks with ``accepted`` (carrying the shard-local request id, which
+  the router maps back to the fleet-global id) or ``error`` when
+  admission control rejects.  Completion is pushed back asynchronously
+  via :meth:`Ticket.add_done_callback` as a ``response`` frame.
+* ``snapshot`` / ``events`` / ``prom`` frames serve the router's
+  aggregated telemetry: the snapshot reply additionally ships the raw
+  latency-window samples, because fleet percentiles must be computed
+  over the union of every shard's samples, never averaged.
+* ``close`` drains (or cancels) the inner service, acks ``closed``,
+  and returns — ending the process.
+
+The entry point lives at module level (not a closure or lambda) so it
+imports cleanly under the ``spawn`` multiprocessing start method as
+well as the ``fork`` default on Linux.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from typing import Any
+
+from repro.service.config import ServiceConfig
+from repro.service.ipc import FrameError, recv_message, send_message
+from repro.service.request import ServiceError, Ticket
+from repro.service.service import ExecutionService
+
+
+def _response_frame(gid: int, ticket: Ticket) -> dict[str, Any]:
+    """Build the terminal ``response`` frame for one finished ticket."""
+    response = ticket._response
+    assert response is not None
+    frame: dict[str, Any] = {
+        "kind": "response",
+        "id": gid,
+        "response": response.to_dict(),
+        "value": response.value,
+    }
+    # The value (CompiledTemplate / ExecutionResult / SimulatedRun) must
+    # survive the trip through the pipe's pickler; anything that cannot
+    # travels as None with an explicit note rather than killing the
+    # worker's sender.
+    try:
+        pickle.dumps(frame["value"], protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        frame["value"] = None
+        frame["value_error"] = (
+            f"result value not transferable: {type(exc).__name__}: {exc}"
+        )
+    return frame
+
+
+def shard_worker_main(conn: Any, config: ServiceConfig) -> None:
+    """Run one shard: serve framed requests from ``conn`` until ``close``.
+
+    ``config.shard_label`` is this shard's name in every snapshot the
+    router aggregates.
+    """
+    service = ExecutionService(config)
+    send_lock = threading.Lock()
+
+    def send(message: dict[str, Any]) -> None:
+        # Completion callbacks fire on the inner service's worker
+        # threads, so frames interleave; the lock keeps each frame's
+        # send_bytes atomic on the pipe.
+        with send_lock:
+            send_message(conn, message)
+
+    def on_done(ticket: Ticket, gid: int) -> None:
+        send(_response_frame(gid, ticket))
+
+    try:
+        while True:
+            try:
+                message = recv_message(conn)
+            except (EOFError, OSError):
+                break  # router vanished: nothing to reply to
+            except FrameError as exc:
+                send({"kind": "error", "id": -1, "error": str(exc)})
+                continue
+            kind = message["kind"]
+            gid = message.get("id", -1)
+            try:
+                if kind == "submit":
+                    try:
+                        ticket = service.submit(message["request"])
+                    except ServiceError as exc:
+                        send({
+                            "kind": "error",
+                            "id": gid,
+                            "error": str(exc),
+                            "error_type": type(exc).__name__,
+                        })
+                        continue
+                    send({
+                        "kind": "accepted",
+                        "id": gid,
+                        "local_id": ticket.id,
+                    })
+                    ticket.add_done_callback(
+                        lambda t, gid=gid: on_done(t, gid)
+                    )
+                elif kind == "snapshot":
+                    send({
+                        "kind": "snapshot_result",
+                        "id": gid,
+                        "snapshot": service.live_snapshot(),
+                        "latency_samples": service._latency_window.samples(),
+                    })
+                elif kind == "events":
+                    send({
+                        "kind": "events_result",
+                        "id": gid,
+                        "events": service.events.events(
+                            request_id=message.get("request_id"),
+                            kind=message.get("event_kind"),
+                            limit=message.get("limit"),
+                        ),
+                    })
+                elif kind == "prom":
+                    send({
+                        "kind": "prom_result",
+                        "id": gid,
+                        "text": service.prom_text(),
+                    })
+                elif kind == "close":
+                    service.close(
+                        cancel_pending=message.get("cancel_pending", False)
+                    )
+                    send({"kind": "closed", "id": gid})
+                    break
+                else:  # pragma: no cover - KNOWN_KINDS already filters
+                    send({
+                        "kind": "error",
+                        "id": gid,
+                        "error": f"unhandled kind {kind!r}",
+                    })
+            except Exception as exc:  # one bad message must not kill the shard
+                try:
+                    send({
+                        "kind": "error",
+                        "id": gid,
+                        "error": f"{type(exc).__name__}: {exc}",
+                    })
+                except Exception:
+                    break
+    finally:
+        service.close(cancel_pending=True)
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+__all__ = ["shard_worker_main"]

@@ -88,6 +88,57 @@ def make_multi_runner(
     return run_multi
 
 
+def make_service_runner(
+    shards: int = 0, batch_window: float = 0.0, workers: int = 2
+) -> Callable[..., Outputs]:
+    """An executor that round-trips through the serving tier.
+
+    ``shards=0`` uses the in-process :class:`ExecutionService`;
+    ``shards>0`` spawns the multi-process sharded fleet — the *shard
+    dimension* of the differential matrix: results must be bitwise
+    identical no matter which process compiled and executed the plan,
+    or whether batching coalesced the request with others.
+    """
+    from repro.service import (
+        ExecutionService,
+        ServiceConfig,
+        ServiceRequest,
+        ShardedExecutionService,
+    )
+
+    def run_service(
+        template: OperatorGraph,
+        inputs: Mapping[str, np.ndarray],
+        device: GpuDevice,
+        options: CompileOptions,
+    ) -> Outputs:
+        config = ServiceConfig(
+            workers=workers,
+            max_queue_depth=256,
+            batch_window=batch_window,
+        )
+        if shards > 0:
+            svc = ShardedExecutionService(config, shards=shards)
+        else:
+            svc = ExecutionService(config)
+        with svc:
+            ticket = svc.submit(ServiceRequest(
+                template=template,
+                device=device,
+                options=options,
+                mode="execute",
+                inputs=dict(inputs),
+            ))
+            response = ticket.result(timeout=120)
+        assert response.ok, f"service run failed: {response.error}"
+        return dict(response.value.outputs)
+
+    run_service.__name__ = (
+        f"run_service_shards{shards}" if shards else "run_service"
+    )
+    return run_service
+
+
 #: name -> callable(template, inputs, device, options) -> outputs
 EXECUTORS: dict[str, Callable[..., Outputs]] = {
     "static": run_static,

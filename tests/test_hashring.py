@@ -1,0 +1,134 @@
+"""Consistent-hash ring (repro.service.hashring).
+
+The ring is the sharded tier's routing fabric, so its two load-bearing
+properties are tested as *properties* (hypothesis), not examples:
+
+* **balance** — for any shard count in 2..16, routing a large keyspace
+  lands within 20% of uniform on every shard (virtual nodes do the
+  smoothing);
+* **minimal disruption** — growing N -> N+1 shards remigrates roughly
+  1/(N+1) of the keyspace and never moves a key between two *old*
+  shards; shrinking only moves the removed shard's keys.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service.hashring import DEFAULT_REPLICAS, HashRing
+
+KEYS = [f"plan-{i:05d}" for i in range(4000)]
+
+
+def shard_names(n):
+    return [f"proc/{i}" for i in range(n)]
+
+
+class TestBasics:
+    def test_empty_ring_rejects_routing(self):
+        with pytest.raises(LookupError):
+            HashRing().route("anything")
+
+    def test_single_shard_takes_everything(self):
+        ring = HashRing(["only"])
+        assert all(ring.route(k) == "only" for k in KEYS[:100])
+
+    def test_duplicate_add_rejected(self):
+        ring = HashRing(["a"])
+        with pytest.raises(ValueError):
+            ring.add("a")
+
+    def test_remove_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            HashRing(["a"]).remove("b")
+
+    def test_membership_and_len(self):
+        ring = HashRing(["a", "b"])
+        assert "a" in ring and "c" not in ring
+        assert len(ring) == 2
+        assert ring.shards == ("a", "b")
+
+    def test_routing_is_deterministic(self):
+        one = HashRing(shard_names(5))
+        two = HashRing(shard_names(5))
+        assert [one.route(k) for k in KEYS] == [two.route(k) for k in KEYS]
+
+    def test_insertion_order_is_irrelevant(self):
+        fwd = HashRing(shard_names(6))
+        rev = HashRing(reversed(shard_names(6)))
+        assert [fwd.route(k) for k in KEYS] == [rev.route(k) for k in KEYS]
+
+
+class TestDistribution:
+    @settings(max_examples=15, deadline=None)
+    @given(n=st.integers(min_value=2, max_value=16))
+    def test_within_20_percent_of_uniform(self, n):
+        """Every shard's share of a 4000-key space is uniform +/- 20%."""
+        ring = HashRing(shard_names(n))
+        counts = ring.distribution(KEYS)
+        expected = len(KEYS) / n
+        for shard in shard_names(n):
+            share = counts.get(shard, 0)
+            assert abs(share - expected) <= 0.20 * expected, (
+                f"shard {shard} owns {share} keys, expected "
+                f"{expected:.0f} +/- 20% across {n} shards"
+            )
+
+    def test_more_replicas_smooth_harder(self):
+        """Variance shrinks as virtual-node count grows (sanity that
+        replicas are what buys the balance property)."""
+
+        def spread(replicas):
+            ring = HashRing(shard_names(4), replicas=replicas)
+            counts = ring.distribution(KEYS)
+            return max(counts.values()) - min(counts.values())
+
+        assert spread(DEFAULT_REPLICAS) < spread(4)
+
+
+class TestMinimalDisruption:
+    @settings(max_examples=15, deadline=None)
+    @given(n=st.integers(min_value=2, max_value=16))
+    def test_grow_remigrates_about_one_over_n(self, n):
+        """N -> N+1: at most ~1/(N+1) of keys move (2x slack for hash
+        noise at small N), and every move targets the *new* shard."""
+        before = HashRing(shard_names(n))
+        owners_before = {k: before.route(k) for k in KEYS}
+        after = HashRing(shard_names(n + 1))
+        new_shard = f"proc/{n}"
+        moved = 0
+        for k in KEYS:
+            owner = after.route(k)
+            if owner != owners_before[k]:
+                moved += 1
+                assert owner == new_shard, (
+                    f"key {k} moved between two surviving shards "
+                    f"({owners_before[k]} -> {owner})"
+                )
+        assert moved <= 2.0 * len(KEYS) / (n + 1), (
+            f"{moved}/{len(KEYS)} keys remigrated growing {n} -> {n + 1}; "
+            f"consistent hashing should move ~{len(KEYS) / (n + 1):.0f}"
+        )
+        # And the new shard must actually receive a real share.
+        assert moved >= 0.2 * len(KEYS) / (n + 1)
+
+    @settings(max_examples=10, deadline=None)
+    @given(n=st.integers(min_value=3, max_value=12))
+    def test_shrink_only_moves_the_removed_shards_keys(self, n):
+        ring = HashRing(shard_names(n))
+        owners_before = {k: ring.route(k) for k in KEYS}
+        victim = f"proc/{n - 1}"
+        ring.remove(victim)
+        for k in KEYS:
+            if owners_before[k] != victim:
+                assert ring.route(k) == owners_before[k], (
+                    f"key {k} moved although its owner "
+                    f"{owners_before[k]} survived"
+                )
+
+    def test_add_then_remove_restores_routing(self):
+        ring = HashRing(shard_names(4))
+        owners = {k: ring.route(k) for k in KEYS}
+        ring.add("proc/4")
+        ring.remove("proc/4")
+        assert {k: ring.route(k) for k in KEYS} == owners

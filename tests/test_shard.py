@@ -1,0 +1,357 @@
+"""Sharded multi-process serving tier (repro.service.shard) + batching.
+
+The acceptance spine of the sharded tier: plan-key routing lands
+identical templates on one shard (16 submissions over 4 templates =
+exactly 4 compiles fleet-wide), results are byte-identical to the
+single-process tier (the differential harness gains a shard
+dimension), telemetry aggregates across every shard's event stream,
+and batching records per-request provenance (``batched_with`` /
+``deduped_from``) with fleet-global ids.
+"""
+
+import time
+
+import pytest
+
+from .differential import (
+    EXECUTORS,
+    differential_check,
+    make_service_runner,
+    random_inputs,
+    random_operator_graph,
+)
+from repro.core.framework import CompileOptions
+from repro.gpusim import XEON_WORKSTATION, GpuDevice
+from repro.obs.live import merge_slo_snapshots, merge_window_samples
+from repro.service import (
+    ExecutionService,
+    RequestStatus,
+    ServiceConfig,
+    ServiceRequest,
+    ShardDiedError,
+    ShardedExecutionService,
+)
+from repro.templates import find_edges_graph, find_edges_inputs
+
+DEV = GpuDevice(name="shard-dev", memory_bytes=8 * 1024 * 1024)
+
+
+def edge_request(size=64, kernel=8, **kwargs):
+    kwargs.setdefault("label", f"edge{size}")
+    return ServiceRequest(
+        template=find_edges_graph(size, size, kernel, 2),
+        device=DEV,
+        host=XEON_WORKSTATION,
+        **kwargs,
+    )
+
+
+def fleet(shards=3, **config_kwargs):
+    config_kwargs.setdefault("workers", 2)
+    config_kwargs.setdefault("max_queue_depth", 256)
+    return ShardedExecutionService(
+        ServiceConfig(**config_kwargs), shards=shards
+    )
+
+
+class TestRoutingAndDedupe:
+    def test_16_requests_4_templates_4_compiles(self):
+        """The headline invariant: identical templates route to one
+        shard, so the fleet compiles each template exactly once."""
+        with fleet(shards=3) as svc:
+            tickets = [
+                svc.submit(edge_request(size=32 + 8 * (i % 4)))
+                for i in range(16)
+            ]
+            responses = [t.result(timeout=120) for t in tickets]
+            snap = svc.live_snapshot()
+        assert all(r.ok for r in responses)
+        assert snap["counters"]["service.compiles"] == 4
+        assert snap["counters"]["service.dedupe_hits"] == 12
+        assert snap["plan_cache"]["misses"] == 4
+
+    def test_identical_requests_share_one_shard(self):
+        with fleet(shards=4) as svc:
+            owners = {svc.route(edge_request(size=48)) for _ in range(8)}
+            assert len(owners) == 1
+
+    def test_global_ids_are_unique_and_provenance_is_global(self):
+        """deduped_from must reference the *fleet-global* leader id, not
+        the winning shard's local counter.  A plug request holds the
+        single worker while identical requests pile up, so the join is
+        deterministic (they coalesce into one batch behind the plug)."""
+        with fleet(shards=1, workers=1, batch_window=0.05) as svc:
+            svc.submit(edge_request(size=96, label="plug"))
+            tickets = [svc.submit(edge_request(size=40)) for _ in range(4)]
+            ids = [t.id for t in tickets]
+            assert len(set(ids)) == len(ids)
+            responses = [t.result(timeout=120) for t in tickets]
+        deduped = [r for r in responses if r.deduped_from is not None]
+        assert deduped, "expected at least one dedupe join in the batch"
+        for r in deduped:
+            assert r.deduped_from in ids, (
+                f"deduped_from={r.deduped_from} is not a fleet-global id "
+                f"({ids})"
+            )
+            assert r.deduped_from != r.request_id
+
+    def test_single_shard_fleet_works(self):
+        with fleet(shards=1) as svc:
+            assert svc.submit(edge_request()).result(timeout=120).ok
+
+    def test_submit_after_close_raises(self):
+        svc = fleet(shards=1)
+        svc.close()
+        from repro.service import ServiceClosedError
+
+        with pytest.raises(ServiceClosedError):
+            svc.submit(edge_request())
+
+
+class TestByteIdentity:
+    """The shard dimension of the differential matrix: any executor
+    disagreement with the reference interpreter is a routing/IPC bug."""
+
+    def test_edge_template_identical_across_tiers(self):
+        graph = find_edges_graph(48, 48, 8, 2)
+        inputs = find_edges_inputs(48, 48, seed=7)
+        differential_check(
+            graph, inputs, DEV, CompileOptions(),
+            executors={
+                "static": EXECUTORS["static"],
+                "service": make_service_runner(shards=0),
+                "service-sharded": make_service_runner(shards=2),
+            },
+        )
+
+    def test_random_graph_identical_with_batching(self):
+        graph = random_operator_graph(1234)
+        inputs = random_inputs(graph, 1234)
+        differential_check(
+            graph, inputs, DEV, CompileOptions(),
+            executors={
+                "service-sharded-batched": make_service_runner(
+                    shards=2, batch_window=0.02
+                ),
+            },
+        )
+
+
+class TestAggregatedTelemetry:
+    def test_snapshot_lists_every_shard(self):
+        with fleet(shards=3) as svc:
+            for i in range(6):
+                svc.submit(edge_request(size=32 + 8 * i)).result(timeout=120)
+            snap = svc.live_snapshot()
+        labels = [s["shard"] for s in snap["shards"]]
+        assert sorted(labels) == ["proc/0", "proc/1", "proc/2"]
+        assert snap["shard_count"] == 3
+        assert snap["live_shards"] == 3
+        # The fleet window covers every completed request even though no
+        # single shard saw them all.
+        assert snap["window"]["count"] == 6
+        per_shard = sum(s["window"]["count"] for s in snap["shards"])
+        assert per_shard == 6
+        assert snap["counters"]["service.ok"] == 6
+        for obj in snap["slo"]["objectives"]:
+            assert obj["total"] == 6
+
+    def test_fleet_percentiles_merge_raw_samples(self):
+        """p99 must come from the union of samples, not shard averages:
+        one slow shard dominates the fleet tail."""
+        fast = [(0.0, 0.010)] * 99
+        slow = [(0.0, 1.0)] * 99
+        merged = merge_window_samples([fast, slow], 60.0)
+        assert merged["count"] == 198
+        assert merged["p99"] == 1.0  # the tail survives the merge
+        assert merged["p50"] == 0.010
+        # Averaging per-shard p99s would have reported ~0.5 for p50.
+
+    def test_slo_merge_sums_budgets(self):
+        a = {"window_seconds": 60.0, "objectives": [{
+            "name": "availability", "target": 0.9,
+            "latency_threshold": None, "total": 100, "good": 100, "bad": 0,
+        }]}
+        b = {"window_seconds": 60.0, "objectives": [{
+            "name": "availability", "target": 0.9,
+            "latency_threshold": None, "total": 100, "good": 70, "bad": 30,
+        }]}
+        merged = merge_slo_snapshots([a, b])
+        obj = merged["objectives"][0]
+        assert obj["total"] == 200 and obj["bad"] == 30
+        assert obj["compliance"] == pytest.approx(170 / 200)
+        assert obj["breached"]  # 30 bad > (1-0.9)*200 = 20 budget
+
+    def test_request_timeline_reaches_the_owning_shard(self):
+        with fleet(shards=2) as svc:
+            ticket = svc.submit(edge_request())
+            assert ticket.result(timeout=120).ok
+            timeline = svc.request_timeline(ticket.id)
+        kinds = [e.kind for e in timeline]
+        assert "service.admit" in kinds
+        assert "service.done" in kinds
+
+    def test_prom_text_exposes_fleet_series(self):
+        with fleet(shards=2) as svc:
+            svc.submit(edge_request()).result(timeout=120)
+            text = svc.prom_text()
+        assert "repro_service_submitted_total 1" in text
+        assert "repro_service_latency_seconds_count 1" in text
+        assert "repro_service_shards_live 2" in text
+
+    def test_status_endpoint_serves_aggregate(self):
+        import json as _json
+        import urllib.request
+
+        with fleet(shards=2) as svc:
+            svc.submit(edge_request()).result(timeout=120)
+            server = svc.serve_status(port=0)
+            with urllib.request.urlopen(
+                f"{server.url}/slo", timeout=10
+            ) as resp:
+                snap = _json.load(resp)
+        assert snap["shard_count"] == 2
+        assert len(snap["shards"]) == 2
+
+
+class TestShardFailure:
+    def test_dead_shard_fails_fast_and_fleet_survives(self):
+        with fleet(shards=2) as svc:
+            # Find two templates owned by different shards.
+            by_owner = {}
+            for size in range(32, 257, 8):
+                by_owner.setdefault(svc.route(edge_request(size=size)), size)
+                if len(by_owner) == 2:
+                    break
+            assert len(by_owner) == 2, "2-shard ring left one shard idle"
+            (dead_name, dead_size), (live_name, live_size) = by_owner.items()
+            svc._shards[dead_name].process.terminate()
+            deadline = time.monotonic() + 30
+            while svc._shards[dead_name].alive:
+                assert time.monotonic() < deadline
+                time.sleep(0.01)
+            with pytest.raises(ShardDiedError):
+                svc.submit(edge_request(size=dead_size))
+            assert svc.submit(
+                edge_request(size=live_size)
+            ).result(timeout=120).ok
+            snap = svc.live_snapshot()
+            assert snap["live_shards"] == 1
+            assert snap["shard_count"] == 2
+            assert [s["shard"] for s in snap["shards"]] == [live_name]
+
+    def test_inflight_requests_fail_with_explicit_error(self):
+        with fleet(shards=1, workers=1) as svc:
+            # Queue slow work, then kill the only shard mid-flight.
+            tickets = [
+                svc.submit(edge_request(size=128 + 32 * i, mode="simulate"))
+                for i in range(3)
+            ]
+            svc._shards["proc/0"].process.kill()
+            responses = [t.result(timeout=60) for t in tickets]
+        failed = [r for r in responses if not r.ok]
+        assert failed, "killing the shard should fail queued requests"
+        for r in failed:
+            assert r.status is RequestStatus.FAILED
+            assert "died" in (r.error or "")
+
+
+class TestBatching:
+    def plugged_service(self, **kwargs):
+        """One worker, batching on: a plug request occupies the worker
+        while compatible requests pile up behind it."""
+        kwargs.setdefault("workers", 1)
+        kwargs.setdefault("batch_window", 0.05)
+        kwargs.setdefault("max_queue_depth", 256)
+        return ExecutionService(ServiceConfig(**kwargs))
+
+    def test_batch_shares_one_compile_and_records_peers(self):
+        with self.plugged_service() as svc:
+            plug = svc.submit(edge_request(size=96, label="plug"))
+            batch = [
+                svc.submit(edge_request(size=64, label=f"b{i}"))
+                for i in range(4)
+            ]
+            responses = [t.result(timeout=120) for t in batch]
+            assert plug.result(timeout=120).ok
+            counters = svc.metrics_snapshot()["counters"]
+        assert all(r.ok for r in responses)
+        batch_ids = {t.id for t in batch}
+        batched = [r for r in responses if r.batched]
+        assert len(batched) == len(responses), (
+            f"all 4 queued requests should coalesce, got "
+            f"{[r.to_dict() for r in responses]}"
+        )
+        for r in batched:
+            # peers = the batch minus the request itself
+            assert set(r.batched_with) == batch_ids - {r.request_id}
+        # One compile for the whole batch; followers joined in-process.
+        assert counters["service.batches"] == 1
+        assert sum(1 for r in responses if not r.deduped) == 1
+        leader = next(r for r in responses if not r.deduped)
+        for r in responses:
+            if r.deduped:
+                assert r.deduped_from == leader.request_id
+        assert counters["service.compiles"] == 2  # plug + batch leader
+
+    def test_batch_respects_batch_max(self):
+        with self.plugged_service(batch_max=3) as svc:
+            svc.submit(edge_request(size=96, label="plug"))
+            batch = [
+                svc.submit(edge_request(size=64)) for _ in range(5)
+            ]
+            responses = [t.result(timeout=120) for t in batch]
+        assert all(r.ok for r in responses)
+        assert max(len(r.batched_with) for r in responses) <= 2
+
+    def test_incompatible_requests_never_batch(self):
+        with self.plugged_service() as svc:
+            svc.submit(edge_request(size=96, label="plug"))
+            a = svc.submit(edge_request(size=48))
+            b = svc.submit(edge_request(size=56))
+            ra, rb = a.result(timeout=120), b.result(timeout=120)
+        assert ra.ok and rb.ok
+        assert not ra.batched and not rb.batched
+
+    def test_batch_window_zero_disables_batching(self):
+        with ExecutionService(ServiceConfig(
+            workers=1, batch_window=0.0, max_queue_depth=256
+        )) as svc:
+            svc.submit(edge_request(size=96, label="plug"))
+            batch = [svc.submit(edge_request(size=64)) for _ in range(3)]
+            responses = [t.result(timeout=120) for t in batch]
+        assert all(not r.batched for r in responses)
+
+    def test_sharded_batching_rewrites_global_ids(self):
+        with ShardedExecutionService(
+            ServiceConfig(
+                workers=1, batch_window=0.05, max_queue_depth=256
+            ),
+            shards=2,
+        ) as svc:
+            plug_size = 96
+            batch_size_px = 64
+            # Make sure plug and batch share a shard so the plug blocks.
+            if svc.route(edge_request(size=plug_size)) != svc.route(
+                edge_request(size=batch_size_px)
+            ):
+                for candidate in range(104, 257, 8):
+                    if svc.route(edge_request(size=candidate)) == svc.route(
+                        edge_request(size=batch_size_px)
+                    ):
+                        plug_size = candidate
+                        break
+            svc.submit(edge_request(size=plug_size, label="plug"))
+            batch = [
+                svc.submit(edge_request(size=batch_size_px))
+                for _ in range(4)
+            ]
+            ids = {t.id for t in batch}
+            responses = [t.result(timeout=120) for t in batch]
+        batched = [r for r in responses if r.batched]
+        assert batched, "expected the queued requests to coalesce"
+        for r in batched:
+            assert set(r.batched_with) <= ids, (
+                f"batched_with={r.batched_with} leaked shard-local ids "
+                f"(global ids: {sorted(ids)})"
+            )

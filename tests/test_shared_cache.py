@@ -1,0 +1,230 @@
+"""Cross-process shared plan cache (repro.core.plancache.SharedPlanCache).
+
+The stampede scenario the tier exists for: K cold processes compile the
+same template against one shared cache directory — exactly one compile
+may happen machine-wide (leader election over lock files), every other
+process must wait and read the leader's stored entry byte-identically.
+Plus the failure drills: a leader killed mid-compile / mid-write leaves
+a stale lock and an orphaned spill file, and the next contender must
+break the lock, sweep the debris, and recover.
+"""
+
+import hashlib
+import json
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.core.filelock import FileLock, LockOwner
+from repro.core.framework import CompileOptions, Framework
+from repro.core.plancache import SharedPlanCache, plan_key
+from repro.core.serialize import plan_to_dict
+from repro.gpusim import GpuDevice
+from repro.templates import find_edges_graph
+
+DEV = GpuDevice(name="shared-cache-dev", memory_bytes=8 * 1024 * 1024)
+
+_MP = multiprocessing.get_context("fork")
+
+
+def _template():
+    return find_edges_graph(96, 96, 8, 2)
+
+
+def _entry_key():
+    return plan_key(_template(), DEV, CompileOptions())
+
+
+def _stampede_worker(cache_dir, barrier, results, index):
+    cache = SharedPlanCache(cache_dir, lock_timeout=120.0, stale_after=30.0)
+    fw = Framework(DEV, plan_cache=cache)
+    barrier.wait()  # release every contender into the cold cache at once
+    compiled = fw.compile(_template())
+    with open(os.path.join(cache_dir, f"{_entry_key()}.json"), "rb") as fh:
+        entry_sha = hashlib.sha256(fh.read()).hexdigest()
+    results.put({
+        "index": index,
+        "stats": cache.stats(),
+        "entry_sha": entry_sha,
+        "plan_json": json.dumps(plan_to_dict(compiled.plan), sort_keys=True),
+    })
+
+
+def _doomed_leader(cache_dir, ready):
+    """Claim leadership for the key, spill a partial write, die."""
+    cache = SharedPlanCache(cache_dir, lock_timeout=120.0, stale_after=30.0)
+    assert cache.get(_entry_key()) is None  # now the leader
+    with open(os.path.join(cache_dir, ".tmp-partial.json"), "w") as fh:
+        fh.write('{"version": 2, "plan": [truncated mid-wr')
+    ready.set()
+    os._exit(1)  # no release(), no put(): the lock goes stale
+
+
+class TestCrossProcessStampede:
+    def test_k_processes_one_compile(self, tmp_path):
+        """6 cold processes, 1 compile, 5 byte-identical follower reads."""
+        k = 6
+        barrier = _MP.Barrier(k)
+        results_q = _MP.Queue()
+        procs = [
+            _MP.Process(
+                target=_stampede_worker,
+                args=(str(tmp_path), barrier, results_q, i),
+            )
+            for i in range(k)
+        ]
+        for p in procs:
+            p.start()
+        results = [results_q.get(timeout=120) for _ in range(k)]
+        for p in procs:
+            p.join(timeout=60)
+            assert p.exitcode == 0
+        assert len(results) == k
+
+        total_misses = sum(r["stats"]["misses"] for r in results)
+        assert total_misses == 1, (
+            f"expected exactly one compile machine-wide, got {total_misses} "
+            f"({[r['stats'] for r in results]})"
+        )
+        assert sum(r["stats"]["lock_timeouts"] for r in results) == 0
+        # Everyone else was served from the shared tier.
+        served = sum(
+            r["stats"]["disk_hits"] + r["stats"]["hits"] for r in results
+        )
+        assert served == k - 1
+        # Byte-identical: one entry file, and every process reconstructs
+        # the very same plan from it.
+        assert len({r["entry_sha"] for r in results}) == 1
+        assert len({r["plan_json"] for r in results}) == 1
+        # No lock or spill debris left behind.
+        leftovers = [
+            name for name in os.listdir(tmp_path)
+            if name.endswith(".lock") or name.startswith(".tmp-")
+        ]
+        assert leftovers == []
+
+    def test_kill_leader_mid_write_recovers(self, tmp_path):
+        """A leader dying mid-write leaves a stale lock + spill file; the
+        next contender breaks the lock, sweeps, and compiles itself."""
+        ready = _MP.Event()
+        leader = _MP.Process(target=_doomed_leader,
+                             args=(str(tmp_path), ready))
+        leader.start()
+        assert ready.wait(timeout=60)
+        leader.join(timeout=60)
+        assert leader.exitcode == 1
+        key = _entry_key()
+        assert os.path.exists(tmp_path / f"{key}.lock")
+        assert os.path.exists(tmp_path / ".tmp-partial.json")
+
+        # Age the spill past stale_after so the sweep may reclaim it.
+        time.sleep(0.3)
+        cache = SharedPlanCache(
+            str(tmp_path), lock_timeout=30.0, stale_after=0.2,
+            poll_interval=0.01,
+        )
+        fw = Framework(DEV, plan_cache=cache)
+        compiled = fw.compile(_template())
+        assert compiled.plan.steps
+        stats = cache.stats()
+        assert stats["lock_breaks"] >= 1, (
+            f"stale leader lock was never broken: {stats}"
+        )
+        assert stats["misses"] == 1  # the recovery compile
+        assert stats["lock_timeouts"] == 0  # recovered by breaking, not by
+        #                                     giving up on dedupe
+        assert os.path.exists(tmp_path / f"{key}.json")
+        assert not os.path.exists(tmp_path / ".tmp-partial.json")
+        assert not os.path.exists(tmp_path / f"{key}.lock")
+
+    def test_follower_timeout_degrades_to_local_compile(self, tmp_path):
+        """A leader that neither stores nor dies pins the lock; followers
+        give up after lock_timeout and compile locally — availability
+        beats dedupe."""
+        key = _entry_key()
+        os.makedirs(tmp_path, exist_ok=True)
+        holder = FileLock(str(tmp_path / f"{key}.lock"), stale_after=3600.0)
+        assert holder.acquire()  # an alive process (us) holds it forever
+        try:
+            cache = SharedPlanCache(
+                str(tmp_path), lock_timeout=0.25, stale_after=3600.0,
+                poll_interval=0.01,
+            )
+            fw = Framework(DEV, plan_cache=cache)
+            compiled = fw.compile(_template())
+            assert compiled.plan.steps
+            stats = cache.stats()
+            assert stats["lock_timeouts"] == 1
+            assert stats["lock_breaks"] == 0  # never break a live lock
+        finally:
+            holder.release()
+
+    def test_corrupt_entry_is_dropped_and_recompiled(self, tmp_path):
+        key = _entry_key()
+        cache = SharedPlanCache(str(tmp_path), lock_timeout=10.0)
+        (tmp_path / f"{key}.json").write_text("{ not json")
+        fw = Framework(DEV, plan_cache=cache)
+        compiled = fw.compile(_template())
+        assert compiled.plan.steps
+        stats = cache.stats()
+        assert stats["corrupt_entries"] == 1
+        assert stats["misses"] == 1
+        # The rewritten entry is valid for the next reader.
+        other = SharedPlanCache(str(tmp_path), lock_timeout=10.0)
+        assert other.get(key) is not None
+
+    def test_failed_compile_releases_leadership(self, tmp_path):
+        """Framework.compile abandons the key on error so followers are
+        not orphaned behind a lock whose fill will never come."""
+        cache = SharedPlanCache(str(tmp_path), lock_timeout=10.0)
+        graph = _template()
+        fw = Framework(DEV, plan_cache=cache)
+        key = _entry_key()
+
+        real_miss = fw._compile_miss
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("injected compile failure")
+
+        fw._compile_miss = boom
+        with pytest.raises(RuntimeError, match="injected"):
+            fw.compile(graph)
+        # The lock must be gone: a fresh contender becomes leader at once.
+        assert not os.path.exists(tmp_path / f"{key}.lock")
+        fw._compile_miss = real_miss
+        assert fw.compile(graph).plan.steps
+
+
+class TestFileLock:
+    def test_acquire_release_cycle(self, tmp_path):
+        lock = FileLock(str(tmp_path / "x.lock"))
+        assert lock.acquire()
+        assert not FileLock(str(tmp_path / "x.lock")).acquire()
+        lock.release()
+        assert FileLock(str(tmp_path / "x.lock")).acquire()
+
+    def test_dead_owner_is_stale(self, tmp_path):
+        path = tmp_path / "x.lock"
+        path.write_text("999999999 0.0\n")  # pid far beyond pid_max
+        lock = FileLock(str(path), stale_after=3600.0)
+        assert lock.is_stale()
+        assert lock.break_stale()
+        assert lock.acquire()
+
+    def test_live_owner_is_not_stale(self, tmp_path):
+        lock = FileLock(str(tmp_path / "x.lock"), stale_after=3600.0)
+        assert lock.acquire()
+        probe = FileLock(str(tmp_path / "x.lock"), stale_after=3600.0)
+        assert not probe.is_stale()
+        assert not probe.break_stale()
+
+    def test_garbled_lock_file_recovers(self, tmp_path):
+        path = tmp_path / "x.lock"
+        path.write_text("not a pid at all")
+        lock = FileLock(str(path), stale_after=0.001)
+        owner = lock.owner()
+        assert owner == LockOwner(pid=-1, created=0.0)
+        assert lock.is_stale()
+        assert lock.break_stale()
