@@ -3,20 +3,27 @@
 Not a figure from the paper: this gates the live telemetry plane
 (``repro.obs.live``).  The same 16-request service batch (4 distinct
 edge templates x 4 copies, the acceptance workload of the service PR)
-is driven twice through a fresh :class:`ExecutionService`: once with
-the event bus at its default capacity and once with telemetry disabled
-(``telemetry_events=0``, every publish a no-op).  Each configuration is
-timed ``RUNS`` times and the **minimum** wall times are compared —
-min-of-N is the standard estimator for "the work itself" under
-scheduler noise.
+is driven three times through a fresh :class:`ExecutionService`: with
+the event bus at its default capacity, with telemetry disabled
+(``telemetry_events=0``, every publish a no-op), and with the bus teed
+into the on-disk flight recorder (``flight_dir`` set — every event is
+CRC-framed, written, and flushed before ``emit`` returns).  Each
+configuration is timed ``RUNS`` times and the **minimum** wall times
+are compared — min-of-N is the standard estimator for "the work
+itself" under scheduler noise.
 
-The gated metric is ``overhead_ratio`` (enabled / disabled, floored at
-1.0 so a lucky run cannot bless an impossible negative overhead); the
-in-test assertion requires < 5% and the blessed baseline keeps
-``repro bench-compare`` watching the trend.  Absolute wall times are
-recorded with the ``wall_`` prefix (informational, never gated).
+Two gated metrics, both floored at 1.0 so a lucky run cannot bless an
+impossible negative overhead: ``overhead_ratio`` (enabled / disabled,
+budget < 5%) and ``journal_overhead_ratio`` (journal / disabled,
+budget < 10% — the flight recorder buys crash-safe post-mortems with
+one buffered write + flush per event, and this gate keeps that price
+honest).  The blessed baseline keeps ``repro bench-compare`` watching
+both trends.  Absolute wall times are recorded with the ``wall_``
+prefix (informational, never gated).
 """
 
+import shutil
+import tempfile
 import time
 
 from paper import write_report
@@ -30,6 +37,7 @@ COPIES = 4  # 16 requests total: 4 compiles + 12 dedupe hits
 WORKERS = 4
 RUNS = 5  # min-of-N per configuration
 MAX_OVERHEAD = 1.05  # the event bus may add < 5% wall overhead
+MAX_JOURNAL_OVERHEAD = 1.10  # bus + flight recorder: < 10% wall overhead
 
 
 def _requests():
@@ -46,10 +54,12 @@ def _requests():
     ]
 
 
-def _run_batch(telemetry_events):
+def _run_batch(telemetry_events, flight_dir=None):
     """One 16-request batch on a fresh service; (wall_s, events_emitted)."""
     config = ServiceConfig(
-        workers=WORKERS, telemetry_events=telemetry_events
+        workers=WORKERS,
+        telemetry_events=telemetry_events,
+        flight_dir=flight_dir,
     )
     requests = _requests()
     t0 = time.perf_counter()
@@ -57,27 +67,43 @@ def _run_batch(telemetry_events):
         tickets = [svc.submit(r) for r in requests]
         responses = [t.result(timeout=120) for t in tickets]
         emitted = svc.events.total_emitted
+        if flight_dir is not None:
+            assert svc.flight is not None
+            stats = svc.flight.stats()
+            assert stats["errors"] == 0
     wall = time.perf_counter() - t0
     assert all(r.ok for r in responses)
     return wall, emitted
 
 
 def regenerate():
-    on_walls, off_walls = [], []
+    on_walls, off_walls, journal_walls = [], [], []
     emitted = 0
-    for _ in range(RUNS):
-        # Alternate the order so drift penalizes neither configuration.
-        wall_on, emitted = _run_batch(4096)
-        wall_off, zero = _run_batch(0)
-        assert zero == 0, "telemetry_events=0 must emit nothing"
-        on_walls.append(wall_on)
-        off_walls.append(wall_off)
+    scratch = tempfile.mkdtemp(prefix="repro-flight-bench-")
+    try:
+        for run in range(RUNS):
+            # Alternate the order so drift penalizes no configuration.
+            wall_on, emitted = _run_batch(4096)
+            wall_off, zero = _run_batch(0)
+            wall_journal, journal_emitted = _run_batch(
+                4096, flight_dir=f"{scratch}/run{run}"
+            )
+            assert zero == 0, "telemetry_events=0 must emit nothing"
+            assert journal_emitted == emitted
+            on_walls.append(wall_on)
+            off_walls.append(wall_off)
+            journal_walls.append(wall_journal)
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
     assert emitted > 0, "the enabled run must actually publish events"
     best_on, best_off = min(on_walls), min(off_walls)
+    best_journal = min(journal_walls)
     return {
         "wall_enabled_s": best_on,
         "wall_disabled_s": best_off,
+        "wall_journal_s": best_journal,
         "overhead_ratio": max(best_on / best_off, 1.0),
+        "journal_overhead_ratio": max(best_journal / best_off, 1.0),
         "events_per_run": emitted,
     }
 
@@ -88,6 +114,12 @@ def check_shape(row):
         f"overhead to the 16-request batch; budget is "
         f"{(MAX_OVERHEAD - 1) * 100:.0f}%"
     )
+    assert row["journal_overhead_ratio"] < MAX_JOURNAL_OVERHEAD, (
+        f"flight recorder adds "
+        f"{(row['journal_overhead_ratio'] - 1) * 100:.1f}% wall overhead "
+        f"to the 16-request batch; budget is "
+        f"{(MAX_JOURNAL_OVERHEAD - 1) * 100:.0f}%"
+    )
 
 
 def render(row):
@@ -97,8 +129,11 @@ def render(row):
         f"  telemetry enabled : {row['wall_enabled_s'] * 1e3:8.2f} ms "
         f"({row['events_per_run']} events)",
         f"  telemetry disabled: {row['wall_disabled_s'] * 1e3:8.2f} ms",
+        f"  + flight recorder : {row['wall_journal_s'] * 1e3:8.2f} ms",
         f"  overhead ratio    : {row['overhead_ratio']:8.4f} "
         f"(budget < {MAX_OVERHEAD})",
+        f"  journal ratio     : {row['journal_overhead_ratio']:8.4f} "
+        f"(budget < {MAX_JOURNAL_OVERHEAD})",
     ]
 
 
@@ -107,8 +142,10 @@ def test_telemetry_overhead(benchmark):
     check_shape(row)
     metrics = {
         "overhead_ratio": row["overhead_ratio"],
+        "journal_overhead_ratio": row["journal_overhead_ratio"],
         "wall_enabled_seconds": row["wall_enabled_s"],
         "wall_disabled_seconds": row["wall_disabled_s"],
+        "wall_journal_seconds": row["wall_journal_s"],
         "wall_events_per_run": float(row["events_per_run"]),
     }
     lines = render(row)
@@ -121,6 +158,7 @@ def test_telemetry_overhead(benchmark):
             "workers": WORKERS,
             "runs": RUNS,
             "max_overhead_ratio": MAX_OVERHEAD,
+            "max_journal_overhead_ratio": MAX_JOURNAL_OVERHEAD,
             "sizes": list(SIZES),
         },
     )

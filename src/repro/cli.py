@@ -14,6 +14,8 @@ plan, run it on the simulated device, or emit the generated program.
     repro codegen --template edge --size 1024x1024 --lang cuda -o out.cu
     repro submit  --template edge --size 512x512 --repeat 8 --workers 4
     repro serve   jobs.json --workers 8 --fault-rate 0.2
+    repro serve   jobs.json --shards 4 --flight-dir /var/tmp/flight --alerts
+    repro postmortem /var/tmp/flight/proc-0 --format md
 
 Exit codes: 0 success; 1 application failure (verify mismatch, benchmark
 regression, failed/expired service request); 2 user error (bad flags,
@@ -580,6 +582,11 @@ def _service_config(args) -> ServiceConfig:
             alloc_failure_rate=args.alloc_fault_rate,
             seed=args.fault_seed,
         )
+    alert_rules = ()
+    if getattr(args, "alerts", False):
+        from repro.obs.live import default_alert_rules
+
+        alert_rules = default_alert_rules()
     try:
         return ServiceConfig(
             workers=args.workers,
@@ -588,6 +595,8 @@ def _service_config(args) -> ServiceConfig:
             fault_spec=fault_spec,
             batch_window=getattr(args, "batch_window", 0.0) / 1e3,
             shared_cache_dir=getattr(args, "shared_cache", None),
+            flight_dir=getattr(args, "flight_dir", None),
+            alert_rules=alert_rules,
         )
     except ValueError as exc:
         raise CLIError(str(exc)) from None
@@ -826,7 +835,24 @@ def cmd_top(args) -> int:
               f"(target {obj.get('target', 0.0)}), "
               f"budget remaining "
               f"{obj.get('budget_remaining_fraction', 0.0):.0%}{flag}")
+    alerts = snap.get("alerts", {})
+    if alerts.get("rules"):
+        active = alerts.get("active", [])
+        if active:
+            for alert in active:
+                detail = alert.get("description") or alert.get("rule_kind", "")
+                print(f"  ALERT {alert.get('rule')}: {detail}")
+        else:
+            print(f"  alerts: {alerts.get('rules', 0)} rules, none firing "
+                  f"(fired {alerts.get('fired_total', 0)}, "
+                  f"resolved {alerts.get('resolved_total', 0)})")
     for shard in snap.get("shards", []):
+        if shard.get("alive") is False:
+            print(f"  shard {shard.get('shard')}: DEAD — "
+                  f"{shard.get('exit_detail', 'exit status unknown')}"
+                  + (f", {shard['in_flight_at_death']} in flight at death"
+                     if shard.get("in_flight_at_death") else ""))
+            continue
         shard_window = shard.get("window", {})
         print(f"  shard {shard.get('shard')}: "
               f"queue={shard.get('queue_depth', 0)} "
@@ -838,6 +864,124 @@ def cmd_top(args) -> int:
     print(f"  events: {events.get('emitted', 0)} emitted, "
           f"{events.get('dropped', 0)} dropped "
           f"(ring {events.get('capacity', 0)})")
+    flight = snap.get("flight")
+    if flight:
+        print(f"  flight recorder: {flight.get('appended', 0)} journaled, "
+              f"{flight.get('rotated', 0)} rotations, "
+              f"{flight.get('evicted', 0)} evicted -> {flight.get('dir')}")
+    return EXIT_OK
+
+
+def _postmortem_dirs(root: str) -> list[str]:
+    """Journal directories under ``root``: itself if it holds segments,
+    else any immediate sub-directory that does (a fleet ``--flight-dir``
+    root with one journal per shard)."""
+    from repro.obs import flight
+
+    if flight.list_segments(root):
+        return [root]
+    if not os.path.isdir(root):
+        return []
+    found = []
+    for name in sorted(os.listdir(root)):
+        path = os.path.join(root, name)
+        if os.path.isdir(path) and (
+            flight.list_segments(path)
+            or os.path.exists(os.path.join(path, flight.POSTMORTEM_BASENAME))
+        ):
+            found.append(path)
+    return found
+
+
+def _print_postmortem_text(pm: dict) -> None:
+    shard = pm.get("shard") or pm.get("journal_dir") or "shard"
+    clean = "clean shutdown" if pm.get("clean_shutdown") else "crash"
+    print(f"post-mortem — {shard} ({clean}, "
+          f"{pm.get('exit_detail', 'exit status unknown')})")
+    window = pm.get("window") or {}
+    print(f"  journal: {pm.get('records', 0)} records"
+          + (f" in {len(pm.get('segments', []))} segments"
+             if pm.get("segments") else ""))
+    print(f"  final window ({window.get('window_seconds', 0):.0f}s): "
+          f"{window.get('count', 0)} done "
+          f"({window.get('ok', 0)} ok, {window.get('failed', 0)} failed), "
+          f"p50 {window.get('p50', 0.0) * 1e3:.2f}ms "
+          f"p99 {window.get('p99', 0.0) * 1e3:.2f}ms")
+    in_flight = pm.get("in_flight", [])
+    if in_flight:
+        ids = ", ".join(str(e.get("request_id")) for e in in_flight)
+        print(f"  in flight at death: {ids}")
+    for alert in pm.get("alerts_active", []):
+        print(f"  ALERT at death: {alert.get('rule')}")
+    timeline = pm.get("timeline", [])
+    if timeline:
+        print(f"  final timeline ({len(timeline)} events):")
+        epoch = timeline[0].get("ts", 0.0)
+        for e in timeline:
+            rid = e.get("request_id")
+            rid_s = f" #{rid}" if rid is not None else ""
+            fields = e.get("fields") or {}
+            detail = " ".join(f"{k}={v}" for k, v in sorted(fields.items()))
+            print(f"    +{max(e.get('ts', 0.0) - epoch, 0.0):7.3f}s "
+                  f"{e.get('kind', '?'):24s}{rid_s:>6} {detail}")
+
+
+def cmd_postmortem(args) -> int:
+    from repro.obs.flight import (
+        POSTMORTEM_BASENAME,
+        build_postmortem,
+        read_journal,
+    )
+    from repro.obs.report import render_postmortem
+
+    dirs = _postmortem_dirs(args.journal)
+    if not dirs:
+        raise CLIError(
+            f"no flight-recorder journal found at {args.journal} "
+            f"(expected segment-*.flight files, or shard sub-directories "
+            f"holding them)"
+        )
+    reports = []
+    for directory in dirs:
+        recovered = read_journal(directory)
+        for warning in recovered.warnings:
+            print(f"repro postmortem: warning: {directory}: {warning}",
+                  file=sys.stderr)
+        # The supervisor's harvested artifact (if any) knows how the
+        # process actually exited; the journal alone cannot.
+        shard = os.path.basename(os.path.normpath(directory))
+        exit_code = args.exit_code
+        artifact = os.path.join(directory, POSTMORTEM_BASENAME)
+        if exit_code is None and os.path.exists(artifact):
+            try:
+                with open(artifact, encoding="utf-8") as fh:
+                    harvested = json.load(fh)
+                exit_code = harvested.get("exit_code")
+                shard = harvested.get("shard") or shard
+            except (OSError, json.JSONDecodeError):
+                pass
+        pm = build_postmortem(
+            recovered.records,
+            shard=shard,
+            exit_code=exit_code,
+            window_seconds=args.window,
+            timeline_limit=args.limit,
+            warnings=recovered.warnings,
+        )
+        pm["journal_dir"] = directory
+        pm["segments"] = [os.path.basename(p) for p in recovered.segments]
+        reports.append(pm)
+    if args.json:
+        payload = reports[0] if len(reports) == 1 else reports
+        _emit(json.dumps(payload, indent=1, sort_keys=True, default=str),
+              args.output)
+    elif args.format in ("md", "html"):
+        text = "\n".join(render_postmortem(pm, fmt=args.format)
+                         for pm in reports)
+        _emit(text, args.output)
+    else:
+        for pm in reports:
+            _print_postmortem_text(pm)
     return EXIT_OK
 
 
@@ -1004,6 +1148,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="cross-process plan-cache directory (shards "
                             "share one automatically; set this to share "
                             "plans across separate repro invocations)")
+        p.add_argument("--flight-dir", default=None, metavar="DIR",
+                       help="journal every telemetry event to a crash-safe "
+                            "on-disk flight recorder under DIR (one "
+                            "sub-directory per shard; read back with "
+                            "'repro postmortem')")
+        p.add_argument("--alerts", action="store_true",
+                       help="evaluate the default alert rules (p99 "
+                            "latency, SLO budget burn) as requests "
+                            "complete; firing/resolved transitions are "
+                            "published as alert.* events")
 
     p = sub.add_parser(
         "submit",
@@ -1045,6 +1199,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--timeout", type=float, default=5.0,
                    help="HTTP timeout in seconds")
     p.set_defaults(func=cmd_top)
+
+    p = sub.add_parser(
+        "postmortem",
+        help="reconstruct a dead shard's final moments from its "
+             "flight-recorder journal (see 'serve --flight-dir')",
+    )
+    p.add_argument("journal",
+                   help="one shard's journal directory, or a fleet "
+                        "--flight-dir root holding one per shard")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable JSON post-mortem")
+    p.add_argument("--format", choices=["text", "md", "html"],
+                   default="text",
+                   help="report format (default human-readable text)")
+    p.add_argument("-o", "--output", default="-",
+                   help="output file for --json/--format md|html "
+                        "('-' for stdout)")
+    p.add_argument("--window", type=float, default=60.0,
+                   help="timeline horizon in seconds before the last "
+                        "journaled event")
+    p.add_argument("--limit", type=int, default=50,
+                   help="newest timeline events to keep")
+    p.add_argument("--exit-code", type=int, default=None,
+                   help="the dead process's exit code, if known (negative "
+                        "= killed by that signal; defaults to the "
+                        "supervisor-harvested postmortem.json when present)")
+    p.set_defaults(func=cmd_postmortem)
     return parser
 
 

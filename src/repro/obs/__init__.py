@@ -19,8 +19,11 @@ makes the reproduction equally measurable end to end:
 * :mod:`repro.obs.bench` — versioned benchmark-result schema, recorder,
   and the regression comparator behind ``repro bench-compare``;
 * :mod:`repro.obs.live` — the push-based live telemetry plane: the
-  request-correlated event bus, sliding-window/SLO aggregation, the
-  Prometheus text exporter, and the HTTP status endpoint.
+  request-correlated event bus, sliding-window/SLO aggregation, alert
+  rules, the Prometheus text exporter, and the HTTP status endpoint;
+* :mod:`repro.obs.flight` — the crash-safe flight recorder: a
+  CRC-framed, segmented on-disk journal of the event bus, plus the
+  post-mortem synthesis behind ``repro postmortem``.
 
 This package sits at the bottom of the import graph: it never imports
 ``repro.core`` / ``repro.gpusim`` so every layer above can use it.
@@ -54,7 +57,15 @@ from .chrometrace import (
     spans_to_events,
     write_chrome_trace,
 )
+from .flight import (
+    FlightRecorder,
+    build_postmortem,
+    harvest_postmortem,
+    read_journal,
+)
 from .live import (
+    AlertEngine,
+    AlertRule,
     EventLog,
     SlidingWindow,
     SloObjective,
@@ -70,15 +81,18 @@ from .provenance import (
     provenance_summary,
     render_explain,
 )
-from .report import render_report, report_to_dict
+from .report import render_postmortem, render_report, report_to_dict
 from .trace import Span, Tracer
 
 __all__ = [
+    "AlertEngine",
+    "AlertRule",
     "BenchComparison",
     "BenchRecorder",
     "BenchResult",
     "Counter",
     "EventLog",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -95,18 +109,22 @@ __all__ = [
     "TransferRecord",
     "analyze_run",
     "attribute_transfers",
+    "build_postmortem",
     "chrome_trace",
     "compare_dirs",
     "compare_results",
     "critical_path",
     "explain_plan",
     "explain_to_dicts",
+    "harvest_postmortem",
     "imbalance_stats",
     "load_bench",
     "profile_to_events",
     "provenance_summary",
+    "read_journal",
     "render_comparisons",
     "render_explain",
+    "render_postmortem",
     "render_report",
     "report_to_dict",
     "residency_timelines",

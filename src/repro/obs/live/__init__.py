@@ -10,6 +10,9 @@ layer a serving tier is operated with:
   plan cache, simulator) reports into one end-to-end request trace;
 * :mod:`~repro.obs.live.windows` — :class:`SlidingWindow` rolling
   percentiles/rates and :class:`SloTracker` error-budget accounting;
+* :mod:`~repro.obs.live.alerts` — :class:`AlertEngine`, declarative
+  threshold / budget-burn rules over those windows, with firing and
+  resolved transitions published as events;
 * :mod:`~repro.obs.live.promtext` — Prometheus text-format exposition;
 * :mod:`~repro.obs.live.server` — the stdlib HTTP status endpoint
   (``/metrics``, ``/slo``, ``/requests``, ``/healthz``) behind
@@ -21,6 +24,12 @@ plain dicts, which is what lets future multi-process shards publish
 into the same exporters.
 """
 
+from .alerts import (
+    AlertEngine,
+    AlertRule,
+    default_alert_rules,
+    merge_alert_snapshots,
+)
 from .events import (
     EventLog,
     TelemetryEvent,
@@ -42,6 +51,8 @@ from .windows import (
 
 __all__ = [
     "PROM_NAME_RE",
+    "AlertEngine",
+    "AlertRule",
     "EventLog",
     "PromText",
     "SlidingWindow",
@@ -51,7 +62,9 @@ __all__ = [
     "TelemetryEvent",
     "bind",
     "current_request_id",
+    "default_alert_rules",
     "default_objectives",
+    "merge_alert_snapshots",
     "merge_slo_snapshots",
     "merge_window_samples",
     "prom_name",

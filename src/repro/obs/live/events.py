@@ -91,6 +91,8 @@ class EventLog:
         self._events: list[TelemetryEvent] = []
         self._start = 0  # ring read index
         self._seq = 0
+        self._sinks: list = []
+        self.sink_errors = 0
 
     @property
     def enabled(self) -> bool:
@@ -117,7 +119,35 @@ class EventLog:
             else:  # overwrite the oldest slot
                 self._events[self._start] = event
                 self._start = (self._start + 1) % self.capacity
+            # Sinks run inside the lock so a durable tee (the flight
+            # recorder) sees events in exact seq order; they must be
+            # fast, and they must never break the publishing request.
+            for sink in self._sinks:
+                try:
+                    sink(event)
+                except Exception:
+                    self.sink_errors += 1
         return event
+
+    def add_sink(self, sink) -> None:
+        """Tee every future event into ``sink(event)``.
+
+        Sinks are invoked synchronously inside the ring lock (events
+        arrive in strict ``seq`` order, with no reordering window for a
+        crash to exploit); exceptions are swallowed and counted in
+        ``sink_errors`` — observability must never fail the request
+        being observed.
+        """
+        with self._lock:
+            self._sinks.append(sink)
+
+    def remove_sink(self, sink) -> None:
+        """Detach a sink added with :meth:`add_sink` (no-op if absent)."""
+        with self._lock:
+            try:
+                self._sinks.remove(sink)
+            except ValueError:
+                pass
 
     # -- queries ---------------------------------------------------------
     def events(

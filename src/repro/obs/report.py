@@ -268,4 +268,118 @@ def report_to_dict(analysis: RunAnalysis) -> dict[str, Any]:
     return analysis.to_dict()
 
 
-__all__ = ["CURVE_POINTS", "render_report", "report_to_dict"]
+# ---------------------------------------------------------------------------
+# Shard post-mortems (repro postmortem --format md)
+# ---------------------------------------------------------------------------
+def render_postmortem(pm: dict[str, Any], fmt: str = "md") -> str:
+    """Render one :func:`repro.obs.flight.build_postmortem` dict.
+
+    ``md`` is the report surface; ``html`` wraps the same content in the
+    dependency-free shell used by run reports.
+    """
+    if fmt == "md":
+        return _render_postmortem_markdown(pm)
+    if fmt == "html":
+        md = _render_postmortem_markdown(pm)
+        escaped = (
+            md.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+        )
+        return _HTML_SHELL.format(
+            title=f"Post-mortem — {pm.get('shard') or 'shard'}",
+            body=escaped,
+        )
+    raise ValueError(f"unknown report format {fmt!r} (use 'md' or 'html')")
+
+
+def _render_postmortem_markdown(pm: dict[str, Any]) -> str:
+    shard = pm.get("shard") or "shard"
+    lines: list[str] = [f"# Post-mortem — {shard}", ""]
+    rows = [
+        ["exit", str(pm.get("exit_detail", "unknown"))],
+        ["clean shutdown", "yes" if pm.get("clean_shutdown") else "no"],
+        ["journal records", str(pm.get("records", 0))],
+        ["in-flight at death", str(len(pm.get("in_flight", [])))],
+        ["active alerts at death", str(len(pm.get("alerts_active", [])))],
+    ]
+    if pm.get("journal_dir"):
+        rows.append(["journal", str(pm["journal_dir"])])
+    lines += _table(["field", "value"], rows)
+
+    warnings = pm.get("warnings", [])
+    if warnings:
+        lines += ["", "## Journal warnings", ""]
+        lines += [f"- {w}" for w in warnings]
+
+    in_flight = pm.get("in_flight", [])
+    if in_flight:
+        lines += ["", "## In-flight requests", ""]
+        lines += _table(
+            ["request", "last event"],
+            [
+                [str(e.get("request_id")), str(e.get("last_kind", "?"))]
+                for e in in_flight
+            ],
+        )
+
+    window = pm.get("window") or {}
+    lines += ["", "## Final window", ""]
+    lines += _table(
+        ["metric", "value"],
+        [
+            ["window", f"{window.get('window_seconds', 0):g} s"],
+            ["completed", str(window.get("count", 0))],
+            ["ok", str(window.get("ok", 0))],
+            ["failed", str(window.get("failed", 0))],
+            ["p50", _fmt_s(float(window.get("p50", 0.0)))],
+            ["p95", _fmt_s(float(window.get("p95", 0.0)))],
+            ["p99", _fmt_s(float(window.get("p99", 0.0)))],
+        ],
+    )
+
+    alerts = pm.get("alerts_active", [])
+    if alerts:
+        lines += ["", "## Alerts firing at death", ""]
+        lines += _table(
+            ["rule", "detail"],
+            [
+                [
+                    str(a.get("rule", "?")),
+                    str(a.get("description", ""))
+                    or str(a.get("rule_kind", "")),
+                ]
+                for a in alerts
+            ],
+        )
+
+    timeline = pm.get("timeline", [])
+    lines += ["", "## Final timeline", ""]
+    if timeline:
+        epoch = timeline[0].get("ts", 0.0)
+        lines += _table(
+            ["t (s)", "seq", "kind", "request", "fields"],
+            [
+                [
+                    f"+{max(e.get('ts', 0.0) - epoch, 0.0):.3f}",
+                    str(e.get("seq", "")),
+                    str(e.get("kind", "")),
+                    str(e.get("request_id", "") or "-"),
+                    ", ".join(
+                        f"{k}={v}"
+                        for k, v in sorted((e.get("fields") or {}).items())
+                    ).replace("|", "\\|") or "-",
+                ]
+                for e in timeline
+            ],
+        )
+    else:
+        lines.append("(no events recovered)")
+    lines.append("")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "CURVE_POINTS",
+    "render_postmortem",
+    "render_report",
+    "report_to_dict",
+]

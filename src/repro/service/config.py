@@ -10,7 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.gpusim.faults import FaultSpec
-from repro.obs.live import SloObjective
+from repro.obs.flight import DEFAULT_MAX_BYTES, DEFAULT_SEGMENT_BYTES
+from repro.obs.live import AlertRule, SloObjective
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -85,6 +86,19 @@ class ServiceConfig:
       error budgets; empty selects
       :func:`repro.obs.live.default_objectives` (99.9% availability,
       99% of requests under 1 s).
+    * ``flight_dir`` — root directory of the crash-safe flight-recorder
+      journal (:class:`repro.obs.flight.FlightRecorder`).  When set,
+      every telemetry event is also appended to an on-disk CRC-framed
+      journal under ``flight_dir/<shard_label>/`` so a killed shard can
+      be post-mortemed (``repro postmortem``).  ``None`` (default)
+      keeps telemetry in-memory only.
+    * ``flight_segment_bytes`` / ``flight_max_bytes`` — journal segment
+      rotation size and total retention bound (oldest segments evicted
+      first).
+    * ``alert_rules`` — declarative :class:`repro.obs.live.AlertRule`
+      conditions evaluated over the rolling window and SLO budgets as
+      requests complete; firing/resolved transitions are published as
+      ``alert.*`` events.  Empty disables alert evaluation entirely.
     """
 
     workers: int = 4
@@ -103,6 +117,10 @@ class ServiceConfig:
     telemetry_events: int = 4096
     window_seconds: float = 60.0
     slo_objectives: tuple[SloObjective, ...] = ()
+    flight_dir: str | None = None
+    flight_segment_bytes: int = DEFAULT_SEGMENT_BYTES
+    flight_max_bytes: int = DEFAULT_MAX_BYTES
+    alert_rules: tuple[AlertRule, ...] = ()
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -120,6 +138,12 @@ class ServiceConfig:
             raise ValueError("telemetry_events must be >= 0")
         if self.window_seconds <= 0:
             raise ValueError("window_seconds must be positive")
+        if self.flight_segment_bytes < 64:
+            raise ValueError("flight_segment_bytes must be >= 64")
+        if self.flight_max_bytes < self.flight_segment_bytes:
+            raise ValueError(
+                "flight_max_bytes must be >= flight_segment_bytes"
+            )
 
 
 __all__ = ["RetryPolicy", "ServiceConfig"]

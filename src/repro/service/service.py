@@ -53,7 +53,9 @@ from repro.core.splitting import SplitReport
 from repro.gpusim import SimRuntime
 from repro.gpusim.faults import FaultInjector, TransientFault
 from repro.obs import MetricsRegistry, Tracer
+from repro.obs.flight import FlightRecorder, journal_dir
 from repro.obs.live import (
+    AlertEngine,
     EventLog,
     PromText,
     SlidingWindow,
@@ -169,6 +171,19 @@ class ExecutionService:
             self.config.slo_objectives or default_objectives(),
             window_seconds=self.config.window_seconds,
         )
+        self._alerts = AlertEngine(self.config.alert_rules)
+        self._alert_lock = threading.Lock()
+        self.flight: FlightRecorder | None = None
+        if self.config.flight_dir and self.events.enabled:
+            # Crash-safe tee: every published event is journaled to disk
+            # before emit() returns, so a SIGKILLed shard leaves a
+            # readable black box behind (repro postmortem).
+            self.flight = FlightRecorder(
+                journal_dir(self.config.flight_dir, self.config.shard_label),
+                segment_bytes=self.config.flight_segment_bytes,
+                max_bytes=self.config.flight_max_bytes,
+            )
+            self.flight.attach(self.events)
         self._status_server: StatusServer | None = None
         self._clock = clock
         self._sleep = sleep
@@ -228,6 +243,11 @@ class ExecutionService:
         if self._status_server is not None:
             self._status_server.close()
             self._status_server = None
+        # The clean-shutdown marker: a journal ending without one of
+        # these is a crash, and post-mortems say so.
+        self.events.emit("service.close", shard=self.config.shard_label)
+        if self.flight is not None:
+            self.flight.close()
 
     # -- submission ------------------------------------------------------
     def submit(self, request: ServiceRequest) -> Ticket:
@@ -359,15 +379,26 @@ class ExecutionService:
                 if name.startswith("service.")
             }
         cache_stats = self.plan_cache.stats()
+        with self._alert_lock:
+            if self._alerts:
+                # re-evaluate at snapshot time so an idle service still
+                # resolves alerts once traffic ages out of the window
+                self._alerts.evaluate(
+                    self._latency_window.snapshot(),
+                    self._slo.snapshot(),
+                    event_log=self.events,
+                )
+            alert_snap = self._alerts.snapshot()
         shard = {
             "shard": self.config.shard_label,
+            "alive": True,
             "workers": len(self._workers),
             "queue_depth": queue_depth,
             "in_flight": in_flight,
             "plan_cache": cache_stats,
             "window": self._latency_window.snapshot(),
         }
-        return {
+        snap = {
             "closed": closed,
             "queue_depth": queue_depth,
             "in_flight": in_flight,
@@ -375,6 +406,7 @@ class ExecutionService:
             "counters": counters,
             "window": self._latency_window.snapshot(),
             "slo": self._slo.snapshot(),
+            "alerts": alert_snap,
             "plan_cache": cache_stats,
             "events": {
                 "capacity": self.events.capacity,
@@ -383,6 +415,12 @@ class ExecutionService:
             },
             "shards": [shard],
         }
+        if self.flight is not None:
+            snap["flight"] = {
+                "dir": self.flight.directory,
+                **self.flight.stats(),
+            }
+        return snap
 
     def prom_text(self) -> str:
         """Prometheus text exposition (the ``GET /metrics`` payload)."""
@@ -405,8 +443,21 @@ class ExecutionService:
         out.counter("plancache.disk_hits", stats["disk_hits"])
         out.counter("plancache.misses", stats["misses"])
         out.gauge("plancache.entries", stats["entries"])
-        out.counter("telemetry.events", self.events.total_emitted)
-        out.counter("telemetry.dropped", self.events.dropped)
+        out.event_log({
+            "capacity": self.events.capacity,
+            "emitted": self.events.total_emitted,
+            "dropped": self.events.dropped,
+        })
+        with self._alert_lock:
+            alert_snap = self._alerts.snapshot()
+        out.gauge(
+            "alerts.active", len(alert_snap["active"]),
+            help_text="Alert rules currently firing",
+        )
+        out.counter(
+            "alerts.fired", alert_snap["fired_total"],
+            help_text="Alert firing transitions since start",
+        )
         for obj in self._slo.snapshot()["objectives"]:
             base = f"slo.{obj['name']}"
             out.gauge(f"{base}.compliance", obj["compliance"])
@@ -961,6 +1012,13 @@ class ExecutionService:
         latency = response.wait_seconds + response.service_seconds
         self._latency_window.observe(latency)
         self._slo.record(ok=response.ok, latency=latency)
+        if self._alerts:  # rule-free configs skip the snapshots entirely
+            with self._alert_lock:
+                self._alerts.evaluate(
+                    self._latency_window.snapshot(),
+                    self._slo.snapshot(),
+                    event_log=self.events,
+                )
         self.events.emit(
             "service.done",
             request_id=ticket.id,

@@ -44,10 +44,12 @@ from typing import Any
 
 from repro.core.framework import CompileOptions
 from repro.core.plancache import plan_key
+from repro.obs.flight import describe_exit, harvest_postmortem, journal_dir
 from repro.obs.live import (
     PromText,
     StatusServer,
     TelemetryEvent,
+    merge_alert_snapshots,
     merge_slo_snapshots,
     merge_window_samples,
 )
@@ -77,7 +79,7 @@ class _Shard:
 
     __slots__ = (
         "name", "process", "conn", "receiver", "alive",
-        "local_to_global", "lock",
+        "local_to_global", "lock", "exit_code", "exit_detail",
     )
 
     def __init__(self, name: str, process: Any, conn: Any) -> None:
@@ -89,6 +91,9 @@ class _Shard:
         #: shard-local request id -> fleet-global id (provenance rewrite)
         self.local_to_global: dict[int, int] = {}
         self.lock = threading.Lock()
+        #: how the worker process ended (filled in by _mark_dead)
+        self.exit_code: int | None = None
+        self.exit_detail: str = ""
 
 
 class _Waiter:
@@ -136,6 +141,8 @@ class ShardedExecutionService:
         self._waiters: dict[int, _Waiter] = {}
         self._status_server: StatusServer | None = None
         self._shards: dict[str, _Shard] = {}
+        #: shard name -> post-mortem harvested from its journal at death
+        self._postmortems: dict[str, dict[str, Any]] = {}
         self.ring = HashRing()
         # Import here so the worker entry resolves identically under
         # fork and spawn.
@@ -255,7 +262,10 @@ class ShardedExecutionService:
                 raise ServiceClosedError("sharded service is closed")
         shard = self._shards[self.route(request)]
         if not shard.alive:
-            raise ShardDiedError(f"shard {shard.name} died")
+            raise ShardDiedError(
+                f"shard {shard.name} died"
+                + (f" ({shard.exit_detail})" if shard.exit_detail else "")
+            )
         gid = next(self._next_id)
         ticket = Ticket(
             id=gid,
@@ -382,13 +392,24 @@ class ShardedExecutionService:
                 self._pending.pop(gid, None)
             waiters = list(self._waiters.values())
             closed = self._closed
+        # Reap the exit status outside the router lock; a crashed process
+        # joins immediately, and even the slow path is bounded.
+        try:
+            shard.process.join(timeout=2)
+        except Exception:
+            pass
+        shard.exit_code = shard.process.exitcode
+        shard.exit_detail = describe_exit(shard.exit_code)
+        detail = f"{reason}; {shard.exit_detail}"
+        if not closed:
+            self._harvest(shard, orphaned_ids=[gid for gid, _ in orphaned])
         for gid, ticket in orphaned:
             ticket._resolve(
                 ServiceResponse(
                     request_id=gid,
                     label=ticket.request.label,
                     status=RequestStatus.FAILED,
-                    error=f"shard {shard.name} died ({reason})",
+                    error=f"shard {shard.name} died ({detail})",
                 )
             )
         if not closed:
@@ -399,17 +420,60 @@ class ShardedExecutionService:
                     waiter.message = {
                         "kind": "error",
                         "id": -1,
-                        "error": f"shard {shard.name} died ({reason})",
+                        "error": f"shard {shard.name} died ({detail})",
                         "error_type": "ShardDiedError",
                     }
                     waiter.event.set()
+
+    def _harvest(self, shard: _Shard, *, orphaned_ids: list[int]) -> None:
+        """Synthesize the dead shard's post-mortem from its journal.
+
+        Best-effort by design: crash forensics must never prevent the
+        router from failing over.  Without a ``flight_dir`` there is no
+        journal, and the post-mortem records only the exit status.
+        """
+        try:
+            if self.config.flight_dir:
+                pm = harvest_postmortem(
+                    journal_dir(self.config.flight_dir, shard.name),
+                    shard=shard.name,
+                    exit_code=shard.exit_code,
+                    window_seconds=self.config.window_seconds,
+                )
+            else:
+                pm = {
+                    "shard": shard.name,
+                    "exit_code": shard.exit_code,
+                    "exit_detail": shard.exit_detail,
+                    "records": 0,
+                    "warnings": ["no flight_dir configured; no journal"],
+                }
+            pm["orphaned_global_ids"] = list(orphaned_ids)
+            with self._lock:
+                self._postmortems[shard.name] = pm
+        except Exception:
+            pass
+
+    # -- post-mortems ----------------------------------------------------
+    def postmortem(self, shard_name: str) -> dict[str, Any] | None:
+        """The post-mortem harvested when ``shard_name`` died, if any."""
+        with self._lock:
+            return self._postmortems.get(shard_name)
+
+    def postmortems(self) -> dict[str, dict[str, Any]]:
+        """Every harvested post-mortem, keyed by shard name."""
+        with self._lock:
+            return dict(self._postmortems)
 
     # -- control RPCs ----------------------------------------------------
     def _rpc(
         self, shard: _Shard, message: dict[str, Any], *, expect: str
     ) -> dict[str, Any]:
         if not shard.alive:
-            raise ShardDiedError(f"shard {shard.name} died")
+            raise ShardDiedError(
+                f"shard {shard.name} died"
+                + (f" ({shard.exit_detail})" if shard.exit_detail else "")
+            )
         gid = next(self._next_id)
         waiter = _Waiter()
         with self._lock:
@@ -482,6 +546,25 @@ class ShardedExecutionService:
             for key in events:
                 events[key] += snap.get("events", {}).get(key, 0)
         shards = [s for snap in snapshots for s in snap.get("shards", [])]
+        # Dead shards still get a row: how they ended is exactly what an
+        # operator reading this snapshot needs to see.
+        with self._lock:
+            postmortems = dict(self._postmortems)
+        for name in sorted(self._shards):
+            s = self._shards[name]
+            if s.alive:
+                continue
+            row: dict[str, Any] = {
+                "shard": name,
+                "alive": False,
+                "exit_code": s.exit_code,
+                "exit_detail": s.exit_detail or describe_exit(s.exit_code),
+            }
+            pm = postmortems.get(name)
+            if pm is not None:
+                row["in_flight_at_death"] = len(pm.get("in_flight", []))
+                row["postmortem"] = pm.get("journal_dir")
+            shards.append(row)
         with self._lock:
             closed = self._closed
             in_flight_router = len(self._pending)
@@ -502,6 +585,9 @@ class ShardedExecutionService:
             ),
             "slo": merge_slo_snapshots(
                 [snap.get("slo", {}) for snap in snapshots]
+            ),
+            "alerts": merge_alert_snapshots(
+                [snap.get("alerts", {}) for snap in snapshots]
             ),
             "plan_cache": plan_cache,
             "events": events,
@@ -583,6 +669,16 @@ class ShardedExecutionService:
         )
         for name, value in snap["plan_cache"].items():
             out.gauge(f"plancache.{name}", value)
+        out.event_log(snap.get("events", {}))
+        alerts = snap.get("alerts", {})
+        out.gauge(
+            "alerts.active", len(alerts.get("active", [])),
+            help_text="Alert rules currently firing anywhere in the fleet",
+        )
+        out.counter(
+            "alerts.fired", alerts.get("fired_total", 0),
+            help_text="Alert firing transitions across the fleet",
+        )
         for obj in snap["slo"].get("objectives", []):
             base = f"slo.{obj['name']}"
             out.gauge(f"{base}.compliance", obj["compliance"])

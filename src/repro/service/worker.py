@@ -25,6 +25,7 @@ well as the ``fork`` default on Linux.
 
 from __future__ import annotations
 
+import os
 import pickle
 import threading
 from typing import Any
@@ -66,6 +67,12 @@ def shard_worker_main(conn: Any, config: ServiceConfig) -> None:
     router aggregates.
     """
     service = ExecutionService(config)
+    # First journal entry: ties the on-disk journal to a concrete pid,
+    # so a post-mortem can say *which* incarnation of the shard it is
+    # reading (the journal directory survives restarts).
+    service.events.emit(
+        "worker.start", shard=config.shard_label, pid=os.getpid()
+    )
     send_lock = threading.Lock()
 
     def send(message: dict[str, Any]) -> None:

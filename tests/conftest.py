@@ -17,6 +17,8 @@ best-effort SIGALRM fallback, so the marker never silently degrades to
 a no-op.
 """
 
+import os
+import re
 import signal
 import threading
 
@@ -38,6 +40,25 @@ def _fresh_plan_cache(monkeypatch):
     reset_default_cache()
     yield
     reset_default_cache()
+
+
+@pytest.fixture
+def flight_dir(request, tmp_path):
+    """Directory for flight-recorder journals written by a test.
+
+    Defaults to the test's ``tmp_path``.  When
+    ``REPRO_FLIGHT_ARTIFACT_DIR`` is set (CI does this), journals land
+    in a per-test subdirectory of that path instead, so a failing run's
+    segments and ``postmortem.json`` reports survive the test session
+    and get uploaded as build artifacts.
+    """
+    root = os.environ.get("REPRO_FLIGHT_ARTIFACT_DIR")
+    if not root:
+        return os.fspath(tmp_path)
+    safe = re.sub(r"[^A-Za-z0-9._-]+", "_", request.node.nodeid)
+    path = os.path.join(root, safe)
+    os.makedirs(path, exist_ok=True)
+    return path
 
 
 @pytest.fixture(autouse=True)

@@ -1,0 +1,359 @@
+"""Flight recorder (repro.obs.flight): crash-safe journal + post-mortems.
+
+Three layers under test, bottom-up:
+
+* **framing** — CRC-protected records survive a round trip, and every
+  corruption mode a crash can produce (truncated header, truncated
+  payload, flipped bits, garbage tail) degrades to a *warning*, never
+  an exception, with every record before the damage recovered;
+* **the recorder** — segment rotation at the byte bound, oldest-first
+  eviction that never touches the active segment, restart continuing
+  the numbering, and the EventLog sink tee preserving seq order;
+* **post-mortem synthesis** — in-flight detection (admitted but never
+  ``service.done``), window reconstruction from ``service.done``
+  events, alert firing/resolved folding, exit-code phrasing, and the
+  ``repro postmortem`` CLI reading all of it purely from disk.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.obs.flight import (
+    HEADER_SIZE,
+    POSTMORTEM_BASENAME,
+    FlightRecorder,
+    build_postmortem,
+    decode_records,
+    describe_exit,
+    encode_record,
+    harvest_postmortem,
+    journal_dir,
+    list_segments,
+    read_journal,
+    segment_name,
+)
+from repro.obs.live import EventLog
+
+
+def write_events(directory, events, **recorder_kwargs):
+    """Publish ``events`` (kind, request_id, fields) through a real
+    EventLog teed into a recorder, like a shard process would."""
+    log = EventLog(capacity=1024, clock=lambda: 100.0)
+    with FlightRecorder(directory, **recorder_kwargs) as rec:
+        rec.attach(log)
+        for kind, rid, fields in events:
+            log.emit(kind, request_id=rid, **fields)
+        return rec.stats()
+
+
+# ---------------------------------------------------------------------------
+# Framing
+# ---------------------------------------------------------------------------
+class TestFraming:
+    def test_round_trip(self):
+        payloads = [
+            {"seq": i, "ts": 1.5 * i, "kind": "service.admit",
+             "request_id": i, "fields": {"queue_depth": i}}
+            for i in range(5)
+        ]
+        data = b"".join(encode_record(p) for p in payloads)
+        records, warning = decode_records(data)
+        assert warning is None
+        assert records == payloads
+
+    def test_empty_is_clean(self):
+        assert decode_records(b"") == ([], None)
+
+    def test_truncated_header_keeps_prefix(self):
+        good = encode_record({"seq": 0})
+        records, warning = decode_records(good + b"\x01\x02")
+        assert records == [{"seq": 0}]
+        assert "truncated header" in warning
+
+    def test_truncated_payload_keeps_prefix(self):
+        good = encode_record({"seq": 0})
+        cut = encode_record({"seq": 1, "pad": "x" * 100})[:-10]
+        records, warning = decode_records(good + cut)
+        assert records == [{"seq": 0}]
+        assert "truncated record" in warning
+
+    def test_flipped_payload_bit_fails_crc(self):
+        frame = bytearray(encode_record({"seq": 7, "kind": "tick"}))
+        frame[-1] ^= 0xFF
+        records, warning = decode_records(bytes(frame))
+        assert records == []
+        assert "CRC mismatch" in warning
+
+    def test_garbage_reports_bad_magic(self):
+        records, warning = decode_records(b"Z" * 64)
+        assert records == []
+        assert "bad magic" in warning
+
+    def test_unknown_version_stops_decode(self):
+        frame = bytearray(encode_record({"seq": 0}))
+        frame[4] = 99  # version byte follows the 4-byte magic
+        _, warning = decode_records(bytes(frame))
+        assert "version 99" in warning
+
+    def test_header_size_matches_ipc_discipline(self):
+        # magic(4) + version(1) + flags(1) + crc32(4) + length(4)
+        assert HEADER_SIZE == 14
+
+
+# ---------------------------------------------------------------------------
+# Recorder: rotation, eviction, restart
+# ---------------------------------------------------------------------------
+class TestFlightRecorder:
+    def test_appends_readable_records(self, tmp_path):
+        d = os.fspath(tmp_path)
+        stats = write_events(d, [
+            ("service.admit", 1, {"queue_depth": 1}),
+            ("service.done", 1, {"status": "ok", "seconds": 0.25}),
+        ])
+        assert stats["appended"] == 2 and stats["errors"] == 0
+        result = read_journal(d)
+        assert result.ok
+        assert [r["kind"] for r in result.records] == [
+            "service.admit", "service.done",
+        ]
+        assert [r["seq"] for r in result.records] == [0, 1]
+        assert result.records[1]["fields"]["seconds"] == 0.25
+
+    def test_rotation_at_segment_bound(self, tmp_path):
+        d = os.fspath(tmp_path)
+        stats = write_events(
+            d, [("tick", i, {}) for i in range(40)],
+            segment_bytes=256, max_bytes=1 << 20,
+        )
+        segments = list_segments(d)
+        assert len(segments) > 1
+        assert stats["rotated"] == len(segments) - 1
+        for path in segments:
+            assert os.path.getsize(path) <= 256
+        result = read_journal(d)
+        assert result.ok and len(result.records) == 40
+        # seq order is preserved across the segment boundary
+        assert [r["seq"] for r in result.records] == list(range(40))
+
+    def test_eviction_bounds_total_size_keeps_newest(self, tmp_path):
+        d = os.fspath(tmp_path)
+        stats = write_events(
+            d, [("tick", i, {"pad": "x" * 40}) for i in range(60)],
+            segment_bytes=256, max_bytes=1024,
+        )
+        assert stats["evicted"] > 0
+        total = sum(os.path.getsize(p) for p in list_segments(d))
+        assert total <= 1024 + 256  # bound + one active segment of slack
+        records = read_journal(d).records
+        assert records, "eviction must never empty the journal"
+        # newest data wins: the final record always survives
+        assert records[-1]["request_id"] == 59
+        # and what survives is a contiguous tail
+        rids = [r["request_id"] for r in records]
+        assert rids == list(range(rids[0], 60))
+
+    def test_restart_continues_segment_numbering(self, tmp_path):
+        d = os.fspath(tmp_path)
+        write_events(d, [("tick", 0, {})])
+        write_events(d, [("tick", 1, {})])
+        names = [os.path.basename(p) for p in list_segments(d)]
+        assert names == [segment_name(0), segment_name(1)]
+        # both lifetimes' records are recovered, in seq-then-ts order
+        assert len(read_journal(d).records) == 2
+
+    def test_corrupt_tail_is_warning_not_error(self, tmp_path):
+        d = os.fspath(tmp_path)
+        write_events(d, [("tick", i, {}) for i in range(3)])
+        last = list_segments(d)[-1]
+        with open(last, "ab") as fh:
+            fh.write(b"\xde\xad\xbe\xef" * 8)
+        result = read_journal(d)
+        assert len(result.records) == 3
+        assert not result.ok
+        assert any("bad magic" in w for w in result.warnings)
+
+    def test_missing_directory_is_warning(self, tmp_path):
+        result = read_journal(os.fspath(tmp_path / "never-created"))
+        assert result.records == []
+        assert any("no journal directory" in w for w in result.warnings)
+
+    def test_record_never_raises_after_close(self, tmp_path):
+        log = EventLog(capacity=16)
+        rec = FlightRecorder(os.fspath(tmp_path))
+        rec.attach(log)
+        rec.close()
+        log.emit("tick")  # sink fires into a closed recorder: no error
+        assert log.sink_errors == 0
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="segment_bytes"):
+            FlightRecorder(os.fspath(tmp_path), segment_bytes=4)
+        with pytest.raises(ValueError, match="max_bytes"):
+            FlightRecorder(
+                os.fspath(tmp_path), segment_bytes=1024, max_bytes=512
+            )
+
+    def test_journal_dir_flattens_shard_labels(self):
+        assert journal_dir("/flight", "proc/0") == "/flight/proc-0"
+        assert journal_dir("/flight", "") == "/flight/shard"
+
+
+# ---------------------------------------------------------------------------
+# Post-mortem synthesis
+# ---------------------------------------------------------------------------
+def _rec(seq, ts, kind, rid=None, **fields):
+    return {"seq": seq, "ts": ts, "kind": kind, "request_id": rid,
+            "fields": fields}
+
+
+class TestPostmortem:
+    def test_describe_exit(self):
+        assert describe_exit(None) == "exit status unknown"
+        assert describe_exit(0) == "exit code 0"
+        assert describe_exit(3) == "exit code 3"
+        assert describe_exit(-9) == "killed by SIGKILL (-9)"
+        assert describe_exit(-15) == "killed by SIGTERM (-15)"
+
+    def test_in_flight_and_window(self):
+        records = [
+            _rec(0, 10.0, "service.admit", 1),
+            _rec(1, 10.1, "service.done", 1, status="ok", seconds=0.1),
+            _rec(2, 10.2, "service.admit", 2),
+            _rec(3, 10.3, "compile.start", 2),
+            _rec(4, 10.4, "service.admit", 3),
+            _rec(5, 10.5, "service.done", 3, status="failed", seconds=0.2),
+        ]
+        pm = build_postmortem(records, shard="proc/0", exit_code=-9)
+        assert pm["shard"] == "proc/0"
+        assert pm["exit_detail"] == "killed by SIGKILL (-9)"
+        assert not pm["clean_shutdown"]
+        # request 2 reached compile.start but never service.done
+        assert pm["in_flight"] == [
+            {"request_id": 2, "last_kind": "compile.start"}
+        ]
+        assert pm["window"]["count"] == 2
+        assert pm["window"]["ok"] == 1 and pm["window"]["failed"] == 1
+        assert pm["window"]["p50"] == pytest.approx(0.1)
+        assert pm["first_seq"] == 0 and pm["last_seq"] == 5
+
+    def test_clean_shutdown_detected(self):
+        records = [
+            _rec(0, 1.0, "service.admit", 1),
+            _rec(1, 1.1, "service.done", 1, status="ok", seconds=0.1),
+            _rec(2, 1.2, "service.close"),
+        ]
+        pm = build_postmortem(records, exit_code=0)
+        assert pm["clean_shutdown"]
+        assert pm["in_flight"] == []
+
+    def test_alerts_fold_firing_minus_resolved(self):
+        records = [
+            _rec(0, 1.0, "alert.firing", None, rule="a", rule_kind="threshold"),
+            _rec(1, 1.1, "alert.firing", None, rule="b",
+                 rule_kind="budget_burn"),
+            _rec(2, 1.2, "alert.resolved", None, rule="a",
+                 rule_kind="threshold"),
+        ]
+        pm = build_postmortem(records)
+        assert [a["rule"] for a in pm["alerts_active"]] == ["b"]
+
+    def test_timeline_windowed_and_limited(self):
+        records = [_rec(i, float(i), "tick", i) for i in range(100)]
+        pm = build_postmortem(records, window_seconds=30.0, timeline_limit=10)
+        assert len(pm["timeline"]) == 10
+        assert pm["timeline"][-1]["seq"] == 99  # newest always kept
+        assert all(r["ts"] >= 99.0 - 30.0 for r in pm["timeline"])
+
+    def test_empty_journal(self):
+        pm = build_postmortem([], exit_code=1)
+        assert pm["records"] == 0
+        assert pm["in_flight"] == [] and pm["window"]["count"] == 0
+
+    def test_harvest_writes_artifact(self, tmp_path):
+        d = os.fspath(tmp_path)
+        write_events(d, [
+            ("service.admit", 1, {}),
+            ("compile.start", 1, {}),
+        ])
+        pm = harvest_postmortem(d, shard="proc/0", exit_code=-9)
+        assert pm["in_flight"] == [
+            {"request_id": 1, "last_kind": "compile.start"}
+        ]
+        artifact = os.path.join(d, POSTMORTEM_BASENAME)
+        with open(artifact, encoding="utf-8") as fh:
+            on_disk = json.load(fh)
+        assert on_disk["exit_detail"] == "killed by SIGKILL (-9)"
+        assert on_disk["segments"] == [segment_name(0)]
+
+
+# ---------------------------------------------------------------------------
+# repro postmortem CLI, purely from disk
+# ---------------------------------------------------------------------------
+class TestPostmortemCli:
+    def journal(self, tmp_path):
+        d = os.fspath(tmp_path / "proc-0")
+        write_events(d, [
+            ("service.admit", 1, {"label": "r0"}),
+            ("service.start", 1, {}),
+            ("service.admit", 2, {"label": "r1"}),
+        ])
+        return d
+
+    def test_json_output(self, tmp_path, capsys):
+        d = self.journal(tmp_path)
+        assert main(["postmortem", d, "--json", "--exit-code", "-9"]) == 0
+        pm = json.loads(capsys.readouterr().out)
+        assert pm["exit_detail"] == "killed by SIGKILL (-9)"
+        assert [e["request_id"] for e in pm["in_flight"]] == [1, 2]
+        assert [r["kind"] for r in pm["timeline"]] == [
+            "service.admit", "service.start", "service.admit",
+        ]
+
+    def test_text_output(self, tmp_path, capsys):
+        assert main(["postmortem", self.journal(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "post-mortem" in out
+        assert "in flight at death: 1, 2" in out
+        assert "service.start" in out
+
+    def test_markdown_output(self, tmp_path, capsys):
+        d = self.journal(tmp_path)
+        assert main(["postmortem", d, "--format", "md"]) == 0
+        out = capsys.readouterr().out
+        assert "# Post-mortem" in out
+        assert "service.admit" in out
+        assert "| field | value |" in out
+
+    def test_fleet_root_covers_every_shard(self, tmp_path, capsys):
+        for shard in ("proc-0", "proc-1"):
+            write_events(os.fspath(tmp_path / shard), [("tick", 0, {})])
+        assert main(["postmortem", os.fspath(tmp_path), "--json"]) == 0
+        reports = json.loads(capsys.readouterr().out)
+        assert isinstance(reports, list) and len(reports) == 2
+        assert {pm["shard"] for pm in reports} == {"proc-0", "proc-1"}
+
+    def test_corrupt_tail_warns_but_exits_zero(self, tmp_path, capsys):
+        d = self.journal(tmp_path)
+        with open(list_segments(d)[-1], "ab") as fh:
+            fh.write(b"torn-page-garbage")
+        assert main(["postmortem", d, "--json"]) == 0
+        captured = capsys.readouterr()
+        assert "bad magic" in captured.err
+        pm = json.loads(captured.out)
+        assert pm["records"] == 3  # everything before the damage recovered
+        assert pm["warnings"]
+
+    def test_missing_journal_is_usage_error(self, tmp_path, capsys):
+        rc = main(["postmortem", os.fspath(tmp_path / "nope")])
+        assert rc == 2
+
+    def test_prefers_harvested_exit_code(self, tmp_path, capsys):
+        d = self.journal(tmp_path)
+        harvest_postmortem(d, shard="proc/0", exit_code=-15)
+        assert main(["postmortem", d, "--json"]) == 0
+        pm = json.loads(capsys.readouterr().out)
+        assert pm["exit_detail"] == "killed by SIGTERM (-15)"
+        assert pm["shard"] == "proc/0"

@@ -20,6 +20,8 @@ from repro.core.framework import Framework
 from repro.gpusim import XEON_WORKSTATION, FaultSpec, GpuDevice
 from repro.obs import MetricsRegistry
 from repro.obs.live import (
+    AlertEngine,
+    AlertRule,
     EventLog,
     PROM_NAME_RE,
     PromText,
@@ -29,7 +31,9 @@ from repro.obs.live import (
     StatusServer,
     bind,
     current_request_id,
+    default_alert_rules,
     default_objectives,
+    merge_alert_snapshots,
     prom_name,
     publish,
     registry_to_prom,
@@ -117,6 +121,74 @@ class TestEventLog:
     def test_invalid_capacity(self):
         with pytest.raises(ValueError):
             EventLog(capacity=-1)
+
+    def test_concurrent_publishers_exact_counts_and_monotonic_seq(self):
+        """The satellite guarantee: under contention well past capacity,
+        total_emitted and dropped are *exact* (no lost updates) and seq
+        numbers are unique, gapless, and monotonically assigned."""
+        threads_n, per_thread, capacity = 8, 500, 64
+        log = EventLog(capacity=capacity)
+        barrier = threading.Barrier(threads_n)
+
+        def publisher(tid):
+            barrier.wait(timeout=10)
+            for i in range(per_thread):
+                log.emit("tick", request_id=tid, i=i)
+
+        threads = [
+            threading.Thread(target=publisher, args=(tid,))
+            for tid in range(threads_n)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total = threads_n * per_thread
+        assert log.total_emitted == total
+        assert log.dropped == total - capacity
+        events = log.events()
+        assert len(events) == capacity
+        seqs = [e.seq for e in events]
+        # the surviving ring is exactly the last `capacity` seqs: unique,
+        # gapless, ending at total-1
+        assert seqs == list(range(total - capacity, total))
+
+    def test_sink_sees_every_event_in_seq_order(self):
+        """Sinks (the flight-recorder tee) run inside the ring lock, so
+        a sink observes the same total order seq numbers promise —
+        including events the ring has already dropped."""
+        log = EventLog(capacity=4)
+        seen = []
+        log.add_sink(lambda e: seen.append(e.seq))
+        barrier = threading.Barrier(4)
+
+        def publisher():
+            barrier.wait(timeout=10)
+            for _ in range(50):
+                log.emit("tick")
+
+        threads = [threading.Thread(target=publisher) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert seen == list(range(200))
+        assert log.sink_errors == 0
+
+    def test_broken_sink_is_counted_not_fatal(self):
+        log = EventLog(capacity=8)
+
+        def broken(event):
+            raise RuntimeError("sink bug")
+
+        log.add_sink(broken)
+        log.emit("tick")
+        log.emit("tick")
+        assert log.total_emitted == 2  # emission unaffected
+        assert log.sink_errors == 2
+        log.remove_sink(broken)
+        log.emit("tick")
+        assert log.sink_errors == 2
 
 
 class TestBindPublish:
@@ -244,6 +316,112 @@ class TestSloTracker:
                 SloObjective(name="x", target=0.5),
                 SloObjective(name="x", target=0.9),
             ))
+
+
+# ---------------------------------------------------------------------------
+# Alert rules
+# ---------------------------------------------------------------------------
+class TestAlertRules:
+    def window(self, **overrides):
+        snap = {"count": 10, "rate": 1.0, "sum": 5.0, "mean": 0.5,
+                "min": 0.1, "max": 2.0, "p50": 0.4, "p95": 1.5, "p99": 2.0}
+        snap.update(overrides)
+        return snap
+
+    def slo(self, remaining=1.0, breached=False, name="availability"):
+        return {"objectives": [{
+            "name": name, "budget_remaining_fraction": remaining,
+            "breached": breached,
+        }]}
+
+    def test_threshold_fires_above(self):
+        rule = AlertRule(name="p99_high", metric="p99", above=1.0)
+        firing, detail = rule.check(self.window(p99=2.0), None)
+        assert firing and detail["value"] == 2.0
+        firing, _ = rule.check(self.window(p99=0.5), None)
+        assert not firing
+
+    def test_threshold_min_count_suppresses_idle_noise(self):
+        rule = AlertRule(name="p99_high", metric="p99", above=1.0,
+                         min_count=5)
+        assert not rule.check(self.window(count=1, p99=99.0), None)[0]
+        assert rule.check(self.window(count=5, p99=99.0), None)[0]
+
+    def test_budget_burn_fires_past_max_burn_or_breach(self):
+        rule = AlertRule(name="burn", kind="budget_burn",
+                         objective="availability", max_burn=0.5)
+        assert not rule.check(None, self.slo(remaining=0.8))[0]
+        firing, detail = rule.check(None, self.slo(remaining=0.2))
+        assert firing and detail["burn"] == pytest.approx(0.8)
+        # an outright breach fires regardless of the burn fraction
+        assert rule.check(None, self.slo(remaining=1.0, breached=True))[0]
+        # unknown objective never fires
+        assert not rule.check(None, self.slo(name="other"))[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="name"):
+            AlertRule(name="")
+        with pytest.raises(ValueError, match="above/below"):
+            AlertRule(name="x")
+        with pytest.raises(ValueError, match="metric"):
+            AlertRule(name="x", metric="p42", above=1.0)
+        with pytest.raises(ValueError, match="objective"):
+            AlertRule(name="x", kind="budget_burn")
+        with pytest.raises(ValueError, match="kind"):
+            AlertRule(name="x", kind="pager")
+
+    def test_engine_emits_transitions_only(self):
+        log = EventLog(capacity=64)
+        engine = AlertEngine((
+            AlertRule(name="p99_high", metric="p99", above=1.0),
+        ))
+        hot, cold = self.window(p99=2.0), self.window(p99=0.1)
+        engine.evaluate(hot, None, event_log=log)
+        engine.evaluate(hot, None, event_log=log)   # still firing: silent
+        engine.evaluate(cold, None, event_log=log)  # resolves
+        engine.evaluate(cold, None, event_log=log)  # still quiet: silent
+        kinds = [e.kind for e in log.events()]
+        assert kinds == ["alert.firing", "alert.resolved"]
+        assert log.events()[0].fields["rule"] == "p99_high"
+        assert engine.fired_total == 1 and engine.resolved_total == 1
+        assert engine.active() == []
+
+    def test_engine_refires_after_resolve(self):
+        engine = AlertEngine((
+            AlertRule(name="p99_high", metric="p99", above=1.0),
+        ))
+        hot, cold = self.window(p99=2.0), self.window(p99=0.1)
+        for snap in (hot, cold, hot):
+            active = engine.evaluate(snap, None)
+        assert engine.fired_total == 2 and engine.resolved_total == 1
+        assert [a["rule"] for a in active] == ["p99_high"]
+
+    def test_default_rules_match_default_objectives(self):
+        names = {r.name for r in default_alert_rules()}
+        assert names == {
+            "latency_p99_high", "availability_budget_burn",
+            "latency_slo_budget_burn",
+        }
+        objectives = {o.name for o in default_objectives()}
+        for rule in default_alert_rules():
+            if rule.kind == "budget_burn":
+                assert rule.objective in objectives
+
+    def test_duplicate_rule_names_rejected(self):
+        rule = AlertRule(name="x", metric="p99", above=1.0)
+        with pytest.raises(ValueError, match="duplicate"):
+            AlertEngine((rule, rule))
+
+    def test_merge_unions_active_and_sums_counters(self):
+        a = {"rules": 2, "fired_total": 3, "resolved_total": 1,
+             "active": [{"rule": "p99_high", "value": 2.0}]}
+        b = {"rules": 2, "fired_total": 1, "resolved_total": 0,
+             "active": [{"rule": "p99_high", "value": 9.0},
+                        {"rule": "burn"}]}
+        merged = merge_alert_snapshots([a, b])
+        assert merged["fired_total"] == 4
+        assert merged["resolved_total"] == 1
+        assert [x["rule"] for x in merged["active"]] == ["burn", "p99_high"]
 
 
 # ---------------------------------------------------------------------------
@@ -569,3 +747,37 @@ class TestServiceStatusEndpoint:
             prom = svc.prom_text()
         assert [o["name"] for o in snap["slo"]["objectives"]] == ["tight"]
         assert "repro_slo_tight_compliance 1" in prom
+
+    def test_event_bus_health_exposed_in_prom(self):
+        with ExecutionService(ServiceConfig(workers=1)) as svc:
+            svc.submit(edge_request(size=40)).result(timeout=60)
+            prom = svc.prom_text()
+        assert "repro_events_emitted_total " in prom
+        assert "repro_events_dropped_total 0" in prom
+        assert "repro_events_capacity 4096" in prom
+        assert "repro_alerts_active 0" in prom
+        assert "repro_alerts_fired_total 0" in prom
+
+    def test_alert_rules_fire_through_the_service(self):
+        """An impossible latency bound fires on the first completion;
+        the transition lands in the event bus and the snapshot."""
+        config = ServiceConfig(
+            workers=1,
+            alert_rules=(AlertRule(
+                name="any_latency", metric="max", above=0.0,
+                description="fires on any completed request",
+            ),),
+        )
+        with ExecutionService(config) as svc:
+            assert svc.submit(edge_request(size=40)).result(timeout=60).ok
+            snap = svc.live_snapshot()
+            prom = svc.prom_text()
+            firing = svc.events.events(kind="alert.firing")
+        alerts = snap["alerts"]
+        assert [a["rule"] for a in alerts["active"]] == ["any_latency"]
+        assert alerts["fired_total"] == 1
+        assert "repro_alerts_active 1" in prom
+        assert "repro_alerts_fired_total 1" in prom
+        assert len(firing) == 1
+        assert firing[0].fields["rule"] == "any_latency"
+        assert firing[0].fields["rule_kind"] == "threshold"

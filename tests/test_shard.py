@@ -9,6 +9,8 @@ and batching records per-request provenance (``batched_with`` /
 ``deduped_from``) with fleet-global ids.
 """
 
+import json
+import os
 import time
 
 import pytest
@@ -20,8 +22,15 @@ from .differential import (
     random_inputs,
     random_operator_graph,
 )
+from repro.cli import main
 from repro.core.framework import CompileOptions
 from repro.gpusim import XEON_WORKSTATION, GpuDevice
+from repro.obs.flight import (
+    POSTMORTEM_BASENAME,
+    harvest_postmortem,
+    journal_dir,
+    list_segments,
+)
 from repro.obs.live import merge_slo_snapshots, merge_window_samples
 from repro.service import (
     ExecutionService,
@@ -238,7 +247,11 @@ class TestShardFailure:
             snap = svc.live_snapshot()
             assert snap["live_shards"] == 1
             assert snap["shard_count"] == 2
-            assert [s["shard"] for s in snap["shards"]] == [live_name]
+            live_rows = [s for s in snap["shards"] if s.get("alive", True)]
+            dead_rows = [s for s in snap["shards"] if not s.get("alive", True)]
+            assert [s["shard"] for s in live_rows] == [live_name]
+            assert [s["shard"] for s in dead_rows] == [dead_name]
+            assert "SIGTERM" in dead_rows[0]["exit_detail"]
 
     def test_inflight_requests_fail_with_explicit_error(self):
         with fleet(shards=1, workers=1) as svc:
@@ -254,6 +267,117 @@ class TestShardFailure:
         for r in failed:
             assert r.status is RequestStatus.FAILED
             assert "died" in (r.error or "")
+            assert "SIGKILL" in (r.error or "")
+
+
+@pytest.mark.timeout(180)
+class TestFlightRecorderPostmortem:
+    """The PR's acceptance spine: SIGKILL a shard mid-request, then
+    reconstruct its final moments *purely from the on-disk journal* —
+    the shard process is dead and the supervisor may be too."""
+
+    def killed_fleet(self, flight_dir):
+        """One shard, one worker, flight recorder on; three big
+        simulate requests submitted and the shard killed immediately,
+        so every request is genuinely mid-flight when it dies."""
+        cfg = ServiceConfig(workers=1, flight_dir=flight_dir)
+        svc = ShardedExecutionService(cfg, shards=1)
+        big = find_edges_graph(2048, 2048, 16, 4)
+        tickets = [
+            svc.submit(ServiceRequest(
+                template=big, device=DEV, host=XEON_WORKSTATION,
+                mode="simulate", label=f"r{i}",
+            ))
+            for i in range(3)
+        ]
+        svc._shards["proc/0"].process.kill()
+        responses = [t.result(timeout=60) for t in tickets]
+        return svc, tickets, responses
+
+    def test_kill_harvest_and_reconstruct_from_disk(self, flight_dir, capsys):
+        svc, tickets, responses = self.killed_fleet(flight_dir)
+        try:
+            # 1. every in-flight request failed with the exit detail
+            for r in responses:
+                assert not r.ok
+                assert "SIGKILL" in (r.error or ""), r.error
+            # 2. the supervisor harvested a post-mortem
+            pm = svc.postmortem("proc/0")
+            assert pm is not None
+            assert pm["exit_code"] == -9
+            assert pm["exit_detail"] == "killed by SIGKILL (-9)"
+            assert not pm["clean_shutdown"]
+            in_flight_ids = {e["request_id"] for e in pm["in_flight"]}
+            assert in_flight_ids == {t.id for t in tickets}
+            assert sorted(pm["orphaned_global_ids"]) == sorted(
+                t.id for t in tickets
+            )
+            # 3. the artifact is on disk next to the segments
+            jdir = journal_dir(flight_dir, "proc/0")
+            assert os.path.exists(
+                os.path.join(jdir, POSTMORTEM_BASENAME)
+            )
+            # 4. the dead shard surfaces in the fleet snapshot
+            snap = svc.live_snapshot()
+            dead = [s for s in snap["shards"] if not s.get("alive", True)]
+            assert len(dead) == 1
+            assert dead[0]["exit_code"] == -9
+            assert dead[0]["in_flight_at_death"] == 3
+            assert dead[0]["postmortem"] == jdir
+        finally:
+            svc.close()
+
+        # 5. with every process gone, `repro postmortem` rebuilds the
+        # timeline from nothing but the journal files
+        assert main(["postmortem", jdir, "--json"]) == 0
+        pm = json.loads(capsys.readouterr().out)
+        assert pm["exit_detail"] == "killed by SIGKILL (-9)"
+        timeline_ids = {
+            r["request_id"] for r in pm["timeline"]
+            if r.get("request_id") is not None
+        }
+        # the correlated ids in the reconstructed timeline are the
+        # fleet-global ticket ids, intact across kill + harvest + CLI
+        assert {t.id for t in tickets} <= timeline_ids
+        kinds = [r["kind"] for r in pm["timeline"]]
+        assert kinds[0] == "worker.start"
+        assert "service.admit" in kinds
+        assert {e["request_id"] for e in pm["in_flight"]} == {
+            t.id for t in tickets
+        }
+
+    def test_corrupt_tail_segment_skipped_with_warning(
+        self, flight_dir, capsys
+    ):
+        svc, tickets, _ = self.killed_fleet(flight_dir)
+        svc.close()
+        jdir = journal_dir(flight_dir, "proc/0")
+        # simulate a torn page at the tail of the newest segment
+        with open(list_segments(jdir)[-1], "ab") as fh:
+            fh.write(b"\x00\xff" * 32)
+        assert main(["postmortem", jdir, "--json"]) == 0
+        captured = capsys.readouterr()
+        assert "warning" in captured.err
+        pm = json.loads(captured.out)
+        assert pm["warnings"], "tail damage must be reported"
+        # ...but everything before the damage is still reconstructed
+        assert {t.id for t in tickets} <= {
+            r["request_id"] for r in pm["timeline"]
+            if r.get("request_id") is not None
+        }
+
+    def test_clean_shutdown_journal_says_so(self, flight_dir):
+        cfg = ServiceConfig(workers=1, flight_dir=flight_dir)
+        with ShardedExecutionService(cfg, shards=1) as svc:
+            assert svc.submit(edge_request()).result(timeout=120).ok
+            snap = svc.live_snapshot()
+            assert snap["shards"][0]["alive"] is True
+        jdir = journal_dir(flight_dir, "proc/0")
+        pm = harvest_postmortem(jdir, shard="proc/0", exit_code=0,
+                                write_artifact=False)
+        assert pm["clean_shutdown"]
+        assert pm["in_flight"] == []
+        assert pm["window"]["count"] == 1 and pm["window"]["ok"] == 1
 
 
 class TestBatching:
