@@ -209,15 +209,21 @@ def _write_trace(args, compiled, profile=None, simulated_events=None) -> None:
 def _print_compile_stats(compiled) -> None:
     """Phase wall-time table + plan-cache counters (``--stats``)."""
     phases = [
-        "splitting", "offload_units", "operator_scheduling",
+        "splitting", "offload_units", "lowering", "operator_scheduling",
         "transfer_scheduling", "validate", "partition",
+        "fragment_compile", "stitch",
     ]
     by_name: dict[str, float] = {}
+    engines = set()
     for sp in compiled.spans:
         if sp.name in phases:
             by_name[sp.name] = by_name.get(sp.name, 0.0) + sp.duration
+        if "engine" in sp.attrs:
+            engines.add(sp.attrs["engine"])
     total = max((sp.end for sp in compiled.spans), default=0.0)
     print("compile stats:")
+    if engines:
+        print(f"  {'planner engine':20s}: {'+'.join(sorted(engines))}")
     for name in phases:
         if name in by_name:
             print(f"  {name:20s}: {by_name[name] * 1e3:9.2f} ms")
@@ -291,21 +297,37 @@ def cmd_compile(args) -> int:
         return cmd_compile_multi(args)
     graph, _ = _build(args)
     fw = _framework(args)
-    compiled = fw.compile(graph)
+    incremental = None
+    if getattr(args, "incremental", False):
+        incremental = fw.compile_incremental(graph)
+        compiled = incremental.compiled
+    else:
+        compiled = fw.compile(graph)
     sim = simulate_plan(
         compiled.plan, compiled.graph, fw.device, fw.host,
         record_events=bool(args.trace_out),
     )
     if args.json:
-        print(json.dumps({
+        doc = {
             "summary": compiled.summary(),
             "metrics": compiled.metrics,
             "simulated_seconds": sim.total_time,
             "breakdown": sim.breakdown(),
-        }, indent=1, default=str))
+        }
+        if incremental is not None:
+            doc["fragments"] = {
+                "total": incremental.total_fragments,
+                "reused": incremental.reused_fragments,
+                "reuse_ratio": incremental.reuse_ratio,
+            }
+        print(json.dumps(doc, indent=1, default=str))
     else:
         for key, value in compiled.summary().items():
             print(f"{key:20s}: {value}")
+        if incremental is not None:
+            print(f"{'fragments':20s}: {incremental.reused_fragments}"
+                  f"/{incremental.total_fragments} reused "
+                  f"({100 * incremental.reuse_ratio:.0f}%)")
         print(f"{'simulated time':20s}: {sim.total_time:.3f} s "
               f"({100 * sim.breakdown()['transfer']:.0f}% transfer)")
         try:
@@ -1050,6 +1072,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "hit/miss counters")
     p.add_argument("--no-plan-cache", action="store_true",
                    help="bypass the content-addressed plan cache")
+    p.add_argument("--incremental", action="store_true",
+                   help="fragment-cached compilation: recompile only "
+                        "template fragments whose fingerprint changed, "
+                        "stitch the rest from the plan cache")
     p.set_defaults(func=cmd_compile)
 
     p = sub.add_parser("run", help="execute on the simulated device")

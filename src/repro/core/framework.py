@@ -20,6 +20,7 @@ from __future__ import annotations
 import copy
 import hashlib
 import json
+import os
 from dataclasses import dataclass, field, fields
 from typing import Any, Mapping
 
@@ -39,6 +40,11 @@ from repro.runtime.executor import (
 )
 
 from .baseline import baseline_plan
+from .columnar import (
+    COLUMNAR_SCHEDULERS,
+    lower as lower_columnar,
+    schedule_transfers_columnar,
+)
 from .graph import OperatorGraph
 from .offload import identify_offload_units
 from .plan import ExecutionPlan, validate_plan
@@ -91,6 +97,23 @@ def _options_compat_init(self, *args, **kwargs) -> None:
 
 
 CompileOptions.__init__ = _options_compat_init  # type: ignore[method-assign]
+
+
+def planner_engine() -> str:
+    """Which planner implementation the compile pipeline runs.
+
+    ``"columnar"`` (the default) lowers the split graph into the flat
+    tables of :mod:`repro.core.columnar` and runs the byte-identical
+    vectorized scheduler/transfer loops over them.  Set
+    ``REPRO_PLANNER=object`` to force the original per-object planner —
+    the reference oracle the differential suite compares against.
+    """
+    engine = os.environ.get("REPRO_PLANNER", "columnar")
+    if engine not in ("columnar", "object"):
+        raise ValueError(
+            f"REPRO_PLANNER={engine!r} (expected 'columnar' or 'object')"
+        )
+    return engine
 
 
 @dataclass
@@ -425,24 +448,53 @@ class Framework:
             if opts.fuse_offload_units:
                 fused = identify_offload_units(graph, capacity)
             sp.set(fused_units=fused)
+        col = None
+        if planner_engine() == "columnar":
+            with tracer.span("lowering", headroom=headroom) as sp:
+                col = lower_columnar(graph)
+                sp.set(ops=col.n_ops, data=col.n_data)
         with tracer.span(
-            "operator_scheduling", headroom=headroom, scheduler=opts.scheduler
+            "operator_scheduling",
+            headroom=headroom,
+            scheduler=opts.scheduler,
+            engine=(
+                "columnar"
+                if col is not None and opts.scheduler in COLUMNAR_SCHEDULERS
+                else "object"
+            ),
         ) as sp:
-            scheduler = get_scheduler(opts.scheduler)
-            op_order = scheduler(graph)
+            if col is not None and opts.scheduler in COLUMNAR_SCHEDULERS:
+                op_order = COLUMNAR_SCHEDULERS[opts.scheduler](graph, col)
+            else:
+                # Schedulers without a columnar twin (greedy/bfs/topo)
+                # stay on the per-object path; transfers still go
+                # columnar below — they only consume the final order.
+                scheduler = get_scheduler(opts.scheduler)
+                op_order = scheduler(graph)
             sp.set(ops=len(op_order))
         with tracer.span(
             "transfer_scheduling",
             headroom=headroom,
             policy=opts.eviction_policy,
+            engine="columnar" if col is not None else "object",
         ) as sp:
-            plan = schedule_transfers(
-                graph,
-                op_order,
-                capacity,
-                policy=opts.eviction_policy,
-                eager_free=opts.eager_free,
-            )
+            if col is not None:
+                plan = schedule_transfers_columnar(
+                    graph,
+                    op_order,
+                    capacity,
+                    policy=opts.eviction_policy,
+                    eager_free=opts.eager_free,
+                    col=col,
+                )
+            else:
+                plan = schedule_transfers(
+                    graph,
+                    op_order,
+                    capacity,
+                    policy=opts.eviction_policy,
+                    eager_free=opts.eager_free,
+                )
             sp.set(
                 steps=len(plan.steps),
                 transfer_floats=plan.transfer_floats(graph),
@@ -468,6 +520,24 @@ class Framework:
         if dedupe is not None and fp is not None:
             dedupe[fp] = compiled
         return compiled
+
+    def compile_incremental(
+        self,
+        template: OperatorGraph,
+        *,
+        options: CompileOptions | None = None,
+    ):
+        """Fragment-cached compilation for edit-heavy workflows.
+
+        Partitions the template into independent fragments, recompiles
+        only those whose content fingerprint misses the plan cache, and
+        stitches the fragment plans into one validated plan.  Returns an
+        :class:`repro.core.incremental.IncrementalCompiled`; see that
+        module for the trade-off against :meth:`compile`.
+        """
+        from .incremental import compile_incremental
+
+        return compile_incremental(self, template, options=options)
 
     def compile_baseline(self, template: OperatorGraph) -> CompiledTemplate:
         """The paper's baseline plan for the same template (unsplit)."""

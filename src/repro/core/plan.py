@@ -123,21 +123,44 @@ class ExecutionPlan:
         return [s for s, d in zip(self.steps, self.devices) if d == device]
 
     # -- accounting -----------------------------------------------------------
+    def _accounting(self, graph: OperatorGraph) -> tuple[int, int, int, int]:
+        """(h2d, d2h, peer, launch_count) in one pass over the steps.
+
+        The planner queries these sums repeatedly (candidate comparison,
+        tracer spans, metrics); a 100k-step plan makes each re-walk
+        noticeable.  The cache key is ``(id(graph), len(steps))`` — plans
+        are built append-only and then read, so a stale length always
+        invalidates, and plans are never re-accounted against a second
+        graph in practice (a different graph object misses the cache).
+        """
+        key = (id(graph), len(self.steps))
+        cached = getattr(self, "_acct_cache", None)
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        h2d = d2h = peer = launches = 0
+        data = graph.data
+        for s in self.steps:
+            if isinstance(s, CopyToGPU):
+                h2d += data[s.data].size
+            elif isinstance(s, CopyToCPU):
+                d2h += data[s.data].size
+            elif isinstance(s, Launch):
+                launches += 1
+            elif isinstance(s, PeerCopy):
+                peer += data[s.data].size
+        acct = (h2d, d2h, peer, launches)
+        self._acct_cache = (key, acct)
+        return acct
+
     def h2d_floats(self, graph: OperatorGraph) -> int:
-        return sum(
-            graph.data[s.data].size for s in self.steps if isinstance(s, CopyToGPU)
-        )
+        return self._accounting(graph)[0]
 
     def d2h_floats(self, graph: OperatorGraph) -> int:
-        return sum(
-            graph.data[s.data].size for s in self.steps if isinstance(s, CopyToCPU)
-        )
+        return self._accounting(graph)[1]
 
     def peer_floats(self, graph: OperatorGraph) -> int:
         """Floats moved directly between devices (never through the host)."""
-        return sum(
-            graph.data[s.data].size for s in self.steps if isinstance(s, PeerCopy)
-        )
+        return self._accounting(graph)[2]
 
     def transfer_floats(self, graph: OperatorGraph) -> int:
         """Total host<->device floats moved: the paper's Table 1 metric.
@@ -145,22 +168,24 @@ class ExecutionPlan:
         Peer (device-to-device) traffic is deliberately excluded — it
         never crosses the host interface; see :meth:`peer_floats`.
         """
-        return self.h2d_floats(graph) + self.d2h_floats(graph)
+        acct = self._accounting(graph)
+        return acct[0] + acct[1]
 
     def launches(self) -> list[str]:
         return [s.op for s in self.steps if isinstance(s, Launch)]
 
     def summary(self, graph: OperatorGraph) -> dict[str, int]:
+        h2d, d2h, peer, launches = self._accounting(graph)
         out = {
             "steps": len(self.steps),
-            "launches": len(self.launches()),
-            "h2d_floats": self.h2d_floats(graph),
-            "d2h_floats": self.d2h_floats(graph),
-            "transfer_floats": self.transfer_floats(graph),
+            "launches": launches,
+            "h2d_floats": h2d,
+            "d2h_floats": d2h,
+            "transfer_floats": h2d + d2h,
         }
         if self.devices:
             out["devices"] = self.num_devices
-            out["peer_floats"] = self.peer_floats(graph)
+            out["peer_floats"] = peer
         return out
 
     def pretty(self) -> str:

@@ -42,19 +42,25 @@ def hoist_uploads(
     steps = list(plan.steps)
     # Provenance rides along with the reordered steps (when present).
     notes = list(plan.notes) if len(plan.notes) == len(steps) else None
-    # Occupancy after each step (floats).
-    occ: list[int] = []
+    # Per-step occupancy deltas, computed once and reordered alongside
+    # ``steps``: a hoist then refreshes the displaced window with plain
+    # adds instead of re-deriving every Launch's output footprint.
+    deltas: list[int] = []
+    occ: list[int] = []  # occupancy after each step (floats)
     used = 0
     for step in steps:
+        delta = 0
         if isinstance(step, CopyToGPU):
-            used += graph.data[step.data].size
+            delta = graph.data[step.data].size
         elif isinstance(step, Free):
-            used -= graph.data[step.data].size
+            delta = -graph.data[step.data].size
         elif isinstance(step, Launch):
-            used += sum(
+            delta = sum(
                 graph.data[d].size
                 for d in dict.fromkeys(graph.ops[step.op].outputs)
             )
+        deltas.append(delta)
+        used += delta
         occ.append(used)
 
     i = 0
@@ -89,6 +95,7 @@ def hoist_uploads(
         if target < i:
             del steps[i]
             steps.insert(target, step)
+            deltas.insert(target, deltas.pop(i))
             if notes is not None:
                 note = notes.pop(i)
                 notes.insert(target, f"{note}; hoisted {i - target} steps")
@@ -96,18 +103,7 @@ def hoist_uploads(
             # outside [target, i] see the same multiset of prior steps).
             for k in range(target, i + 1):
                 prev_occ = occ[k - 1] if k > 0 else 0
-                s = steps[k]
-                delta = 0
-                if isinstance(s, CopyToGPU):
-                    delta = graph.data[s.data].size
-                elif isinstance(s, Free):
-                    delta = -graph.data[s.data].size
-                elif isinstance(s, Launch):
-                    delta = sum(
-                        graph.data[d].size
-                        for d in dict.fromkeys(graph.ops[s.op].outputs)
-                    )
-                occ[k] = prev_occ + delta
+                occ[k] = prev_occ + deltas[k]
         i += 1
     out = ExecutionPlan(
         steps=steps,

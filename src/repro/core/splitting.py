@@ -33,6 +33,8 @@ import math
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.ops import get_impl
 
 from .graph import (
@@ -152,11 +154,29 @@ def partition_data(
         replaced[oc] = names
     if not replaced:
         return
-    # Rewrite producers to scatter into the refined chunks.
-    for oc, news in replaced.items():
+    # Each rewired operator is handled *once*, expanding every replaced
+    # chunk it touches in a single pass.  Rewiring per (chunk, operator)
+    # pair — the obvious loop — is quadratic: an operator gathering all
+    # P chunks of a root would be rewired P times at O(P) inputs each.
+    # ``set_op_io`` moves the operator to the end of the consumers list
+    # of each of its inputs, and that order feeds the scheduler, so the
+    # batched pass must fire its one rewire per operator at the position
+    # of the operator's *last* rewire in the sequential per-chunk order.
+    news_bounds = {
+        oc: (
+            [chunk_range(graph, n)[0] for n in news],
+            [chunk_range(graph, n)[1] for n in news],
+        )
+        for oc, news in replaced.items()
+    }
+    # Producers, in last-occurrence order over the replaced chunks.
+    prod_order: dict[str, None] = {}
+    for oc in replaced:
         prod = graph.producer.get(oc)
-        if prod is None:
-            continue
+        if prod is not None:
+            prod_order.pop(prod, None)
+            prod_order[prod] = None
+    for prod in prod_order:
         pop = graph.ops[prod]
         specs = [
             OutSpec(s.root, s.rng, list(s.chunks))
@@ -167,7 +187,8 @@ def partition_data(
                 continue
             new_chunks: list[tuple[str, tuple[int, int]]] = []
             for name, rng in spec.chunks:
-                if name == oc:
+                news = replaced.get(name)
+                if news is not None:
                     new_chunks.extend(
                         (n, chunk_range(graph, n)) for n in news
                     )
@@ -177,46 +198,61 @@ def partition_data(
         pop.params["out_specs"] = specs
         outputs = [n for s in specs for n, _ in s.chunks]
         graph.set_op_io(prod, pop.inputs, outputs)
-    # Rewrite consumers to gather from overlapping refined chunks.
-    for oc, news in replaced.items():
-        news_starts = [chunk_range(graph, n)[0] for n in news]
-        news_ends = [chunk_range(graph, n)[1] for n in news]
-        for cons in list(graph.consumers.get(oc, ())):
-            cop = graph.ops[cons]
-            slots = [
-                Slot(s.root, s.rows, list(s.chunks))
-                for s in op_slots(cop, graph)
-            ]
-            for slot in slots:
-                if oc in slot.chunks:
-                    rebuilt: list[str] = []
-                    for name in slot.chunks:
-                        if name == oc:
-                            a, b = (
-                                slot.rows
-                                if slot.rows is not None
-                                else (0, rows)
-                            )
-                            rebuilt.extend(
-                                news[
-                                    bisect_right(news_ends, a) : bisect_left(
-                                        news_starts, b
-                                    )
-                                ]
-                            )
-                        else:
-                            rebuilt.append(name)
-                    slot.chunks = rebuilt
-            cop.params["slots"] = slots
-            inputs = [n for s in slots for n in s.chunks]
-            graph.set_op_io(cons, inputs, cop.outputs)
+    # Consumers.  Replaying the sequential order needs one more care:
+    # rewiring an operator moves it to the end of the consumers lists of
+    # the replaced chunks it *keeps*, so at each chunk the sequential
+    # loop saw not-yet-rewired consumers in list order followed by
+    # already-rewired ones in rewire order.  Simulate that to recover
+    # the order of each operator's last rewire, then rewire once each.
+    # ``cons_order`` maps consumer -> its last-rewire sequence number;
+    # scanning the (large, growing) order per chunk for the handful of
+    # members would be quadratic, so look members up and sort by seq.
+    cons_order: dict[str, int] = {}
+    seq = 0
+    for oc in replaced:
+        cur = graph.consumers.get(oc, ())
+        members = set(cur)
+        pending = [c for c in cur if c not in cons_order]
+        moved = sorted(
+            (c for c in members if c in cons_order),
+            key=cons_order.__getitem__,
+        )
+        for cons in pending + moved:
+            cons_order[cons] = seq
+            seq += 1
+    for cons in sorted(cons_order, key=cons_order.__getitem__):
+        cop = graph.ops[cons]
+        slots = [
+            Slot(s.root, s.rows, list(s.chunks))
+            for s in op_slots(cop, graph)
+        ]
+        for slot in slots:
+            if not any(name in replaced for name in slot.chunks):
+                continue
+            rebuilt: list[str] = []
+            for name in slot.chunks:
+                news = replaced.get(name)
+                if news is None:
+                    rebuilt.append(name)
+                    continue
+                a, b = slot.rows if slot.rows is not None else (0, rows)
+                news_starts, news_ends = news_bounds[name]
+                rebuilt.extend(
+                    news[
+                        bisect_right(news_ends, a) : bisect_left(
+                            news_starts, b
+                        )
+                    ]
+                )
+            slot.chunks = rebuilt
+        cop.params["slots"] = slots
+        inputs = [n for s in slots for n in s.chunks]
+        graph.set_op_io(cons, inputs, cop.outputs)
     # Retire the replaced chunks.  Flipping ``virtual`` bypasses the
     # graph mutators, so drop its caches explicitly.
-    for oc in replaced:
-        if oc == root:
-            ds.virtual = True
-        else:
-            graph.remove_data(oc)
+    if root in replaced:
+        ds.virtual = True
+    graph.remove_data_bulk(oc for oc in replaced if oc != root)
     graph.invalidate_caches()
 
 
@@ -261,7 +297,7 @@ def split_operator(
     cuts = [lo + (rows_out * i) // nparts for i in range(nparts + 1)]
     part_ranges = list(zip(cuts[:-1], cuts[1:]))
     # Per-part, per-slot required input rows (None = whole input).
-    reqs = [impl.input_rows(op, graph, rng) for rng in part_ranges]
+    reqs = impl.input_rows_batch(op, graph, part_ranges)
     in_rows0 = graph.data[slots[0].root].rows
     # The original operator goes away first so rewiring skips it.
     original_params = dict(op.params)
@@ -491,7 +527,11 @@ def estimate_split(graph: OperatorGraph, op_name: str, nparts: int) -> int:
 
     Mirrors :func:`split_operator`'s chunk selection analytically, against
     the input partitions as they would look *after* the refinement the
-    split itself performs.
+    split itself performs.  Kinds exposing an affine splitting rule
+    (:meth:`repro.ops.base.OpImpl.input_rows_affine`) are estimated with
+    one vectorized pass over the part-boundary arrays; the per-part loop
+    below stays as the general fallback (and the reference the columnar
+    path is tested against).
     """
     op = graph.ops[op_name]
     impl = get_impl(op.kind)
@@ -504,17 +544,23 @@ def estimate_split(graph: OperatorGraph, op_name: str, nparts: int) -> int:
         nparts = min(nparts, span)
         cols = graph.data[in_root].shape[1]
         per = _per_row(graph, in_root)
-        worst = max(
-            (rows[0] + (span * (i + 1)) // nparts)
-            - (rows[0] + (span * i) // nparts)
-            for i in range(nparts)
-        )
+        edges = rows[0] + (span * np.arange(nparts + 1, dtype=np.int64)) // nparts
+        worst = int(np.diff(edges).max())
         return worst * per + cols
     lo, hi = out_specs[0].rng
     rows_out = hi - lo
     nparts = min(nparts, rows_out)
     if nparts <= 1:
         return graph.op_footprint(op_name)
+    coeffs = impl.input_rows_affine(op, graph)
+    if coeffs is not None and len(coeffs) == len(slots):
+        split_roots = [
+            slots[i].root for i in range(len(slots)) if coeffs[i] is not None
+        ]
+        if len(set(split_roots)) == len(split_roots):
+            return _estimate_split_affine(
+                graph, op_name, slots, out_specs, coeffs, lo, rows_out, nparts
+            )
     cuts = [lo + (rows_out * i) // nparts for i in range(nparts + 1)]
     part_ranges = list(zip(cuts[:-1], cuts[1:]))
     reqs = [impl.input_rows(op, graph, rng) for rng in part_ranges]
@@ -565,6 +611,63 @@ def estimate_split(graph: OperatorGraph, op_name: str, nparts: int) -> int:
                         fp += (c1 - c0) * per
         worst = max(worst, fp)
     return worst
+
+
+def _estimate_split_affine(
+    graph: OperatorGraph,
+    op_name: str,
+    slots: list[Slot],
+    out_specs: list[OutSpec],
+    coeffs: list[tuple[int, int, int, int] | None],
+    lo: int,
+    rows_out: int,
+    nparts: int,
+) -> int:
+    """Vectorized :func:`estimate_split` for affine splitting rules.
+
+    Evaluates every part's footprint in one numpy pass: part boundaries
+    are an ``arange`` expression, each split slot's required range is an
+    affine map of those arrays, and the overlapped refined-chunk volume
+    per part reduces to a ``searchsorted`` pair against the sorted bound
+    array (the refined ranges covering ``[ra, rb)`` are contiguous, so
+    their total is ``bounds[hi] - bounds[lo]``).  Requires the split
+    slots to have pairwise-distinct roots (the cross-slot range dedup of
+    the scalar path can then never fire); the caller checks that.
+    """
+    idx = np.arange(nparts + 1, dtype=np.int64)
+    cuts = lo + (rows_out * idx) // nparts
+    a, b = cuts[:-1], cuts[1:]
+    per_out = sum(_per_row(graph, spec.root) for spec in out_specs)
+    fp = (b - a) * per_out
+    # Whole-input slots: constant across parts, dedup chunks by name.
+    seen: set[str] = set()
+    const = 0
+    for i, slot in enumerate(slots):
+        if coeffs[i] is not None:
+            continue
+        for n in slot.chunks:
+            if n not in seen:
+                seen.add(n)
+                const += graph.data[n].size
+    for i, slot in enumerate(slots):
+        c = coeffs[i]
+        if c is None:
+            continue
+        root_rows = graph.data[slot.root].rows
+        ra = np.maximum(0, c[0] * a + c[1])
+        rb = np.minimum(root_rows, c[2] * b + c[3])
+        bound_set = {0, root_rows}
+        for n in chunks_of(graph, slot.root):
+            x, y = chunk_range(graph, n)
+            bound_set.update((x, y))
+        bound_set.update(ra.tolist())
+        bounds = np.asarray(sorted(bound_set), dtype=np.int64)
+        s = np.searchsorted(bounds, ra, side="right") - 1
+        e = np.searchsorted(bounds, rb, side="left")
+        fp = fp + np.maximum(0, bounds[e] - bounds[s]) * _per_row(
+            graph, slot.root
+        )
+    return int(fp.max() + const)
 
 
 def make_feasible(

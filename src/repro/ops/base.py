@@ -87,6 +87,49 @@ class OpImpl(abc.ABC):
         This is the "size and offset computation" of Section 3.2.
         """
 
+    def input_rows_affine(
+        self, op: "Operator", graph: "OperatorGraph"
+    ) -> list[tuple[int, int, int, int] | None] | None:
+        """Affine form of the splitting rule, if it has one.
+
+        Every library rule maps output rows ``[r0, r1)`` to input rows by
+        a per-slot affine transform: identity for elementwise kinds,
+        halo-shifted for convolution, factor-scaled for subsampling.
+        Returns one entry per input slot — ``(m0, c0, m1, c1)`` meaning
+        the slot needs input rows ``[m0*r0 + c0, m1*r1 + c1)``, or
+        ``None`` for whole-input (unsplittable) slots — or ``None`` as a
+        whole when the rule is not affine, in which case callers fall
+        back to per-part :meth:`input_rows` calls.  The columnar split
+        estimator evaluates these coefficients over arrays of part
+        boundaries instead of looping one :meth:`input_rows` call per
+        part.
+        """
+        return None
+
+    def input_rows_batch(
+        self,
+        op: "Operator",
+        graph: "OperatorGraph",
+        out_ranges: Sequence[tuple[int, int]],
+    ) -> list[list[tuple[int, int] | None]]:
+        """The splitting rule applied to many part ranges at once.
+
+        Equivalent to ``[self.input_rows(op, graph, r) for r in
+        out_ranges]`` but evaluated through the affine coefficients when
+        the kind provides them (one coefficient fetch instead of one
+        rule call per part).
+        """
+        coeffs = self.input_rows_affine(op, graph)
+        if coeffs is None:
+            return [self.input_rows(op, graph, rng) for rng in out_ranges]
+        return [
+            [
+                None if c is None else (c[0] * r0 + c[1], c[2] * r1 + c[3])
+                for c in coeffs
+            ]
+            for r0, r1 in out_ranges
+        ]
+
 
 _REGISTRY: dict[str, OpImpl] = {}
 

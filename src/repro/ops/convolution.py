@@ -112,5 +112,14 @@ class Conv2D(OpImpl):
             img_rows = (r0 - ct, r1 + cb)  # clamped by the splitter
         return [img_rows, None]  # the kernel matrix must not be split
 
+    def input_rows_affine(self, op, graph):
+        from repro.core.graph import op_slots
+
+        kh = graph.data[op_slots(op, graph)[1].root].shape[0]
+        if op.params.get("mode", "same") == "valid":
+            return [(1, 0, 1, kh - 1), None]
+        ct, cb = same_padding(kh)
+        return [(1, -ct, 1, cb), None]
+
 
 register(Conv2D())

@@ -61,6 +61,14 @@ class _Elementwise(OpImpl):
             for i in range(len(op_slots(op, graph)))
         ]
 
+    def input_rows_affine(self, op, graph):
+        from repro.core.graph import op_slots
+
+        return [
+            None if i in self.scalar_slots else (1, 0, 1, 0)
+            for i in range(len(op_slots(op, graph)))
+        ]
+
 
 class Add(_Elementwise):
     kind = "add"

@@ -46,5 +46,8 @@ class MatMul(OpImpl):
     def input_rows(self, op, graph, out_range):
         return [out_range, None]  # split A rows; B stays whole
 
+    def input_rows_affine(self, op, graph):
+        return [(1, 0, 1, 0), None]
+
 
 register(MatMul())

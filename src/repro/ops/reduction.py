@@ -59,6 +59,9 @@ class Reduce(OpImpl):
         # machinery passes *input* ranges for partial-split kinds.
         return [out_range]
 
+    def input_rows_affine(self, op, graph):
+        return [(1, 0, 1, 0)]
+
 
 class CombinePartials(OpImpl):
     """Merge partial reduction results; params: ``fn``.

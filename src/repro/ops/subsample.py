@@ -56,5 +56,9 @@ class Subsample(OpImpl):
         r0, r1 = out_range
         return [(r0 * f, r1 * f)]
 
+    def input_rows_affine(self, op, graph):
+        f = int(op.params.get("factor", 2))
+        return [(f, 0, f, 0)]
+
 
 register(Subsample())

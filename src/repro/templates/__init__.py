@@ -23,6 +23,8 @@ from .pyramid import (
 )
 from .edge_detection import (
     edge_filter,
+    edge_forest_graph,
+    edge_forest_inputs,
     find_edges_graph,
     find_edges_inputs,
     rotated_kernel,
@@ -42,6 +44,8 @@ __all__ = [
     "find_edges",
     "gaussian_kernel",
     "edge_filter",
+    "edge_forest_graph",
+    "edge_forest_inputs",
     "find_edges_graph",
     "find_edges_inputs",
     "rotated_kernel",

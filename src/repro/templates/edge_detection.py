@@ -105,6 +105,92 @@ def find_edges_graph(
     return g
 
 
+def edge_forest_graph(
+    n_branches: int,
+    height: int,
+    width: int,
+    kernel_size: int = 16,
+    num_orientations: int = 4,
+    combine_op: str = "max",
+    branch_combine: dict[int, str] | None = None,
+) -> OperatorGraph:
+    """A forest of independent edge-detection branches in one template.
+
+    Each branch ``j`` is a full :func:`find_edges_graph` pipeline over
+    its *own* image and kernel inputs (names prefixed ``T{j}_``) — the
+    batch-of-micrographs workload, where branches share nothing and the
+    planner's fragment machinery (:mod:`repro.core.incremental`) can
+    replan them independently.
+
+    ``branch_combine`` overrides the combine operator of individual
+    branches (``{j: "add"}``); the benchmark uses it to express a
+    one-branch edit of a large template.
+    """
+    if n_branches < 1:
+        raise ValueError("need at least one branch")
+    overrides = branch_combine or {}
+    for j, op in overrides.items():
+        if not 0 <= j < n_branches:
+            raise ValueError(f"branch_combine index {j} out of range")
+        if op not in _COMBINE_KINDS:
+            raise ValueError(f"combine_op must be one of {sorted(_COMBINE_KINDS)}")
+    if combine_op not in _COMBINE_KINDS:
+        raise ValueError(f"combine_op must be one of {sorted(_COMBINE_KINDS)}")
+    if num_orientations < 2:
+        raise ValueError("need at least two orientations")
+    g = OperatorGraph(f"edge_forest_{n_branches}x{height}x{width}")
+    n_conv = (num_orientations + 1) // 2
+    for j in range(n_branches):
+        p = f"T{j}_"
+        g.add_data(f"{p}Img", (height, width), is_input=True)
+        responses: list[str] = []
+        for i in range(num_orientations):
+            e = f"{p}E{i + 1}"
+            g.add_data(e, (height, width))
+            if i < n_conv:
+                kname = f"{p}K{i + 1}"
+                g.add_data(kname, (kernel_size, kernel_size), is_input=True)
+                g.add_operator(
+                    f"{p}C{i + 1}", "conv2d", [f"{p}Img", kname], [e],
+                    mode="same",
+                )
+            else:
+                g.add_operator(
+                    f"{p}R{i - n_conv + 1}", "remap", [responses[i - n_conv]], [e]
+                )
+            responses.append(e)
+        g.add_data(f"{p}Edg", (height, width), is_output=True)
+        g.add_operator(
+            f"{p}Cmb",
+            _COMBINE_KINDS[overrides.get(j, combine_op)],
+            responses,
+            [f"{p}Edg"],
+        )
+    g.validate()
+    return g
+
+
+def edge_forest_inputs(
+    n_branches: int,
+    height: int,
+    width: int,
+    kernel_size: int = 16,
+    num_orientations: int = 4,
+    seed: int = 0,
+) -> dict[str, np.ndarray]:
+    """Synthetic per-branch micrographs + rotated kernels for the forest."""
+    rng = np.random.default_rng(seed)
+    base = edge_filter(kernel_size)
+    n_conv = (num_orientations + 1) // 2
+    inputs: dict[str, np.ndarray] = {}
+    for j in range(n_branches):
+        p = f"T{j}_"
+        inputs[f"{p}Img"] = rng.random((height, width), dtype=np.float32)
+        for i in range(n_conv):
+            inputs[f"{p}K{i + 1}"] = rotated_kernel(base, i)
+    return inputs
+
+
 def find_edges_inputs(
     height: int,
     width: int,

@@ -187,6 +187,55 @@ def differential_check(
     return reference
 
 
+def assert_columnar_equivalent(
+    graph: OperatorGraph,
+    capacity_floats: int | None = None,
+    schedulers: tuple[str, ...] = ("dfs", "dfs_naive"),
+    policies: tuple[str, ...] = ("belady", "cost", "ltu", "lru", "fifo"),
+) -> None:
+    """The columnar planner must emit *byte-identical* plans.
+
+    For every scheduler/eviction-policy/eager-free combination covered
+    by :mod:`repro.core.columnar`, the flat-table fast path must produce
+    exactly the operator order, plan steps and provenance notes of the
+    per-object reference implementation — compared as canonical JSON, so
+    any drift (a reordered step, a changed note string) fails loudly.
+    """
+    import json
+
+    from repro.core import SCHEDULERS, plan_to_dict, schedule_transfers
+    from repro.core.columnar import (
+        COLUMNAR_SCHEDULERS,
+        lower,
+        schedule_transfers_columnar,
+    )
+
+    cap = capacity_floats
+    if cap is None:
+        # tight enough to force evictions, loose enough to be feasible
+        cap = max(graph.max_footprint(), 1) * 2
+    col = lower(graph)
+    for sched in schedulers:
+        ref_order = SCHEDULERS[sched](graph)
+        col_order = COLUMNAR_SCHEDULERS[sched](graph, col)
+        assert col_order == ref_order, f"{sched}: operator order differs"
+        for policy in policies:
+            for eager in (True, False):
+                ref = schedule_transfers(
+                    graph, ref_order, cap, policy=policy, eager_free=eager
+                )
+                got = schedule_transfers_columnar(
+                    graph, col_order, cap,
+                    policy=policy, eager_free=eager, col=col,
+                )
+                a = json.dumps(plan_to_dict(ref), sort_keys=True)
+                b = json.dumps(plan_to_dict(got), sort_keys=True)
+                assert a == b, (
+                    f"columnar plan differs from reference: "
+                    f"{sched}/{policy}/eager={eager}"
+                )
+
+
 # ---------------------------------------------------------------------------
 # Seeded random operator graphs
 # ---------------------------------------------------------------------------

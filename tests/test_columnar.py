@@ -1,0 +1,211 @@
+"""Columnar planner IR: lowering, schedulers, transfers, engine wiring.
+
+The byte-identity contract (columnar plans == per-object plans, steps
+and provenance notes alike) is pinned by tests/test_differential.py;
+this file covers the tables themselves and the Framework wiring.
+"""
+
+import json
+
+import pytest
+
+from repro.core import (
+    COLUMNAR_SCHEDULERS,
+    CompileOptions,
+    Framework,
+    dfs_naive_schedule,
+    dfs_naive_schedule_columnar,
+    dfs_schedule,
+    dfs_schedule_columnar,
+    lower,
+    plan_to_dict,
+    planner_engine,
+    schedule_transfers,
+    schedule_transfers_columnar,
+)
+from repro.core.plan import PlanError
+from repro.gpusim import GpuDevice
+from repro.templates import cnn_graph, find_edges_graph, SMALL_CNN
+
+KB = 1024
+DEV = GpuDevice(name="col-dev", memory_bytes=256 * KB)
+
+
+def edge():
+    return find_edges_graph(48, 40, 5, 4)
+
+
+# ---------------------------------------------------------------------------
+# Lowering
+# ---------------------------------------------------------------------------
+class TestLowering:
+    def test_ids_are_insertion_order(self):
+        g = edge()
+        col = lower(g)
+        assert col.data_names == list(g.data)
+        assert col.op_names == list(g.ops)
+        assert all(col.data_id[d] == i for i, d in enumerate(col.data_names))
+        assert all(col.op_id[o] == i for i, o in enumerate(col.op_names))
+
+    def test_data_columns(self):
+        g = edge()
+        col = lower(g)
+        for i, (d, ds) in enumerate(g.data.items()):
+            assert col.data_size[i] == ds.size
+            assert col.data_is_output[i] == (ds.is_output and not ds.virtual)
+
+    def test_band_start_column(self):
+        g = edge()
+        col = lower(g)
+        for i, op in enumerate(g.ops.values()):
+            rng = op.params.get("out_range")
+            assert col.band_start[i] == (rng[0] if rng else 0)
+
+    def test_csr_adjacency_matches_object_graph(self):
+        g = cnn_graph(SMALL_CNN, 48, 48)
+        col = lower(g)
+        for i, (o, op) in enumerate(g.ops.items()):
+            ins = [col.data_names[d]
+                   for d in col.in_ids[col.in_ptr[i]:col.in_ptr[i + 1]]]
+            assert ins == list(op.inputs)
+            uins = [col.data_names[d]
+                    for d in col.uin_ids[col.uin_ptr[i]:col.uin_ptr[i + 1]]]
+            assert uins == list(dict.fromkeys(op.inputs))
+            succs = [col.op_names[s]
+                     for s in col.succ_ids[col.succ_ptr[i]:col.succ_ptr[i + 1]]]
+            assert succs == g.op_successors(o)
+            assert col.pred_counts[i] == len(g.op_predecessors(o))
+
+    def test_counts(self):
+        g = edge()
+        col = lower(g)
+        assert col.n_data == len(g.data)
+        assert col.n_ops == len(g.ops)
+
+
+# ---------------------------------------------------------------------------
+# Schedulers
+# ---------------------------------------------------------------------------
+class TestColumnarSchedulers:
+    def test_dfs_matches_reference(self):
+        g = cnn_graph(SMALL_CNN, 48, 48)
+        assert dfs_schedule_columnar(g) == dfs_schedule(g)
+
+    def test_dfs_naive_matches_reference(self):
+        g = cnn_graph(SMALL_CNN, 48, 48)
+        assert dfs_naive_schedule_columnar(g) == dfs_naive_schedule(g)
+
+    def test_registry_covers_both_dfs_variants(self):
+        assert set(COLUMNAR_SCHEDULERS) == {"dfs", "dfs_naive"}
+
+    def test_reuses_prelowered_tables(self):
+        g = edge()
+        col = lower(g)
+        assert dfs_schedule_columnar(g, col) == dfs_schedule(g)
+
+
+# ---------------------------------------------------------------------------
+# Transfers
+# ---------------------------------------------------------------------------
+class TestColumnarTransfers:
+    def test_rejects_unknown_policy(self):
+        g = edge()
+        with pytest.raises(ValueError, match="unknown eviction policy"):
+            schedule_transfers_columnar(g, dfs_schedule(g), 10**6, policy="mru")
+
+    def test_rejects_partial_op_order(self):
+        g = edge()
+        order = dfs_schedule(g)[:-1]
+        with pytest.raises(ValueError, match="op_order must cover"):
+            schedule_transfers_columnar(g, order, 10**6)
+
+    def test_infeasible_footprint_raises_plan_error(self):
+        g = edge()
+        with pytest.raises(PlanError, match="footprint"):
+            schedule_transfers_columnar(g, dfs_schedule(g), 16)
+
+    def test_plan_matches_reference_bytes(self):
+        g = cnn_graph(SMALL_CNN, 48, 48)
+        order = dfs_schedule(g)
+        cap = max(g.max_footprint(), 1) * 2
+        ref = schedule_transfers(g, order, cap)
+        got = schedule_transfers_columnar(g, order, cap)
+        assert json.dumps(plan_to_dict(ref), sort_keys=True) == json.dumps(
+            plan_to_dict(got), sort_keys=True
+        )
+
+
+# ---------------------------------------------------------------------------
+# Framework wiring
+# ---------------------------------------------------------------------------
+class TestEngineWiring:
+    def test_default_engine_is_columnar(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PLANNER", raising=False)
+        assert planner_engine() == "columnar"
+
+    def test_invalid_engine_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PLANNER", "turbo")
+        with pytest.raises(ValueError, match="REPRO_PLANNER"):
+            planner_engine()
+
+    def test_engines_compile_byte_identical(self, monkeypatch):
+        g = find_edges_graph(96, 64, 5, 4)
+        opts = CompileOptions(split_headroom=1.0)
+        dev = GpuDevice(name="col-tight", memory_bytes=32 * KB)
+        monkeypatch.setenv("REPRO_PLANNER", "object")
+        ref = Framework(dev, options=opts, plan_cache=False).compile(g)
+        monkeypatch.setenv("REPRO_PLANNER", "columnar")
+        got = Framework(dev, options=opts, plan_cache=False).compile(g)
+        assert got.op_order == ref.op_order
+        assert json.dumps(plan_to_dict(got.plan), sort_keys=True) == json.dumps(
+            plan_to_dict(ref.plan), sort_keys=True
+        )
+
+    def test_lowering_span_recorded(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PLANNER", raising=False)
+        c = Framework(DEV, plan_cache=False).compile(edge())
+        names = {sp.name for sp in c.spans}
+        assert "lowering" in names
+        sched = [sp for sp in c.spans if sp.name == "operator_scheduling"]
+        assert sched and sched[0].attrs["engine"] == "columnar"
+
+    def test_object_engine_records_no_lowering(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PLANNER", "object")
+        c = Framework(DEV, plan_cache=False).compile(edge())
+        assert "lowering" not in {sp.name for sp in c.spans}
+
+    def test_object_scheduler_with_columnar_transfers(self, monkeypatch):
+        """greedy/bfs/topo schedulers keep the per-object order but still
+        benefit from columnar transfer scheduling."""
+        monkeypatch.delenv("REPRO_PLANNER", raising=False)
+        opts = CompileOptions(scheduler="bfs", split_headroom=1.0)
+        c = Framework(DEV, options=opts, plan_cache=False).compile(edge())
+        sched = [sp for sp in c.spans if sp.name == "operator_scheduling"]
+        xfer = [sp for sp in c.spans if sp.name == "transfer_scheduling"]
+        assert sched[0].attrs["engine"] == "object"
+        assert xfer[0].attrs["engine"] == "columnar"
+
+
+# ---------------------------------------------------------------------------
+# Plan accounting memoization
+# ---------------------------------------------------------------------------
+class TestPlanAccounting:
+    def test_sums_stable_across_calls(self):
+        g = edge()
+        cap = max(g.max_footprint(), 1) * 2
+        plan = schedule_transfers(g, dfs_schedule(g), cap)
+        first = (plan.h2d_floats(g), plan.d2h_floats(g), plan.transfer_floats(g))
+        again = (plan.h2d_floats(g), plan.d2h_floats(g), plan.transfer_floats(g))
+        assert first == again
+        assert plan.summary(g)["transfer_floats"] == first[2]
+
+    def test_cache_invalidates_on_append(self):
+        from repro.core import CopyToGPU
+
+        g = edge()
+        cap = max(g.max_footprint(), 1) * 2
+        plan = schedule_transfers(g, dfs_schedule(g), cap)
+        before = plan.h2d_floats(g)
+        extra = next(iter(g.data))
+        plan.steps.append(CopyToGPU(extra))
+        assert plan.h2d_floats(g) == before + g.data[extra].size

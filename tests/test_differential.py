@@ -24,6 +24,7 @@ from .differential import (
     EXECUTORS,
     PLANNERS,
     assert_bitwise_equal,
+    assert_columnar_equivalent,
     differential_check,
     random_inputs,
     random_operator_graph,
@@ -88,6 +89,52 @@ def test_random_graphs_alt_planner(seed):
     inputs = random_inputs(graph, seed)
     device = GpuDevice(name="diff-rand", memory_bytes=16 * KB)
     differential_check(graph, inputs, device, PLANNERS["bfs-lru"])
+
+
+# ---------------------------------------------------------------------------
+# Columnar planner equivalence
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("template", sorted(TEMPLATES))
+def test_columnar_equivalent_templates(template):
+    """The columnar planner is byte-identical on the real templates."""
+    graph, _ = TEMPLATES[template]()
+    assert_columnar_equivalent(graph)
+
+
+def test_columnar_equivalent_split_graph():
+    """Byte identity holds on a graph after operator splitting too."""
+    from repro.core import make_feasible
+
+    graph = find_edges_graph(96, 64, 5, 4)
+    make_feasible(graph, 8 * KB // 4)
+    assert_columnar_equivalent(graph)
+
+
+def test_columnar_property_random_graphs():
+    """Hypothesis: columnar lowering round-trips byte-identical plans.
+
+    Random layered DAGs (drawn through the same seeded generator the
+    executor matrix uses) must plan identically through the flat-table
+    and per-object paths, across every covered scheduler and policy.
+    """
+    hypothesis = pytest.importorskip("hypothesis")
+    from hypothesis import strategies as st
+
+    @hypothesis.given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        n_layers=st.integers(min_value=1, max_value=5),
+        width=st.integers(min_value=1, max_value=4),
+    )
+    @hypothesis.settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[hypothesis.HealthCheck.too_slow],
+    )
+    def check(seed, n_layers, width):
+        graph = random_operator_graph(seed, n_layers=n_layers, width=width)
+        assert_columnar_equivalent(graph)
+
+    check()
 
 
 def test_reference_is_deterministic():
