@@ -9,6 +9,9 @@ Stable public facade
 * :class:`repro.CompileOptions` — keyword-only compilation knobs
 * :class:`repro.ExecutionService` / :class:`repro.ServiceConfig` — the
   concurrent execution service (``repro serve`` / ``repro submit``)
+* :class:`repro.AsyncExecutionService` — the asyncio front end over the
+  same core; all services share the :class:`repro.service.Submitter`
+  contract
 
 Layered packages (power users)
 ------------------------------
@@ -41,11 +44,18 @@ from . import (
 from .api import compile, compile_multi, execute, simulate
 from .core import CompileOptions, Framework, OperatorGraph, run_template
 from .gpusim import GEFORCE_8800_GTX, TESLA_C870, GpuDevice, HostSystem
-from .service import ExecutionService, ServiceConfig, ServiceRequest
+from .service import (
+    AsyncExecutionService,
+    ExecutionService,
+    ServiceConfig,
+    ServiceRequest,
+    Submitter,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "AsyncExecutionService",
     "CompileOptions",
     "ExecutionService",
     "Framework",
@@ -55,6 +65,7 @@ __all__ = [
     "OperatorGraph",
     "ServiceConfig",
     "ServiceRequest",
+    "Submitter",
     "TESLA_C870",
     "analysis",
     "api",

@@ -59,4 +59,17 @@ def legacy_positional(
     return kwargs
 
 
-__all__ = ["UNSET", "explicit_kwargs", "legacy_positional"]
+def deprecated_shape(old: str, new: str) -> None:
+    """Warn that a legacy call shape was used, naming the replacement.
+
+    The shape itself keeps working (the caller routes it onto the new
+    surface); tests pin the two byte-identical.
+    """
+    warnings.warn(
+        f"{old} is deprecated; use {new}",
+        DeprecationWarning,
+        stacklevel=4,
+    )
+
+
+__all__ = ["UNSET", "deprecated_shape", "explicit_kwargs", "legacy_positional"]

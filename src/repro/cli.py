@@ -62,8 +62,9 @@ from repro.gpusim import (
 )
 from repro.gpusim.faults import FaultSpec
 from repro.multigpu import compile_multi, execute_multi, simulate_multi
-from repro.runtime import reference_execute, simulate_plan
+from repro.runtime import plan_streams, reference_execute, simulate_plan
 from repro.service import (
+    AsyncExecutionService,
     ExecutionService,
     RetryPolicy,
     ServiceConfig,
@@ -472,17 +473,18 @@ def cmd_explain(args) -> int:
     else:
         compiled = _framework(args).compile(graph)
         device_label = compiled.device.name
+    streams = plan_streams(compiled.plan)
     if args.json:
         print(json.dumps({
             "template": compiled.graph.name,
             "device": device_label,
             "plan_label": compiled.plan.label,
-            "steps": explain_to_dicts(compiled.plan),
+            "steps": explain_to_dicts(compiled.plan, streams),
         }, indent=1))
         return 0
     print(f"plan for {compiled.graph.name!r} on {device_label} "
           f"({compiled.plan.label}):")
-    print(render_explain(compiled.plan))
+    print(render_explain(compiled.plan, streams))
     return 0
 
 
@@ -746,6 +748,54 @@ def _run_service(args, requests: list[ServiceRequest]) -> int:
     return EXIT_OK if ok else EXIT_FAILURE
 
 
+def _run_async_demo(args, request: ServiceRequest) -> int:
+    """``repro submit --async-demo``: the asyncio front end, end to end.
+
+    Fans ``--repeat`` copies of one request through
+    :class:`AsyncExecutionService` and collects them with a single
+    ``asyncio.gather`` — the same admission, single-flight dedupe and
+    batching as the blocking path, visible per ticket in the output.
+    """
+    import asyncio
+
+    async def demo():
+        async with AsyncExecutionService(
+            _service_config(args), shards=getattr(args, "shards", 0) or 0
+        ) as svc:
+            tickets = await svc.submit_all([request] * args.repeat)
+            responses = await asyncio.wait_for(
+                asyncio.gather(*tickets), timeout=args.wait
+            )
+            return tickets, list(responses), svc.core.metrics_snapshot()
+
+    tickets, responses, snapshot = asyncio.run(demo())
+    counters = snapshot.get("counters", {})
+    if args.json:
+        print(json.dumps({
+            "async_demo": True,
+            "responses": [r.to_dict() for r in responses],
+            "metrics": snapshot,
+        }, indent=1))
+    else:
+        print(f"gathered {len(responses)} awaitable tickets via "
+              f"asyncio.gather:")
+        for ticket, resp in zip(tickets, responses):
+            if resp.deduped_from is not None:
+                share = f"deduped from request {resp.deduped_from}"
+            elif resp.batched:
+                share = ("batched with " +
+                         ", ".join(str(i) for i in resp.batched_with))
+            else:
+                share = resp.planner_used or (resp.error or "")[:48]
+            print(f"  ticket {ticket.id:>3} {resp.status.value:9s} "
+                  f"wait={resp.wait_seconds * 1e3:7.2f}ms "
+                  f"svc={resp.service_seconds * 1e3:7.2f}ms  {share}")
+        print(f"compiles: {counters.get('service.compiles', 0)}, "
+              f"dedupe hits: {counters.get('service.dedupe_hits', 0)}, "
+              f"batches: {counters.get('service.batches', 0)}")
+    return EXIT_OK if all(r.ok for r in responses) else EXIT_FAILURE
+
+
 def cmd_submit(args) -> int:
     graph, make_inputs = _build(args)
     request = ServiceRequest(
@@ -759,6 +809,8 @@ def cmd_submit(args) -> int:
         deadline=args.deadline,
         label=args.template,
     )
+    if args.async_demo:
+        return _run_async_demo(args, request)
     return _run_service(args, [request] * args.repeat)
 
 
@@ -1201,6 +1253,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--repeat", type=int, default=1,
                    help="submit this many concurrent copies "
                         "(demonstrates single-flight dedupe)")
+    p.add_argument("--async-demo", action="store_true", dest="async_demo",
+                   help="drive the request through AsyncExecutionService "
+                        "and gather the awaitable tickets with "
+                        "asyncio.gather (same core, asyncio face)")
     p.set_defaults(func=cmd_submit)
 
     p = sub.add_parser(

@@ -15,9 +15,10 @@ free-form ``.txt`` renderings.  Every benchmark run writes one
   ``repro bench-compare <baseline> <candidate>`` is the CI gate.
 
 Metrics are lower-is-better by default (bytes, floats, seconds).  Names
-containing ``speedup`` invert the direction; names starting with
-``wall_`` are wall-clock measurements and therefore *informational* —
-reported, never gated (they vary across machines).
+containing ``speedup``, ``efficiency`` or ``hidden_`` invert the
+direction (more overlap hidden behind compute is better); names
+starting with ``wall_`` are wall-clock measurements and therefore
+*informational* — reported, never gated (they vary across machines).
 """
 
 from __future__ import annotations
@@ -34,7 +35,7 @@ SCHEMA_VERSION = 1
 #: metric-name prefixes that are reported but never fail the gate
 INFORMATIONAL_PREFIXES = ("wall_",)
 #: substrings marking higher-is-better metrics
-HIGHER_IS_BETTER = ("speedup",)
+HIGHER_IS_BETTER = ("speedup", "efficiency", "hidden_")
 
 DEFAULT_THRESHOLD = 0.10
 

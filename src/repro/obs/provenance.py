@@ -49,6 +49,7 @@ class StepExplanation:
     device: int | None = None
     peer_src: int | None = None
     peer_dst: int | None = None
+    stream: str | None = None
 
     def to_dict(self) -> dict[str, Any]:
         out: dict[str, Any] = {
@@ -56,6 +57,8 @@ class StepExplanation:
             "step": self.step,
             "reason": self.reason,
         }
+        if self.stream is not None:
+            out["stream"] = self.stream
         if self.device is not None:
             out["device"] = self.device
         if self.peer_src is not None:
@@ -64,10 +67,18 @@ class StepExplanation:
         return out
 
 
-def explain_plan(plan) -> list[StepExplanation]:
-    """Pair every plan step with its recorded (or derived) reason."""
+def explain_plan(plan, streams=None) -> list[StepExplanation]:
+    """Pair every plan step with its recorded (or derived) reason.
+
+    ``streams`` is an optional parallel list of stream labels — the
+    event engine's static assignment (see
+    :func:`repro.runtime.plan_streams`).  It is passed in rather than
+    computed here so this module keeps its position at the bottom of
+    the import graph.
+    """
     notes = list(getattr(plan, "notes", None) or [])
     devices = list(getattr(plan, "devices", None) or [])
+    streams = list(streams or [])
     out: list[StepExplanation] = []
     for i, step in enumerate(plan.steps):
         text = str(step)
@@ -92,48 +103,65 @@ def explain_plan(plan) -> list[StepExplanation]:
                 device=devices[i] if i < len(devices) else None,
                 peer_src=src,
                 peer_dst=dst,
+                stream=streams[i] if i < len(streams) else None,
             )
         )
     return out
 
 
-def render_explain(plan) -> str:
+def render_explain(plan, streams=None) -> str:
     """Human-readable ``repro explain`` table.
 
     Device-tagged plans get a ``dev`` column; ``PeerCopy`` rows show
-    their source->destination route in the step text itself.
+    their source->destination route in the step text itself.  When
+    ``streams`` is given (the event engine's per-step assignment) a
+    ``stream`` column shows which engine each step fires on.
     """
-    rows = explain_plan(plan)
+    rows = explain_plan(plan, streams)
     if not rows:
         return "(empty plan)"
     step_w = max(len(r.step) for r in rows)
     idx_w = len(str(rows[-1].index))
+    with_streams = any(r.stream is not None for r in rows)
+    strm_w = 0
+    if with_streams:
+        strm_w = max(len("stream"), max(len(r.stream or "") for r in rows))
+
+    def strm(r: StepExplanation) -> str:
+        if not with_streams:
+            return ""
+        return f"{(r.stream or ''):{strm_w}s}  "
+
+    strm_hdr = f"{'stream':{strm_w}s}  " if with_streams else ""
     with_devices = any(r.device is not None for r in rows)
     if with_devices:
         dev_w = max(len(f"gpu{r.device}") for r in rows if r.device is not None)
         lines = [
-            f"{'#':>{idx_w}s}  {'dev':{dev_w}s}  {'step':{step_w}s}  reason",
-            "-" * (idx_w + dev_w + step_w + 32),
+            f"{'#':>{idx_w}s}  {'dev':{dev_w}s}  {strm_hdr}"
+            f"{'step':{step_w}s}  reason",
+            "-" * (idx_w + dev_w + strm_w + step_w + 32),
         ]
         for r in rows:
             dev = f"gpu{r.device}" if r.device is not None else ""
             lines.append(
-                f"{r.index:>{idx_w}d}  {dev:{dev_w}s}  "
+                f"{r.index:>{idx_w}d}  {dev:{dev_w}s}  {strm(r)}"
                 f"{r.step:{step_w}s}  {r.reason}"
             )
         return "\n".join(lines)
     lines = [
-        f"{'#':>{idx_w}s}  {'step':{step_w}s}  reason",
-        "-" * (idx_w + step_w + 30),
+        f"{'#':>{idx_w}s}  {strm_hdr}{'step':{step_w}s}  reason",
+        "-" * (idx_w + strm_w + step_w + 30),
     ]
     for r in rows:
-        lines.append(f"{r.index:>{idx_w}d}  {r.step:{step_w}s}  {r.reason}")
+        lines.append(
+            f"{r.index:>{idx_w}d}  {strm(r)}{r.step:{step_w}s}  {r.reason}"
+        )
     return "\n".join(lines)
 
 
-def explain_to_dicts(plan) -> list[dict[str, Any]]:
+def explain_to_dicts(plan, streams=None) -> list[dict[str, Any]]:
     """JSON-ready provenance records (the ``repro explain --json`` body)."""
-    return [r.to_dict() for r in explain_plan(plan)]
+    return [r.to_dict() for r in explain_plan(plan, streams)]
 
 
 def provenance_summary(plan) -> dict[str, int]:

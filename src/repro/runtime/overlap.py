@@ -20,11 +20,20 @@ capability, using a two-engine dependency model:
 
 Memory capacity is *not* re-checked here (the plan already bounds
 simultaneous residency; overlapping can only shorten lifetimes of the
-same residency set), so the result is the standard optimistic stream
-timing.  The gap between ``sync_total_time`` and ``total_time`` is the
-transfer cost the paper's synchronous execution could have hidden — the
-objective-function change Section 3.3.2 sketches (count only
-non-overlapped transfers).
+same residency set).
+
+This module is a *predictor*: it re-times a finished plan without
+executing it.  The prediction is exact, not merely optimistic — the
+discrete-event engine (:mod:`repro.runtime.events`) executes plans on
+real streams with the same dependency model, and its executed timeline
+matches this module's figures bit-for-bit on the shared-copy-engine
+configuration (asserted in ``tests/test_events.py``).  Use
+:func:`repro.runtime.events.execute_plan_events` when you need the
+overlapped run itself (payloads, per-stream profile); use this module
+when you only need the numbers.  The gap between ``sync_total_time``
+and ``total_time`` is the transfer cost the paper's synchronous
+execution could have hidden — the objective-function change Section
+3.3.2 sketches (count only non-overlapped transfers).
 """
 
 from __future__ import annotations

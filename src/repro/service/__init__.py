@@ -7,17 +7,23 @@ plan-cache key (single-flight), enforces per-request deadlines and
 admission control, and survives injected substrate faults with
 retry-plus-backoff and graceful degradation to the heuristic planner.
 
-Entry points:
+Entry points — all of them one :class:`Submitter` contract:
 
-* :class:`ExecutionService` — the pool; ``submit()`` returns a
-  :class:`Ticket` whose ``result()`` blocks for a
+* :class:`ExecutionService` — the in-process pool; ``submit()`` returns
+  a :class:`Ticket` whose ``result()`` blocks for a
   :class:`ServiceResponse`.
+* :class:`ShardedExecutionService` — the multi-process fleet, same
+  surface.
+* :class:`AsyncExecutionService` — the asyncio front end
+  (``async with`` / ``await service.submit(...)`` / awaitable
+  :class:`AsyncTicket`).
 * :class:`ServiceConfig` / :class:`RetryPolicy` — tuning knobs.
 * ``repro serve`` / ``repro submit`` — the CLI faces.
 
 See docs/SERVICE.md for architecture and failure semantics.
 """
 
+from .aio import AsyncExecutionService, AsyncTicket
 from .config import RetryPolicy, ServiceConfig
 from .request import (
     QueueFullError,
@@ -30,8 +36,11 @@ from .request import (
 )
 from .service import ExecutionService
 from .shard import ShardDiedError, ShardedExecutionService
+from .submitter import Submitter
 
 __all__ = [
+    "AsyncExecutionService",
+    "AsyncTicket",
     "ExecutionService",
     "QueueFullError",
     "ShardDiedError",
@@ -43,5 +52,6 @@ __all__ = [
     "ServiceError",
     "ServiceRequest",
     "ServiceResponse",
+    "Submitter",
     "Ticket",
 ]

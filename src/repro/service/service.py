@@ -250,14 +250,24 @@ class ExecutionService:
             self.flight.close()
 
     # -- submission ------------------------------------------------------
-    def submit(self, request: ServiceRequest) -> Ticket:
+    def submit(
+        self, request: ServiceRequest | Any = None, /, **fields: Any
+    ) -> Ticket:
         """Admit one request; returns its :class:`Ticket`.
+
+        Canonically takes one :class:`ServiceRequest` (the
+        :class:`~repro.service.Submitter` contract); the pre-protocol
+        expanded shape ``submit(template, device=..., ...)`` still works
+        behind a :class:`DeprecationWarning`.
 
         Raises :class:`QueueFullError` when the bounded queue is at
         capacity (explicit rejection — callers decide whether to back
         off or shed load) and :class:`ServiceClosedError` after
         ``close()``.
         """
+        from .submitter import coerce_request
+
+        request = coerce_request("ExecutionService.submit", request, fields)
         now = self._clock()
         deadline = request.deadline
         if deadline is None:

@@ -249,14 +249,22 @@ class ShardedExecutionService:
         return self.ring.route(self.route_key(request))
 
     # -- submission ------------------------------------------------------
-    def submit(self, request: ServiceRequest) -> Ticket:
+    def submit(
+        self, request: ServiceRequest | Any = None, /, **fields: Any
+    ) -> Ticket:
         """Route and admit one request; returns a fleet-global ticket.
 
         Admission is synchronous — the owning shard's accept/reject
         round-trips before this returns, so :class:`QueueFullError` and
         :class:`ServiceClosedError` raise here exactly as they do on the
-        single-process tier.
+        single-process tier.  The deprecated expanded call shape is
+        accepted exactly as on :meth:`ExecutionService.submit`.
         """
+        from .submitter import coerce_request
+
+        request = coerce_request(
+            "ShardedExecutionService.submit", request, fields
+        )
         with self._lock:
             if self._closed:
                 raise ServiceClosedError("sharded service is closed")

@@ -1,0 +1,96 @@
+"""The unified submit surface: one protocol, three services.
+
+Every way into the serving tier — the in-process
+:class:`~repro.service.ExecutionService`, the multi-process
+:class:`~repro.service.ShardedExecutionService`, and the asyncio
+:class:`~repro.service.AsyncExecutionService` — speaks the same
+contract, captured here as the :class:`Submitter` protocol:
+
+* ``submit(request) -> Ticket`` — admit one :class:`ServiceRequest`;
+* ``submit_all(requests) -> list[Ticket]`` — admit a batch;
+* ``close(*, cancel_pending=False)`` — drain (or cancel) and shut down;
+* context-manager lifecycle (``with``/``async with``);
+* the **ticket contract**: the returned handle exposes ``result()``,
+  ``done()``, ``cancel()`` and ``add_done_callback()`` and resolves to
+  exactly one :class:`ServiceResponse`.
+
+Sync callers and the asyncio front end therefore interoperate freely:
+anything accepting a ``Submitter`` takes all three services, and the
+differential harness drives them interchangeably.
+
+The pre-protocol *expanded* call shape — ``submit(template, device=...,
+mode=...)`` building the request implicitly — keeps working behind a
+:class:`DeprecationWarning` shim (:func:`coerce_request`, built on
+:mod:`repro._compat`), pinned byte-identical in ``tests/test_facade.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Protocol, runtime_checkable
+
+from repro._compat import deprecated_shape
+from repro.core.graph import OperatorGraph
+
+from .request import ServiceRequest, Ticket
+
+
+@runtime_checkable
+class Submitter(Protocol):
+    """What every service front end — sync, sharded, async — provides."""
+
+    def submit(self, request: ServiceRequest) -> Ticket:  # pragma: no cover
+        ...
+
+    def submit_all(
+        self, requests: list[ServiceRequest]
+    ) -> list[Ticket]:  # pragma: no cover
+        ...
+
+    def close(
+        self, *, cancel_pending: bool = False
+    ) -> None:  # pragma: no cover
+        ...
+
+
+def coerce_request(
+    where: str,
+    request: ServiceRequest | OperatorGraph | None,
+    fields: dict[str, Any],
+) -> ServiceRequest:
+    """Normalise the two ``submit`` call shapes onto a ServiceRequest.
+
+    Canonical: ``submit(ServiceRequest(...))``.  Deprecated (the
+    pre-protocol expanded shape): ``submit(template, device=..., ...)``
+    or ``submit(template=..., device=..., ...)`` — both still build the
+    identical request, behind a :class:`DeprecationWarning`.
+    """
+    if isinstance(request, ServiceRequest):
+        if fields:
+            raise TypeError(
+                f"{where}() got request fields alongside a ServiceRequest: "
+                f"{sorted(fields)}"
+            )
+        return request
+    if request is not None:
+        if isinstance(request, Iterable) and not isinstance(
+            request, OperatorGraph
+        ):
+            raise TypeError(
+                f"{where}() takes one ServiceRequest; for a batch use "
+                f"submit_all()"
+            )
+        if "template" in fields:
+            raise TypeError(
+                f"{where}() got multiple values for argument 'template'"
+            )
+        fields = {"template": request, **fields}
+    elif not fields:
+        raise TypeError(f"{where}() missing a ServiceRequest")
+    deprecated_shape(
+        f"{where}(template=..., device=..., ...)",
+        f"{where}(ServiceRequest(template=..., device=..., ...))",
+    )
+    return ServiceRequest(**fields)
+
+
+__all__ = ["Submitter", "coerce_request"]

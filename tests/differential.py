@@ -67,6 +67,45 @@ def run_dynamic(
     return dict(result.outputs)
 
 
+def make_events_runner(
+    copy_streams: str = "per-direction", in_order_copy: bool = False
+) -> Callable[..., Outputs]:
+    """An executor closure for the discrete-event stream engine.
+
+    The *streams dimension* of the matrix: firing plan steps when their
+    dependencies complete (instead of in serialized plan order) must not
+    change a single output bit, whichever copy-engine layout is used.
+    The engine also asserts its own timing invariant on every run:
+    overlap never loses to the synchronous walk.
+    """
+
+    def run_events(
+        template: OperatorGraph,
+        inputs: Mapping[str, np.ndarray],
+        device: GpuDevice,
+        options: CompileOptions,
+    ) -> Outputs:
+        from repro.runtime import execute_plan_events
+
+        compiled = Framework(device, options=options).compile(template)
+        result = execute_plan_events(
+            compiled.plan,
+            compiled.graph,
+            device,
+            inputs,
+            copy_streams=copy_streams,
+            in_order_copy=in_order_copy,
+        )
+        assert result.total_time <= result.sync_total_time + 1e-12, (
+            f"event engine slower than synchronous walk: "
+            f"{result.total_time} > {result.sync_total_time}"
+        )
+        return dict(result.outputs)
+
+    run_events.__name__ = f"run_events_{copy_streams}"
+    return run_events
+
+
 def make_multi_runner(
     num_devices: int, transfer_mode: str = "peer"
 ) -> Callable[..., Outputs]:
@@ -143,6 +182,8 @@ def make_service_runner(
 EXECUTORS: dict[str, Callable[..., Outputs]] = {
     "static": run_static,
     "dynamic": run_dynamic,
+    "events": make_events_runner("per-direction"),
+    "events-shared": make_events_runner("shared"),
     "multi2-peer": make_multi_runner(2, "peer"),
     "multi3-staged": make_multi_runner(3, "staged"),
 }

@@ -186,3 +186,125 @@ class TestLegacyShims:
         compiled = repro.compile(graph(), device=TESLA_C870)
         result = repro.execute(compiled, find_edges_inputs(64, 64, 8, 2))
         assert "Edg" in result.outputs
+
+
+class TestSubmitterContract:
+    """One submit surface across the serving tier (repro.service).
+
+    Every front end satisfies the :class:`repro.service.Submitter`
+    protocol, and the pre-protocol *expanded* call shape —
+    ``submit(template, device=...)`` — keeps working behind a
+    ``DeprecationWarning``, producing byte-identical results.
+    """
+
+    def test_every_service_satisfies_the_protocol(self):
+        from repro.service import (
+            AsyncExecutionService,
+            ExecutionService,
+            ServiceConfig,
+            ShardedExecutionService,
+            Submitter,
+        )
+
+        cfg = ServiceConfig(workers=1)
+        services = [
+            ExecutionService(cfg),
+            AsyncExecutionService(cfg),
+            ShardedExecutionService(cfg, shards=1),
+        ]
+        try:
+            for svc in services:
+                assert isinstance(svc, Submitter), type(svc).__name__
+        finally:
+            for svc in services:
+                svc.close()
+
+    def test_expanded_shape_warns_identical_result(self):
+        from repro.service import ExecutionService, ServiceConfig, ServiceRequest
+
+        with ExecutionService(ServiceConfig(workers=2)) as svc:
+            with pytest.warns(DeprecationWarning, match="submit"):
+                legacy = svc.submit(
+                    graph(), device=DEV, host=XEON_WORKSTATION
+                ).result(timeout=60)
+            modern = svc.submit(ServiceRequest(
+                template=graph(), device=DEV, host=XEON_WORKSTATION
+            )).result(timeout=60)
+        assert legacy.ok and modern.ok
+        assert plan_bytes(legacy.value) == plan_bytes(modern.value)
+
+    def test_expanded_keyword_shape_warns_identical_result(self):
+        from repro.service import ExecutionService, ServiceConfig, ServiceRequest
+
+        with ExecutionService(ServiceConfig(workers=2)) as svc:
+            with pytest.warns(DeprecationWarning, match="ServiceRequest"):
+                legacy = svc.submit(
+                    template=graph(), device=DEV, host=XEON_WORKSTATION
+                ).result(timeout=60)
+            modern = svc.submit(ServiceRequest(
+                template=graph(), device=DEV, host=XEON_WORKSTATION
+            )).result(timeout=60)
+        assert plan_bytes(legacy.value) == plan_bytes(modern.value)
+
+    def test_canonical_shape_is_silent(self):
+        from repro.service import ExecutionService, ServiceConfig, ServiceRequest
+
+        with ExecutionService(ServiceConfig(workers=1)) as svc:
+            with warnings.catch_warnings():
+                warnings.simplefilter("error", DeprecationWarning)
+                resp = svc.submit(ServiceRequest(
+                    template=graph(), device=DEV, host=XEON_WORKSTATION
+                )).result(timeout=60)
+        assert resp.ok
+
+    def test_request_plus_fields_rejected(self):
+        from repro.service import ExecutionService, ServiceConfig, ServiceRequest
+
+        req = ServiceRequest(template=graph(), device=DEV)
+        with ExecutionService(ServiceConfig(workers=1)) as svc:
+            with pytest.raises(TypeError, match="alongside a ServiceRequest"):
+                svc.submit(req, mode="simulate")
+
+    def test_batch_through_submit_rejected(self):
+        from repro.service import ExecutionService, ServiceConfig, ServiceRequest
+
+        reqs = [ServiceRequest(template=graph(), device=DEV)]
+        with ExecutionService(ServiceConfig(workers=1)) as svc:
+            with pytest.raises(TypeError, match="submit_all"):
+                svc.submit(reqs)
+
+    def test_empty_submit_rejected(self):
+        from repro.service import ExecutionService, ServiceConfig
+
+        with ExecutionService(ServiceConfig(workers=1)) as svc:
+            with pytest.raises(TypeError, match="missing a ServiceRequest"):
+                svc.submit()
+
+    def test_async_expanded_shape_warns_identical_result(self):
+        from repro.service import (
+            AsyncExecutionService,
+            ServiceConfig,
+            ServiceRequest,
+        )
+
+        with AsyncExecutionService(ServiceConfig(workers=2)) as svc:
+            with pytest.warns(DeprecationWarning, match="submit_nowait"):
+                legacy = svc.submit_nowait(
+                    graph(), device=DEV, host=XEON_WORKSTATION
+                ).result(timeout=60)
+            modern = svc.submit_nowait(ServiceRequest(
+                template=graph(), device=DEV, host=XEON_WORKSTATION
+            )).result(timeout=60)
+        assert plan_bytes(legacy.value) == plan_bytes(modern.value)
+
+    def test_sharded_expanded_shape_warns(self):
+        from repro.service import ServiceConfig, ShardedExecutionService
+
+        with ShardedExecutionService(
+            ServiceConfig(workers=1), shards=1
+        ) as svc:
+            with pytest.warns(DeprecationWarning, match="submit"):
+                resp = svc.submit(
+                    graph(), device=DEV, host=XEON_WORKSTATION
+                ).result(timeout=120)
+        assert resp.ok
